@@ -1,0 +1,125 @@
+package supersim
+
+import (
+	"supersim/internal/core"
+	"supersim/internal/dist"
+	"supersim/internal/perfmodel"
+	"supersim/internal/sched"
+	"supersim/internal/sched/ompss"
+	"supersim/internal/sched/quark"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/trace"
+)
+
+// This file is the public facade: thin aliases and constructors over the
+// internal packages, so downstream users have a single import path for the
+// common workflow (scheduler + simulator + model + trace). Advanced
+// surface area (the schedulers' native APIs, distribution fitting, DAG
+// analysis) lives in the internal packages and is exercised by the
+// examples and cmd tools.
+
+// Runtime is a superscalar scheduler (see internal/sched.Runtime).
+type Runtime = sched.Runtime
+
+// Task is one unit of superscalar work.
+type Task = sched.Task
+
+// Ctx is the execution context passed to task functions.
+type Ctx = sched.Ctx
+
+// Arg declares a data access of a task.
+type Arg = sched.Arg
+
+// Access is a data access mode (Read, Write, ReadWrite).
+type Access = sched.Access
+
+// Re-exported access helpers.
+var (
+	// R builds a read-access argument.
+	R = sched.R
+	// W builds a write-access argument.
+	W = sched.W
+	// RW builds a read-write-access argument.
+	RW = sched.RW
+)
+
+// Simulator is the paper's simulation library instance: virtual clock,
+// Task Execution Queue and virtual trace.
+type Simulator = core.Simulator
+
+// Tasker builds simulated or measured task functions bound to a Simulator.
+type Tasker = core.Tasker
+
+// DurationModel supplies virtual kernel durations.
+type DurationModel = core.DurationModel
+
+// ClassMap is a constant-per-class duration model.
+type ClassMap = core.ClassMap
+
+// FixedModel is a single-constant duration model.
+type FixedModel = core.FixedModel
+
+// WaitPolicy selects the Fig. 5 race mitigation.
+type WaitPolicy = core.WaitPolicy
+
+// Wait policy values.
+const (
+	WaitQuiescence = core.WaitQuiescence
+	WaitSleepYield = core.WaitSleepYield
+	WaitNone       = core.WaitNone
+)
+
+// Trace is a virtual execution trace.
+type Trace = trace.Trace
+
+// Model is a calibrated per-kernel-class duration model.
+type Model = perfmodel.Model
+
+// Collector gathers kernel timing samples during measured runs.
+type Collector = perfmodel.Collector
+
+// NewSimulator creates a simulation instance over the runtime's workers.
+func NewSimulator(rt Runtime, label string, opts ...core.Option) *Simulator {
+	return core.NewSimulator(rt, label, opts...)
+}
+
+// WithWaitPolicy selects the race mitigation policy for a Simulator.
+var WithWaitPolicy = core.WithWaitPolicy
+
+// WithSampleHook registers a timing callback on a Simulator.
+var WithSampleHook = core.WithSampleHook
+
+// NewTasker binds a simulator and duration model with deterministic
+// per-worker sampling streams.
+func NewTasker(sim *Simulator, model DurationModel, seed uint64) *Tasker {
+	return core.NewTasker(sim, model, seed)
+}
+
+// MeasuredTask wraps a real kernel body: it executes, times it, and
+// accounts the measured duration on the virtual timeline.
+var MeasuredTask = core.MeasuredTask
+
+// NewQUARK starts a QUARK-like scheduler with the given worker count
+// (master participates at Barrier, as in QUARK).
+func NewQUARK(workers int) *quark.Scheduler { return quark.New(workers) }
+
+// NewOmpSs starts an OmpSs-like scheduler with the given team size.
+func NewOmpSs(workers int) *ompss.Scheduler { return ompss.New(workers) }
+
+// NewStarPU starts a StarPU-like scheduler with the given CPU worker count
+// and scheduling policy ("eager", "prio", "ws", "dm"; "" = eager).
+func NewStarPU(workers int, policy string) (*starpu.Scheduler, error) {
+	return starpu.New(starpu.Conf{NCPUs: workers, Policy: policy})
+}
+
+// NewCollector returns an empty kernel-timing collector; pass its Hook to
+// WithSampleHook during a measured run.
+func NewCollector() *Collector { return perfmodel.NewCollector() }
+
+// FitModel fits the paper's three candidate distributions (normal, gamma,
+// log-normal) to the collected timings and returns the per-class model
+// selected by likelihood.
+func FitModel(c *Collector) (*Model, error) {
+	m, _, err := perfmodel.Fit(c, dist.PaperFamilies)
+	return m, err
+}

@@ -1,0 +1,94 @@
+package supersim_test
+
+import (
+	"math"
+	"testing"
+
+	"supersim"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the doc.go
+// quick-start flow on each scheduler constructor.
+func TestFacadeQuickstart(t *testing.T) {
+	newRuntimes := []struct {
+		name string
+		make func() supersim.Runtime
+	}{
+		{"quark", func() supersim.Runtime { return supersim.NewQUARK(3) }},
+		{"ompss", func() supersim.Runtime { return supersim.NewOmpSs(3) }},
+		{"starpu", func() supersim.Runtime {
+			s, err := supersim.NewStarPU(3, "prio")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, rtc := range newRuntimes {
+		rt := rtc.make()
+		sim := supersim.NewSimulator(rt, "facade")
+		tk := supersim.NewTasker(sim, supersim.ClassMap{"GEMM": 1e-3, "TRSM": 2e-3}, 42)
+		a, b := new(int), new(int)
+		rt.Insert(&supersim.Task{Class: "TRSM", Label: "TRSM(0)",
+			Func: tk.SimTask("TRSM"),
+			Args: []supersim.Arg{supersim.W(a)}})
+		rt.Insert(&supersim.Task{Class: "GEMM", Label: "GEMM(0)",
+			Func: tk.SimTask("GEMM"),
+			Args: []supersim.Arg{supersim.R(a), supersim.W(b)}})
+		rt.Shutdown()
+		tr := sim.Trace()
+		if len(tr.Events) != 2 {
+			t.Errorf("%s: %d events, want 2", rtc.name, len(tr.Events))
+		}
+		if ms := tr.Makespan(); math.Abs(ms-3e-3) > 1e-12 {
+			t.Errorf("%s: makespan %g, want 3e-3 (serial chain)", rtc.name, ms)
+		}
+	}
+}
+
+// TestFacadeCalibrationFlow exercises Collector + MeasuredTask + FitModel
+// through the public API.
+func TestFacadeCalibrationFlow(t *testing.T) {
+	rt := supersim.NewQUARK(2)
+	collector := supersim.NewCollector()
+	sim := supersim.NewSimulator(rt, "measured", supersim.WithSampleHook(collector.Hook()))
+	work := func(*supersim.Ctx) {
+		s := 0.0
+		for i := 0; i < 20000; i++ {
+			s += float64(i)
+		}
+		_ = s
+	}
+	for i := 0; i < 12; i++ {
+		rt.Insert(&supersim.Task{Class: "WORK", Label: "WORK",
+			Func: supersim.MeasuredTask(sim, "WORK", work)})
+	}
+	rt.Shutdown()
+	model, err := supersim.FitModel(collector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dists["WORK"] == nil {
+		t.Fatal("no model fitted for WORK")
+	}
+	if model.Dists["WORK"].Mean() <= 0 {
+		t.Error("fitted model has non-positive mean")
+	}
+	// Drive a simulation with the fitted model.
+	rt2 := supersim.NewQUARK(2)
+	sim2 := supersim.NewSimulator(rt2, "simulated", supersim.WithWaitPolicy(supersim.WaitQuiescence))
+	tk := supersim.NewTasker(sim2, model, 7)
+	for i := 0; i < 12; i++ {
+		rt2.Insert(&supersim.Task{Class: "WORK", Label: "WORK", Func: tk.SimTask("WORK")})
+	}
+	rt2.Shutdown()
+	if got := len(sim2.Trace().Events); got != 12 {
+		t.Errorf("simulated %d events, want 12", got)
+	}
+}
+
+func TestFacadeStarPUValidation(t *testing.T) {
+	if _, err := supersim.NewStarPU(0, ""); err == nil {
+		t.Error("NewStarPU(0) accepted")
+	}
+}

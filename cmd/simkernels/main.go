@@ -1,0 +1,56 @@
+// Command simkernels regenerates the paper's Figs. 3-4: it runs a measured
+// execution of a tile factorization, collects the per-invocation kernel
+// timings, fits the normal, gamma and log-normal models, and prints the
+// density series (histogram, KDE, and fitted curves) for the dominant
+// kernel, plus the per-class fit table used to calibrate simulations.
+//
+// Usage:
+//
+//	simkernels -alg qr               # Fig. 3 (DTSMQR)
+//	simkernels -alg cholesky         # Fig. 4 (DGEMM)
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"supersim/internal/bench"
+	"supersim/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simkernels: ")
+	var (
+		alg     = flag.String("alg", "qr", "algorithm: qr or cholesky")
+		class   = flag.String("class", "", "kernel class to plot (default: DTSMQR for qr, DGEMM for cholesky)")
+		nt      = flag.Int("nt", 8, "tiles per dimension")
+		nb      = flag.Int("nb", 120, "tile size")
+		workers = flag.Int("workers", 8, "virtual cores")
+		sched   = flag.String("sched", "quark", "scheduler: quark, starpu or ompss")
+		bins    = flag.Int("bins", 20, "histogram bins")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	target := kernels.Class(*class)
+	if target == "" {
+		if *alg == "qr" {
+			target = kernels.ClassTSMQR
+		} else {
+			target = kernels.ClassGEMM
+		}
+	}
+	spec := bench.Spec{
+		Algorithm: *alg, Scheduler: *sched,
+		NT: *nt, NB: *nb, Workers: *workers, Seed: *seed,
+	}
+	report, err := bench.KernelFitExperiment(spec, target, *bins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteKernelFitReport(os.Stdout, report); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+// Package supersim is a discrete-event simulation library for superscalar
+// task schedulers, reproducing Haugen, Luszczek, Kurzak, YarKhan and
+// Dongarra, "Parallel Simulation of Superscalar Scheduling", ICPP 2014.
+//
+// # Overview
+//
+// Superscalar runtimes (QUARK, StarPU, OmpSs) accept tasks inserted
+// serially with read/write data annotations, resolve the RaW/WaR/WaW
+// hazards dynamically and execute the resulting DAG on worker threads.
+// This library simulates such executions with high fidelity while skipping
+// the tasks' computational work: the real scheduler still makes every
+// dependence-tracking and scheduling decision, while each kernel is
+// replaced by a virtual duration drawn from a calibrated probability model
+// and sequenced through a Task Execution Queue that keeps task completion
+// order consistent with virtual time.
+//
+// The repository contains from-scratch Go reproductions of all three
+// schedulers, the tile Cholesky and tile QR factorizations used as case
+// studies (with real, verified compute kernels), the timing/calibration
+// pipeline, SVG trace rendering, and a benchmark harness regenerating
+// every figure of the paper's evaluation. See DESIGN.md for the full
+// system inventory and EXPERIMENTS.md for the measured results.
+//
+// # Quick start
+//
+//	rt := supersim.NewQUARK(8)                       // 8 virtual cores
+//	sim := supersim.NewSimulator(rt, "demo")
+//	tk := supersim.NewTasker(sim, supersim.ClassMap{"GEMM": 1e-3}, 42)
+//	a, b := new(int), new(int)
+//	rt.Insert(&supersim.Task{Class: "GEMM", Label: "GEMM(0)",
+//		Func: tk.SimTask("GEMM"),
+//		Args: []supersim.Arg{supersim.W(a), supersim.R(b)}})
+//	rt.Shutdown()
+//	fmt.Println(sim.Trace().Makespan())
+//
+// The runnable programs under examples/ and cmd/ show the full workflows:
+// calibrating kernel models from a measured run, simulating tile
+// factorizations on each scheduler, rendering traces, and sweeping
+// configurations for autotuning.
+package supersim

@@ -1,0 +1,149 @@
+// Autotune: the paper's motivating use case (Section VI-B).
+//
+// "If it is possible to predict performance of an algorithm running on a
+// particular scheduler configuration in a reduced time period, it will be
+// possible to try a larger number of possible scheduling and algorithmic
+// parameters" — this example does exactly that: it calibrates kernel
+// models once from a single measured run, then sweeps tile sizes and
+// StarPU scheduling policies purely in simulation (orders of magnitude
+// faster than real runs), picks the best configuration, and validates the
+// winner with one real run.
+//
+//	go run ./examples/autotune -n 960 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"supersim"
+	"supersim/internal/bench"
+	"supersim/internal/factor"
+	"supersim/internal/kernels"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autotune: ")
+	var (
+		n       = flag.Int("n", 960, "matrix order (must be divisible by all candidate tile sizes)")
+		workers = flag.Int("workers", 8, "virtual cores")
+	)
+	flag.Parse()
+
+	tileSizes := []int{48, 60, 80, 96, 120, 160}
+	policies := []string{starpu.PolicyEager, starpu.PolicyPrio, starpu.PolicyWS}
+
+	// --- one measured calibration run per tile size ----------------------
+	// Kernel speed depends on the tile size, so each nb needs its own
+	// model; a single small problem per nb suffices (Section V-B1).
+	fmt.Printf("calibrating kernel models for %d tile sizes...\n", len(tileSizes))
+	models := map[int]*supersim.Model{}
+	calibWall := time.Duration(0)
+	for _, nb := range tileSizes {
+		if *n%nb != 0 {
+			log.Fatalf("n=%d not divisible by tile size %d", *n, nb)
+		}
+		calibNT := 6 // small problem: enough samples of every kernel class
+		spec := bench.Spec{
+			Algorithm: "cholesky", Scheduler: "starpu",
+			NT: calibNT, NB: nb, Workers: *workers, Seed: 42,
+		}
+		t0 := time.Now()
+		model, _, err := bench.Calibrate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		calibWall += time.Since(t0)
+		models[nb] = model
+	}
+	fmt.Printf("calibration took %.2fs of wall time total\n\n", calibWall.Seconds())
+
+	// --- sweep the configuration space in simulation ---------------------
+	type config struct {
+		nb     int
+		policy string
+	}
+	type outcome struct {
+		config
+		gflops float64
+	}
+	var results []outcome
+	sweepWall := time.Duration(0)
+	for _, nb := range tileSizes {
+		for _, policy := range policies {
+			nt := *n / nb
+			a := workload.RandomSPD(nt, nb, 11)
+			s, err := starpu.New(starpu.Conf{NCPUs: *workers, Policy: policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim := supersim.NewSimulator(s, "autotune")
+			tk := supersim.NewTasker(sim, models[nb], uint64(nb))
+			t0 := time.Now()
+			for _, op := range factor.Cholesky(a) {
+				if err := s.TaskSubmit(&starpu.Codelet{
+					Name: string(op.Class),
+					CPU:  tk.SimTask(string(op.Class)),
+				}, op.SchedArgs(), starpu.WithPriority(op.Priority)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			s.Barrier()
+			s.Shutdown()
+			sweepWall += time.Since(t0)
+			gf := kernels.AlgorithmFlops("cholesky", *n) / sim.Trace().Makespan() / 1e9
+			results = append(results, outcome{config{nb, policy}, gf})
+		}
+	}
+	fmt.Printf("%-6s %-8s %10s\n", "nb", "policy", "GFLOP/s")
+	best := results[0]
+	for _, r := range results {
+		marker := ""
+		if r.gflops > best.gflops {
+			best = r
+		}
+		fmt.Printf("%-6d %-8s %10.3f%s\n", r.nb, r.policy, r.gflops, marker)
+	}
+	fmt.Printf("\nsimulated %d configurations in %.3fs of wall time\n",
+		len(results), sweepWall.Seconds())
+	fmt.Printf("best configuration: nb=%d policy=%s (%.3f simulated GFLOP/s)\n\n",
+		best.nb, best.policy, best.gflops)
+
+	// --- validate the winner with one real run ---------------------------
+	nt := *n / best.nb
+	a := workload.RandomSPD(nt, best.nb, 11)
+	orig := a.Clone()
+	s, err := starpu.New(starpu.Conf{NCPUs: *workers, Policy: best.policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := supersim.NewSimulator(s, "validate")
+	sink := factor.InsertMeasured(s, sim, factor.Cholesky(a))
+	s.Barrier()
+	s.Shutdown()
+	if err := sink.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if resid := factor.CholeskyResidual(orig, a); resid > 1e-10 {
+		log.Fatalf("validation run numerically wrong: residual %g", resid)
+	}
+	realGF := kernels.AlgorithmFlops("cholesky", *n) / sim.Trace().Makespan() / 1e9
+	fmt.Printf("validation (real run): %.3f GFLOP/s — prediction error %.2f%%\n",
+		realGF, errPct(best.gflops, realGF))
+}
+
+func errPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := (a - b) / b * 100
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,0 +1,232 @@
+// Package bench is the experiment harness: it wires workloads, schedulers,
+// the virtual multicore executor and the simulator into the runs that
+// regenerate every figure of the paper's evaluation (see DESIGN.md for the
+// experiment index), plus the ablation and extension experiments.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"supersim/internal/core"
+	"supersim/internal/dist"
+	"supersim/internal/factor"
+	"supersim/internal/kernels"
+	"supersim/internal/perfmodel"
+	"supersim/internal/sched"
+	"supersim/internal/sched/ompss"
+	"supersim/internal/sched/quark"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/tile"
+	"supersim/internal/trace"
+	"supersim/internal/workload"
+)
+
+// Spec describes one run: algorithm, scheduler, problem shape and
+// simulation options.
+type Spec struct {
+	Algorithm string // "cholesky" or "qr"
+	Scheduler string // "quark", "starpu" or "ompss"
+	Policy    string // StarPU scheduling policy ("" = eager)
+	NT, NB    int    // tiles per dimension, tile size
+	Workers   int    // virtual cores
+	Seed      uint64
+	Wait      core.WaitPolicy // race mitigation (default quiescence)
+	Window    int             // task window override (0 = scheduler default)
+
+	// Extension knobs.
+	NAccelerators int             // StarPU accelerator workers (Section VII)
+	CostModel     sched.CostModel // StarPU dm policy cost model
+	GangPanels    int             // NumThreads for panel tasks (Section VII)
+	GangEff       float64         // gang parallel efficiency (default 1)
+}
+
+// N returns the dense matrix order.
+func (s Spec) N() int { return s.NT * s.NB }
+
+// Schedulers lists the three reproduced runtimes in paper order.
+var Schedulers = []string{"ompss", "starpu", "quark"}
+
+// NewRuntime constructs the scheduler described by the spec.
+func NewRuntime(s Spec) (sched.Runtime, error) {
+	switch s.Scheduler {
+	case "quark":
+		opts := []quark.Option{}
+		if s.Window > 0 {
+			opts = append(opts, quark.WithWindow(s.Window))
+		}
+		return quark.New(s.Workers, opts...), nil
+	case "starpu":
+		return starpu.New(starpu.Conf{
+			NCPUs:         s.Workers,
+			NAccelerators: s.NAccelerators,
+			Policy:        s.Policy,
+			CostModel:     s.CostModel,
+		})
+	case "ompss":
+		return ompss.New(s.Workers), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown scheduler %q", s.Scheduler)
+	}
+}
+
+// Result captures one run (measured or simulated).
+type Result struct {
+	Trace    *trace.Trace
+	Makespan float64 // virtual seconds
+	GFlops   float64 // nominal algorithm flops / virtual makespan
+	Wall     time.Duration
+	Stats    sched.Stats
+	NumTasks int
+}
+
+func resultFrom(spec Spec, tr *trace.Trace, wall time.Duration, st sched.Stats) Result {
+	ms := tr.Makespan()
+	gf := 0.0
+	if ms > 0 {
+		gf = kernels.AlgorithmFlops(spec.Algorithm, spec.N()) / ms / 1e9
+	}
+	return Result{
+		Trace:    tr,
+		Makespan: ms,
+		GFlops:   gf,
+		Wall:     wall,
+		Stats:    st,
+		NumTasks: len(tr.Events),
+	}
+}
+
+// buildOps creates the input matrices and the op stream for the spec.
+func buildOps(spec Spec) ([]factor.Op, *tile.Matrix, *tile.Matrix, error) {
+	a, t := workload.ForAlgorithm(spec.Algorithm, spec.NT, spec.NB, spec.Seed)
+	if a == nil {
+		return nil, nil, nil, fmt.Errorf("bench: unknown algorithm %q", spec.Algorithm)
+	}
+	ops, err := factor.Stream(spec.Algorithm, a, t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ops, a, t, nil
+}
+
+// Measured performs the reproduction's "real run": the scheduler executes
+// the actual tile kernels, each invocation is timed, and the measured
+// durations are accounted on the virtual multicore timeline. The returned
+// collector holds the per-class timing samples for calibration
+// (Section V-B1: "using the actual execution of the algorithm to provide
+// the actual empirical data").
+func Measured(spec Spec) (Result, *perfmodel.Collector, error) {
+	ops, _, _, err := buildOps(spec)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	// Collect garbage left by earlier runs before timing kernels:
+	// a GC cycle triggered mid-run by a previous experiment's heap would
+	// contaminate the measured durations (the pure-Go analog of the
+	// paper's MKL first-call initialization effect).
+	runtime.GC()
+	rt, err := NewRuntime(spec)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	collector := perfmodel.NewCollector()
+	sim := core.NewSimulator(rt, "real",
+		core.WithWaitPolicy(spec.Wait),
+		core.WithSampleHook(collector.Hook()))
+	t0 := time.Now()
+	sink := factor.InsertMeasured(rt, sim, ops)
+	rt.Barrier()
+	wall := time.Since(t0)
+	st := rt.Stats()
+	rt.Shutdown()
+	if err := sink.Err(); err != nil {
+		return Result{}, nil, fmt.Errorf("bench: measured run failed numerically: %w", err)
+	}
+	return resultFrom(spec, sim.Trace(), wall, st), collector, nil
+}
+
+// Simulated performs the paper's simulation: the same scheduler runs the
+// same task stream, but kernel bodies are replaced by model-sampled
+// durations and no useful work is performed.
+func Simulated(spec Spec, model core.DurationModel) (Result, error) {
+	ops, _, _, err := buildOps(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.GangPanels > 1 {
+		return simulatedGang(spec, model, ops)
+	}
+	rt, err := NewRuntime(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	sim := core.NewSimulator(rt, "simulated", core.WithWaitPolicy(spec.Wait))
+	tk := core.NewTasker(sim, model, spec.Seed+1)
+	t0 := time.Now()
+	factor.InsertSimulated(rt, tk, ops)
+	rt.Barrier()
+	wall := time.Since(t0)
+	st := rt.Stats()
+	rt.Shutdown()
+	return resultFrom(spec, sim.Trace(), wall, st), nil
+}
+
+// simulatedGang is Simulated with panel kernels turned into multi-threaded
+// gang tasks of spec.GangPanels workers (Section VII extension).
+func simulatedGang(spec Spec, model core.DurationModel, ops []factor.Op) (Result, error) {
+	rt, err := NewRuntime(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	sim := core.NewSimulator(rt, "simulated-gang", core.WithWaitPolicy(spec.Wait))
+	tk := core.NewTasker(sim, model, spec.Seed+1)
+	eff := spec.GangEff
+	if eff <= 0 {
+		eff = 0.85 // typical panel-kernel scaling efficiency
+	}
+	t0 := time.Now()
+	for i := range ops {
+		op := ops[i]
+		task := &sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+		}
+		if op.Class == kernels.ClassGEQRT || op.Class == kernels.ClassPOTRF {
+			task.NumThreads = spec.GangPanels
+			task.Func = tk.SimGangTask(string(op.Class), spec.GangPanels, eff)
+		} else {
+			task.Func = tk.SimTask(string(op.Class))
+		}
+		rt.Insert(task)
+	}
+	rt.Barrier()
+	wall := time.Since(t0)
+	st := rt.Stats()
+	rt.Shutdown()
+	return resultFrom(spec, sim.Trace(), wall, st), nil
+}
+
+// Calibrate runs a measured calibration problem and fits the paper's three
+// candidate families, returning the selected model (Section V-B).
+func Calibrate(spec Spec) (*perfmodel.Model, []perfmodel.ClassFit, error) {
+	_, collector, err := Measured(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perfmodel.Fit(collector, dist.PaperFamilies)
+}
+
+// ErrPct returns |a-b|/b*100 (0 if b is 0).
+func ErrPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := (a - b) / b * 100
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

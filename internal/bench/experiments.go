@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"supersim/internal/core"
+	"supersim/internal/dist"
+	"supersim/internal/factor"
+	"supersim/internal/kernels"
+	"supersim/internal/perfmodel"
+	"supersim/internal/sched"
+	"supersim/internal/stats"
+	"supersim/internal/trace"
+	"supersim/internal/workload"
+)
+
+// ----------------------------------------------------------- E1 (Fig. 1)
+
+// DAGReport summarizes the task DAG of a factorization (Fig. 1).
+type DAGReport struct {
+	Algorithm      string
+	NT             int
+	Nodes, Edges   int
+	Depth          int
+	CriticalLength float64
+	WidthProfile   []int
+	CountByKind    map[string]int
+	DOT            string
+}
+
+// DAGExperiment builds the dependence DAG of the algorithm at the given
+// tile count and returns its structural summary plus Graphviz DOT source.
+// Fig. 1 of the paper is DAGExperiment("qr", 4).
+func DAGExperiment(algorithm string, nt int) (DAGReport, error) {
+	a, t := workload.ForAlgorithm(algorithm, nt, 2, 1)
+	if a == nil {
+		return DAGReport{}, fmt.Errorf("bench: unknown algorithm %q", algorithm)
+	}
+	ops, err := factor.Stream(algorithm, a, t)
+	if err != nil {
+		return DAGReport{}, err
+	}
+	g := factor.BuildDAG(ops, nil)
+	if err := g.Validate(); err != nil {
+		return DAGReport{}, err
+	}
+	depth, err := g.Depth()
+	if err != nil {
+		return DAGReport{}, err
+	}
+	_, critical, err := g.CriticalPath()
+	if err != nil {
+		return DAGReport{}, err
+	}
+	widths, err := g.WidthProfile()
+	if err != nil {
+		return DAGReport{}, err
+	}
+	var dot strings.Builder
+	if err := g.WriteDOT(&dot, fmt.Sprintf("%s %dx%d tiles", algorithm, nt, nt)); err != nil {
+		return DAGReport{}, err
+	}
+	return DAGReport{
+		Algorithm:      algorithm,
+		NT:             nt,
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Depth:          depth,
+		CriticalLength: critical,
+		WidthProfile:   widths,
+		CountByKind:    g.CountByKind(),
+		DOT:            dot.String(),
+	}, nil
+}
+
+// ----------------------------------------------------------- E2 (Fig. 2)
+
+// TaskListExperiment returns the serial task stream rendered in the style
+// of the paper's Fig. 2 (F0 geqrt(A00^rw, T00^w), ...). Fig. 2 is
+// TaskListExperiment("qr", 3).
+func TaskListExperiment(algorithm string, nt int) ([]string, error) {
+	a, t := workload.ForAlgorithm(algorithm, nt, 2, 1)
+	if a == nil {
+		return nil, fmt.Errorf("bench: unknown algorithm %q", algorithm)
+	}
+	ops, err := factor.Stream(algorithm, a, t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = fmt.Sprintf("F%-3d %s", i, op.String())
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------- E3/E4 (Figs. 3-4)
+
+// DensityRow is one bin of the kernel-timing density plot: the empirical
+// histogram density, the Gaussian-KDE smoothed density ("emp." curve), and
+// the fitted model densities at the bin center.
+type DensityRow struct {
+	Center  float64
+	Hist    float64
+	KDE     float64
+	PerFits []float64 // one per FitNames entry
+}
+
+// KernelFitReport reproduces a Fig. 3/4 panel for one kernel class.
+type KernelFitReport struct {
+	Class    string
+	Samples  int
+	Summary  stats.Summary
+	FitNames []string
+	Fits     []dist.FitResult
+	Rows     []DensityRow
+	AllFits  []perfmodel.ClassFit // the full per-class fit table
+}
+
+// KernelFitExperiment runs a measured execution of the spec and fits the
+// paper's three distributions to the timing samples of the target kernel
+// class (Fig. 3: class DTSMQR from a QR run; Fig. 4: DGEMM from Cholesky).
+func KernelFitExperiment(spec Spec, class kernels.Class, bins int) (KernelFitReport, error) {
+	if bins <= 0 {
+		bins = 20
+	}
+	_, collector, err := Measured(spec)
+	if err != nil {
+		return KernelFitReport{}, err
+	}
+	xs := collector.TrimmedDurations(string(class), 2)
+	if len(xs) < 4 {
+		return KernelFitReport{}, fmt.Errorf("bench: only %d %s samples; increase NT", len(xs), class)
+	}
+	fits, err := dist.FitAll(xs, dist.PaperFamilies)
+	if err != nil {
+		return KernelFitReport{}, err
+	}
+	_, allFits, err := perfmodel.Fit(collector, dist.PaperFamilies)
+	if err != nil {
+		return KernelFitReport{}, err
+	}
+	h := stats.NewHistogram(xs, bins)
+	kde := stats.KDE(xs, centers(h), 0)
+	report := KernelFitReport{
+		Class:   string(class),
+		Samples: len(xs),
+		Summary: stats.Summarize(xs),
+		Fits:    fits,
+		AllFits: allFits,
+	}
+	for _, f := range fits {
+		report.FitNames = append(report.FitNames, f.Dist.Name())
+	}
+	for i := range h.Counts {
+		row := DensityRow{
+			Center: h.Center(i),
+			Hist:   h.Density(i),
+			KDE:    kde[i],
+		}
+		for _, f := range fits {
+			row.PerFits = append(row.PerFits, f.Dist.PDF(row.Center))
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+func centers(h *stats.Histogram) []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Center(i)
+	}
+	return out
+}
+
+// ------------------------------------------------------- E6/E7 (Figs. 6-7)
+
+// TraceReport pairs a measured trace with its simulation (Figs. 6-7).
+type TraceReport struct {
+	Real, Sim  Result
+	Comparison trace.Comparison
+	Fits       []perfmodel.ClassFit
+	// WallSpeedup is wall(measured)/wall(simulated), the paper's
+	// accelerated-simulation-time claim (Section III).
+	WallSpeedup float64
+}
+
+// TraceExperiment performs the Figs. 6-7 workflow: a measured run of the
+// spec, model calibration from that run's timings, then a simulated run of
+// the identical configuration, with fidelity metrics comparing the traces.
+func TraceExperiment(spec Spec) (TraceReport, error) {
+	real, collector, err := Measured(spec)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	model, fits, err := perfmodel.Fit(collector, dist.PaperFamilies)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	sim, err := Simulated(spec, model)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	rep := TraceReport{
+		Real:       real,
+		Sim:        sim,
+		Comparison: trace.Compare(real.Trace, sim.Trace),
+		Fits:       fits,
+	}
+	if sim.Wall > 0 {
+		rep.WallSpeedup = float64(real.Wall) / float64(sim.Wall)
+	}
+	return rep, nil
+}
+
+// ----------------------------------------------------- E8-E10 (Figs. 8-10)
+
+// PerfPoint is one matrix size of a performance sweep: real and simulated
+// GFLOP/s and the simulation's relative error, the three series of each
+// Figs. 8-10 panel.
+type PerfPoint struct {
+	N        int
+	NT       int
+	RealGF   float64
+	SimGF    float64
+	ErrPct   float64
+	RealMs   float64 // measured virtual makespan (s)
+	SimMs    float64 // simulated virtual makespan (s)
+	NumTasks int
+	WallReal float64 // host seconds for the measured run
+	WallSim  float64 // host seconds for the simulated run
+}
+
+// PerfSweepResult is one scheduler x algorithm performance curve.
+type PerfSweepResult struct {
+	Scheduler string
+	Algorithm string
+	NB        int
+	Workers   int
+	CalibNT   int
+	Points    []PerfPoint
+	ModelFits []perfmodel.ClassFit
+}
+
+// MaxErrPct returns the worst simulation error in the sweep.
+func (r PerfSweepResult) MaxErrPct() float64 {
+	var m float64
+	for _, p := range r.Points {
+		if p.ErrPct > m {
+			m = p.ErrPct
+		}
+	}
+	return m
+}
+
+// perfReps controls noise suppression in PerfSweep: each point is measured
+// and simulated this many times and the minimum makespan is kept — the
+// standard robust statistic for short timing measurements, since host
+// interference (a neighboring process, VM steal time) only ever inflates
+// a run. Tiny problems execute only a handful of kernels, so single runs
+// are fragile on both sides.
+const perfReps = 5
+
+func minOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[0]
+}
+
+// PerfSweep reproduces one curve pair of Figs. 8-10: the model is
+// calibrated once from a moderate problem (the paper: "a relatively small
+// problem or even a portion of the problem"), then each matrix size is run
+// for real and in simulation and the GFLOP/s series are compared.
+func PerfSweep(scheduler, algorithm string, nb, maxNT, workers int, seed uint64) (PerfSweepResult, error) {
+	calibNT := maxNT
+	if calibNT > 7 {
+		calibNT = 7 // enough instances of every kernel class to fit
+	}
+	if calibNT < 4 {
+		calibNT = maxNT
+	}
+	calibSpec := Spec{
+		Algorithm: algorithm, Scheduler: scheduler,
+		NT: calibNT, NB: nb, Workers: workers, Seed: seed,
+	}
+	model, fits, err := Calibrate(calibSpec)
+	if err != nil {
+		return PerfSweepResult{}, err
+	}
+	out := PerfSweepResult{
+		Scheduler: scheduler,
+		Algorithm: algorithm,
+		NB:        nb,
+		Workers:   workers,
+		CalibNT:   calibNT,
+		ModelFits: fits,
+	}
+	for _, sw := range workload.PerfSweep(nb, maxNT) {
+		var realMs, simMs []float64
+		var lastReal, lastSim Result
+		for rep := 0; rep < perfReps; rep++ {
+			spec := Spec{
+				Algorithm: algorithm, Scheduler: scheduler,
+				NT: sw.NT, NB: nb, Workers: workers,
+				Seed: seed + uint64(sw.NT) + uint64(rep)*1000,
+			}
+			real, _, err := Measured(spec)
+			if err != nil {
+				return PerfSweepResult{}, err
+			}
+			sim, err := Simulated(spec, model)
+			if err != nil {
+				return PerfSweepResult{}, err
+			}
+			realMs = append(realMs, real.Makespan)
+			simMs = append(simMs, sim.Makespan)
+			lastReal, lastSim = real, sim
+		}
+		n := sw.N()
+		flops := kernels.AlgorithmFlops(algorithm, n)
+		rm, sm := minOf(realMs), minOf(simMs)
+		out.Points = append(out.Points, PerfPoint{
+			N:        n,
+			NT:       sw.NT,
+			RealGF:   flops / rm / 1e9,
+			SimGF:    flops / sm / 1e9,
+			ErrPct:   ErrPct(sm, rm),
+			RealMs:   rm,
+			SimMs:    sm,
+			NumTasks: lastReal.NumTasks,
+			WallReal: lastReal.Wall.Seconds(),
+			WallSim:  lastSim.Wall.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// ----------------------------------------------------------- E5 (Fig. 5)
+
+// RaceReport quantifies the Fig. 5 scheduling race condition under a wait
+// policy.
+type RaceReport struct {
+	Policy string
+	Trials int
+	// Anomalies counts trials whose trace deviates from the unique
+	// correct 2-core schedule (C starting at A's completion time 1.0 and
+	// makespan 2.0) — the corruption the paper illustrates: a task
+	// "placed in the simulated trace much later than it would have been
+	// in reality", because a queued task completed before the scheduler
+	// finished its bookkeeping.
+	Anomalies int
+	// Violations counts physical trace violations across all trials.
+	Violations int
+	// MakespanMin/Max over the trials; a correct simulation of the
+	// deterministic scenario always yields the same makespan.
+	MakespanMin, MakespanMax float64
+}
+
+// raceScenario runs the exact Fig. 5 scenario once: two cores; task A
+// (duration 1.0) and task B (duration 1.5) start together; task C
+// (duration 1.0) depends on A, so it should start at t=1.0 and the correct
+// makespan is 2.0. Under the race, C's start drifts to B's completion time
+// (t=1.5) and the makespan becomes 2.5.
+func raceScenario(spec Spec) (cStart, makespan float64, violations int, err error) {
+	rt, err := NewRuntime(spec)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sim := core.NewSimulator(rt, "race", core.WithWaitPolicy(spec.Wait))
+	tk := core.NewTasker(sim, core.ClassMap{"A": 1.0, "B": 1.5, "C": 1.0}, spec.Seed)
+	hA, hB := new(int), new(int)
+	rt.Insert(&sched.Task{Class: "A", Label: "A", Func: tk.SimTask("A"),
+		Args: []sched.Arg{sched.W(hA)}})
+	rt.Insert(&sched.Task{Class: "B", Label: "B", Func: tk.SimTask("B"),
+		Args: []sched.Arg{sched.W(hB)}})
+	rt.Insert(&sched.Task{Class: "C", Label: "C", Func: tk.SimTask("C"),
+		Args: []sched.Arg{sched.R(hA)}})
+	rt.Barrier()
+	rt.Shutdown()
+	tr := sim.Trace()
+	for _, e := range tr.Events {
+		if e.Label == "C" {
+			cStart = e.Start
+		}
+	}
+	return cStart, tr.Makespan(), len(tr.Validate()), nil
+}
+
+// RaceExperiment runs the Fig. 5 scenario repeatedly under the given wait
+// policy and reports how often the race corrupted the trace.
+func RaceExperiment(spec Spec, trials int) (RaceReport, error) {
+	if spec.Workers == 0 {
+		spec.Workers = 2
+	}
+	rep := RaceReport{Policy: spec.Wait.String(), Trials: trials}
+	for i := 0; i < trials; i++ {
+		spec.Seed = uint64(i) + 1
+		cStart, ms, viol, err := raceScenario(spec)
+		if err != nil {
+			return rep, err
+		}
+		cDrifted := cStart-1.0 > 1e-9 || cStart-1.0 < -1e-9
+		msDrifted := ms-2.0 > 1e-9 || ms-2.0 < -1e-9
+		if cDrifted || msDrifted {
+			rep.Anomalies++
+		}
+		rep.Violations += viol
+		if i == 0 || ms < rep.MakespanMin {
+			rep.MakespanMin = ms
+		}
+		if ms > rep.MakespanMax {
+			rep.MakespanMax = ms
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"supersim/internal/kernels"
+)
+
+func TestWriteDAGReport(t *testing.T) {
+	rep, err := DAGExperiment("qr", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDAGReport(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"vertices: 14", "DGEQRT=3", "width profile"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DAG report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteKernelFitReport(t *testing.T) {
+	spec := smallSpec("cholesky", "quark")
+	spec.NT = 6
+	rep, err := KernelFitExperiment(spec, kernels.ClassGEMM, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteKernelFitReport(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"DGEMM kernel timings", "density series", "all-class fit table", "normal"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fit report missing %q", frag)
+		}
+	}
+	if got := strings.Count(out, "\n"); got < 15 {
+		t.Errorf("fit report suspiciously short: %d lines", got)
+	}
+}
+
+func TestWriteRaceReport(t *testing.T) {
+	var sb strings.Builder
+	err := WriteRaceReport(&sb, []RaceReport{
+		{Policy: "none", Trials: 10, Anomalies: 10, MakespanMin: 3.5, MakespanMax: 3.5},
+		{Policy: "quiescence", Trials: 10, MakespanMin: 2, MakespanMax: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "none") || !strings.Contains(sb.String(), "quiescence") {
+		t.Error("race report incomplete")
+	}
+}
+
+func TestWriteTraceReport(t *testing.T) {
+	rep, err := TraceExperiment(smallSpec("cholesky", "ompss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTraceReport(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"real:", "simulated:", "makespan error", "tasks per worker"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace report missing %q", frag)
+		}
+	}
+}
+
+func TestWritePerfSweep(t *testing.T) {
+	r := PerfSweepResult{
+		Scheduler: "quark", Algorithm: "qr", NB: 96, Workers: 8, CalibNT: 7,
+		Points: []PerfPoint{{N: 192, NT: 2, RealGF: 1.5, SimGF: 1.45, ErrPct: 3.3}},
+	}
+	var sb strings.Builder
+	if err := WritePerfSweep(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "quark / qr") || !strings.Contains(out, "worst-case error: 3.30%") {
+		t.Errorf("perf sweep table wrong:\n%s", out)
+	}
+}
+
+func TestWriteStudiesTables(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteWaitPolicyStudy(&sb, []WaitPolicyPoint{
+		{Policy: "quiescence", MakespanErrPct: 0.5, RaceAnomalies: 0, RaceTrials: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "quiescence") {
+		t.Error("wait-policy table wrong")
+	}
+	sb.Reset()
+	if err := WriteModelFamilyStudy(&sb, []ModelFamilyPoint{
+		{Family: "lognormal", MakespanErrPct: 1.1, GFlopsErrPct: 1.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lognormal") {
+		t.Error("model-family table wrong")
+	}
+}
+
+func TestErrPct(t *testing.T) {
+	if ErrPct(11, 10) != 10 || ErrPct(9, 10) != 10 {
+		t.Error("ErrPct wrong")
+	}
+	if ErrPct(5, 0) != 0 {
+		t.Error("ErrPct with zero base should be 0")
+	}
+}
+
+func TestSpecN(t *testing.T) {
+	if (Spec{NT: 7, NB: 100}).N() != 700 {
+		t.Error("Spec.N wrong")
+	}
+}
+
+func TestNewRuntimeUnknownScheduler(t *testing.T) {
+	if _, err := NewRuntime(Spec{Scheduler: "slurm", Workers: 1}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestMeasuredUnknownAlgorithm(t *testing.T) {
+	if _, _, err := Measured(Spec{Algorithm: "fft", Scheduler: "quark", NT: 2, NB: 4, Workers: 1}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

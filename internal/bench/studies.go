@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"supersim/internal/core"
+	"supersim/internal/kernels"
+	"supersim/internal/perfmodel"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/workload"
+)
+
+// This file holds the forward-looking studies the simulator enables once
+// calibrated — the paper's autotuning motivation made concrete: comparing
+// scheduling policies on arbitrary workloads and predicting strong
+// scaling across core counts, all in simulation.
+
+// ----------------------------------------------------- policy comparison
+
+// PolicyPoint is the simulated outcome of one StarPU scheduling policy on
+// one workload.
+type PolicyPoint struct {
+	Policy   string
+	Workload string
+	Makespan float64
+	// Efficiency is busy/(workers*makespan): the lane packing quality.
+	Efficiency float64
+	Steals     int
+}
+
+// synthModel adapts a SynthWorkload's per-class weights to a DurationModel.
+type synthModel map[string]float64
+
+func (m synthModel) Duration(class string, _ sched.WorkerKind, _ *rng.Source) float64 {
+	return m[class]
+}
+
+// PolicyStudy simulates one synthetic workload under every StarPU
+// scheduling policy with the same constant duration model, isolating the
+// effect of the scheduling decisions themselves — exactly the kind of
+// study the paper's simulator exists to make cheap.
+func PolicyStudy(w workload.SynthWorkload, workers int) ([]PolicyPoint, error) {
+	model := synthModel(w.Model())
+	var out []PolicyPoint
+	for _, policy := range []string{starpu.PolicyEager, starpu.PolicyPrio, starpu.PolicyWS, starpu.PolicyDM} {
+		var cost sched.CostModel
+		if policy == starpu.PolicyDM {
+			cost = func(class string, kind sched.WorkerKind) float64 {
+				return model.Duration(class, kind, nil)
+			}
+		}
+		s, err := starpu.New(starpu.Conf{NCPUs: workers, Policy: policy, CostModel: cost})
+		if err != nil {
+			return nil, err
+		}
+		sim := core.NewSimulator(s, "policy-"+policy)
+		tk := core.NewTasker(sim, model, 11)
+		for i, task := range w.Tasks {
+			if err := s.TaskSubmit(&starpu.Codelet{
+				Name: task.Class,
+				CPU:  tk.SimTask(task.Class),
+			}, task.Args,
+				starpu.WithPriority(task.Priority),
+				starpu.WithLabel(fmt.Sprintf("%s#%d", task.Class, i))); err != nil {
+				return nil, err
+			}
+		}
+		s.Barrier()
+		stats := s.Stats()
+		s.Shutdown()
+		tr := sim.Trace()
+		if v := tr.Validate(); len(v) != 0 {
+			return nil, fmt.Errorf("bench: policy %s produced %d trace violations", policy, len(v))
+		}
+		out = append(out, PolicyPoint{
+			Policy:     policy,
+			Workload:   w.Name,
+			Makespan:   tr.Makespan(),
+			Efficiency: tr.Efficiency(),
+			Steals:     stats.Steals,
+		})
+	}
+	return out, nil
+}
+
+// WritePolicyStudy renders a policy comparison table.
+func WritePolicyStudy(w io.Writer, points []PolicyPoint) error {
+	if len(points) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "workload %s:\n%-8s %12s %12s %8s\n",
+		points[0].Workload, "policy", "makespan(s)", "efficiency", "steals"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8s %12.4f %12.3f %8d\n", p.Policy, p.Makespan, p.Efficiency, p.Steals)
+	}
+	return nil
+}
+
+// --------------------------------------------------------- strong scaling
+
+// ScalingPoint is one core count of a simulated strong-scaling study.
+type ScalingPoint struct {
+	Workers  int
+	Makespan float64
+	GFlops   float64
+	Speedup  float64 // vs. the 1-worker simulation
+	// RealMakespan/RealGF are filled for the core counts that were also
+	// measured for validation (0 otherwise).
+	RealMakespan float64
+	RealGF       float64
+	ErrPct       float64
+}
+
+// ScalingStudy predicts strong scaling of a factorization across worker
+// counts from one calibration (the paper's autotuning promise: explore
+// configurations in simulation, validate a few for real). Core counts
+// 1..maxWorkers are simulated; the counts listed in validate are also run
+// measured and compared.
+func ScalingStudy(spec Spec, maxWorkers int, validate []int) ([]ScalingPoint, error) {
+	calib := spec
+	if calib.Workers < 2 {
+		calib.Workers = 2
+	}
+	model, _, err := Calibrate(calib)
+	if err != nil {
+		return nil, err
+	}
+	return scalingWithModel(spec, maxWorkers, validate, model)
+}
+
+func scalingWithModel(spec Spec, maxWorkers int, validate []int, model *perfmodel.Model) ([]ScalingPoint, error) {
+	validateSet := make(map[int]bool, len(validate))
+	for _, v := range validate {
+		validateSet[v] = true
+	}
+	flops := kernels.AlgorithmFlops(spec.Algorithm, spec.N())
+	var out []ScalingPoint
+	var base float64
+	for workers := 1; workers <= maxWorkers; workers++ {
+		s := spec
+		s.Workers = workers
+		sim, err := Simulated(s, model)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalingPoint{
+			Workers:  workers,
+			Makespan: sim.Makespan,
+			GFlops:   flops / sim.Makespan / 1e9,
+		}
+		if workers == 1 {
+			base = sim.Makespan
+		}
+		if base > 0 && sim.Makespan > 0 {
+			pt.Speedup = base / sim.Makespan
+		}
+		if validateSet[workers] {
+			real, _, err := Measured(s)
+			if err != nil {
+				return nil, err
+			}
+			pt.RealMakespan = real.Makespan
+			pt.RealGF = real.GFlops
+			pt.ErrPct = ErrPct(sim.Makespan, real.Makespan)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteScalingStudy renders the strong-scaling table.
+func WriteScalingStudy(w io.Writer, spec Spec, points []ScalingPoint) error {
+	if _, err := fmt.Fprintf(w, "strong scaling, %s on %s, N=%d (nb=%d):\n",
+		spec.Algorithm, spec.Scheduler, spec.N(), spec.NB); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %12s %10s %9s %14s %8s\n",
+		"workers", "sim ms(s)", "sim GF/s", "speedup", "real ms(s)", "err %")
+	for _, p := range points {
+		real := "-"
+		errs := "-"
+		if p.RealMakespan > 0 {
+			real = fmt.Sprintf("%.4f", p.RealMakespan)
+			errs = fmt.Sprintf("%.2f", p.ErrPct)
+		}
+		fmt.Fprintf(w, "%8d %12.4f %10.3f %9.2f %14s %8s\n",
+			p.Workers, p.Makespan, p.GFlops, p.Speedup, real, errs)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"supersim/internal/workload"
+)
+
+func TestPolicyStudyRunsAllPolicies(t *testing.T) {
+	w := workload.Chains(8, 5, 0.01)
+	points, err := PolicyStudy(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d policies, want 4", len(points))
+	}
+	// 8 chains of 5 x 10ms on 4 workers: the ideal makespan is 0.1s
+	// (two chains per worker); every policy must land exactly there for
+	// this embarrassingly-balanced workload.
+	for _, p := range points {
+		if math.Abs(p.Makespan-0.1) > 1e-9 {
+			t.Errorf("%s: makespan %g, want 0.1", p.Policy, p.Makespan)
+		}
+		if p.Efficiency < 0.99 {
+			t.Errorf("%s: efficiency %g", p.Policy, p.Efficiency)
+		}
+	}
+	var sb strings.Builder
+	if err := WritePolicyStudy(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "eager") {
+		t.Error("study table missing policies")
+	}
+}
+
+func TestPolicyStudyForkJoin(t *testing.T) {
+	// 3 rounds of fork(6)+join on 3 workers with 10ms tasks: per round
+	// ceil(6/3)*0.01 + 0.0025 = 0.0225; total 0.0675 for every policy
+	// that keeps the workers busy.
+	w := workload.ForkJoin(3, 6, 0.01)
+	points, err := PolicyStudy(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if math.Abs(p.Makespan-0.0675) > 1e-9 {
+			t.Errorf("%s: makespan %g, want 0.0675", p.Policy, p.Makespan)
+		}
+	}
+}
+
+func TestPolicyStudyRandomDAGValid(t *testing.T) {
+	w := workload.RandomLayeredDAG(6, 8, 3, 0.005, 42)
+	points, err := PolicyStudy(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Makespan <= 0 {
+			t.Errorf("%s: degenerate makespan", p.Policy)
+		}
+	}
+}
+
+func TestScalingStudyShape(t *testing.T) {
+	spec := Spec{Algorithm: "cholesky", Scheduler: "quark", NT: 6, NB: 24, Seed: 5, Workers: 2}
+	points, err := ScalingStudy(spec, 6, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6", len(points))
+	}
+	if points[0].Speedup != 1 {
+		t.Errorf("1-worker speedup %g", points[0].Speedup)
+	}
+	// Speedup must be monotone non-decreasing-ish and bounded by workers.
+	for _, p := range points {
+		if p.Speedup > float64(p.Workers)+0.01 {
+			t.Errorf("superlinear speedup %g on %d workers", p.Speedup, p.Workers)
+		}
+	}
+	if points[5].Speedup <= points[0].Speedup {
+		t.Error("no scaling at all")
+	}
+	// Validated points carry measured numbers.
+	if points[0].RealMakespan <= 0 || points[3].RealMakespan <= 0 {
+		t.Error("validation points not measured")
+	}
+	if points[1].RealMakespan != 0 {
+		t.Error("non-validation point was measured")
+	}
+	var sb strings.Builder
+	if err := WriteScalingStudy(&sb, spec, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "strong scaling") {
+		t.Error("scaling table header missing")
+	}
+}
+
+func TestSyntheticWorkloadShapes(t *testing.T) {
+	if n := len(workload.Chains(3, 4, 1).Tasks); n != 12 {
+		t.Errorf("chains: %d tasks", n)
+	}
+	if n := len(workload.ForkJoin(2, 5, 1).Tasks); n != 12 {
+		t.Errorf("forkjoin: %d tasks", n)
+	}
+	if n := len(workload.Stencil(2, 6, 1).Tasks); n != 12 {
+		t.Errorf("stencil: %d tasks", n)
+	}
+	w := workload.RandomLayeredDAG(3, 4, 2, 1, 1)
+	if n := len(w.Tasks); n != 12 {
+		t.Errorf("random: %d tasks", n)
+	}
+	// Model covers every class.
+	m := w.Model()
+	for _, task := range w.Tasks {
+		if m[task.Class] <= 0 {
+			t.Errorf("class %s missing from model", task.Class)
+		}
+	}
+	// Determinism.
+	w2 := workload.RandomLayeredDAG(3, 4, 2, 1, 1)
+	for i := range w.Tasks {
+		if w.Tasks[i].Weight != w2.Tasks[i].Weight {
+			t.Fatal("random DAG not deterministic for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"supersim/internal/sched"
+	"supersim/internal/sched/quark"
+)
+
+// Micro-benchmarks of the simulation library: the per-task cost of the
+// Task Execution Queue protocol is the overhead floor of every simulated
+// run (the paper's claim that the simulation's speed is limited only by
+// the scheduler).
+
+func benchmarkSimulatedChurn(b *testing.B, workers int, policy WaitPolicy) {
+	b.Helper()
+	rt := quark.New(workers)
+	sim := NewSimulator(rt, "bench", WithWaitPolicy(policy))
+	tk := NewTasker(sim, FixedModel(1e-4), 1)
+	f := tk.SimTask("K")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Insert(&sched.Task{Class: "K", Label: "K", Func: f})
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}
+
+func BenchmarkSimTaskQuiescence1Worker(b *testing.B) {
+	benchmarkSimulatedChurn(b, 1, WaitQuiescence)
+}
+
+func BenchmarkSimTaskQuiescence8Workers(b *testing.B) {
+	benchmarkSimulatedChurn(b, 8, WaitQuiescence)
+}
+
+func BenchmarkSimTaskSleepYield4Workers(b *testing.B) {
+	benchmarkSimulatedChurn(b, 4, WaitSleepYield)
+}
+
+func BenchmarkSimTaskNoMitigation4Workers(b *testing.B) {
+	benchmarkSimulatedChurn(b, 4, WaitNone)
+}
+
+func BenchmarkSimulatedDependentChain(b *testing.B) {
+	rt := quark.New(4)
+	sim := NewSimulator(rt, "bench")
+	tk := NewTasker(sim, FixedModel(1e-4), 1)
+	f := tk.SimTask("K")
+	h := new(int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Insert(&sched.Task{Class: "K", Label: "K", Func: f,
+			Args: []sched.Arg{sched.RW(h)}})
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}

@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution (Section V):
+// a discrete-event simulation library for superscalar schedulers.
+//
+// The three crucial elements of the simulation are all here:
+//
+//  1. the simulation clock, a float64 of micro-second-scale resolution
+//     tracking virtual time;
+//  2. the simulated execution trace; and
+//  3. the Task Execution Queue, a priority queue keyed by simulated
+//     completion time that forces tasks to return to the scheduler in
+//     virtual-time order, so the scheduler's dependence resolution remains
+//     consistent with the simulated timeline.
+//
+// To simulate an algorithm the programmer replaces each computational
+// kernel with a call to Execute (usually via the SimTask or MeasuredTask
+// adapters); the real scheduler continues to perform all dependence
+// tracking and scheduling decisions, while the tasks no longer perform
+// useful work. The package is scheduler-agnostic: it needs only the
+// sched.Runtime contract, and in particular the Quiescent query for the
+// Fig. 5 race fix (WaitQuiescence), with the portable sleep/yield fix
+// (WaitSleepYield) available for runtimes without such a query.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"supersim/internal/pq"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// WaitPolicy selects how a task at the front of the Task Execution Queue
+// protects against the scheduling race condition of Section V-E.
+type WaitPolicy int
+
+const (
+	// WaitQuiescence queries the scheduler's bookkeeping state (the
+	// function the paper added to QUARK) and completes only once no task
+	// is between the ready queue and its simulation-queue entry. Exact
+	// but requires runtime support.
+	WaitQuiescence WaitPolicy = iota
+	// WaitSleepYield yields and sleeps briefly before completing,
+	// giving the scheduler time to finish its bookkeeping. Portable
+	// across all schedulers, probabilistic.
+	WaitSleepYield
+	// WaitNone applies no mitigation; the Fig. 5 race is observable.
+	// Used by the race-condition experiment.
+	WaitNone
+)
+
+// String names the policy.
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitQuiescence:
+		return "quiescence"
+	case WaitSleepYield:
+		return "sleep-yield"
+	case WaitNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// sleepQuantum is the "fraction of a second" the portable fix sleeps.
+const sleepQuantum = 50 * time.Microsecond
+
+// queueEntry is one in-flight simulated task in the Task Execution Queue.
+type queueEntry struct {
+	end float64
+	seq uint64
+}
+
+func entryLess(a, b queueEntry) bool {
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.seq < b.seq
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithWaitPolicy selects the race-condition mitigation (default
+// WaitQuiescence).
+func WithWaitPolicy(p WaitPolicy) Option {
+	return func(s *Simulator) { s.policy = p }
+}
+
+// WithoutQueue disables the Task Execution Queue entirely: tasks record
+// their trace event and return immediately. This reproduces the naive
+// approach the paper rejects in Section V ("it is very likely that the
+// task dependences will be satisfied in a different order than the
+// original") and exists for the ablation experiments.
+func WithoutQueue() Option {
+	return func(s *Simulator) { s.disableQueue = true }
+}
+
+// WithSampleHook installs a callback invoked for every executed task with
+// its class, worker and virtual duration. The perfmodel collector uses it
+// to gather calibration samples during measured runs.
+func WithSampleHook(hook func(class string, worker int, duration float64)) Option {
+	return func(s *Simulator) { s.onSample = hook }
+}
+
+// Simulator is one simulation instance: a virtual clock, a Task Execution
+// Queue and a trace. Create one per algorithm run (the paper's "few lines
+// of initialization ... before and after the execution").
+type Simulator struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	clock        float64
+	queue        *pq.Heap[queueEntry]
+	seq          uint64
+	trace        *trace.Trace
+	policy       WaitPolicy
+	disableQueue bool
+	onSample     func(class string, worker int, duration float64)
+
+	maxInFlight int // high-water mark of the queue (diagnostics)
+}
+
+// NewSimulator creates a simulator producing a trace with the given label
+// over the runtime's workers.
+func NewSimulator(rt sched.Runtime, label string, opts ...Option) *Simulator {
+	s := &Simulator{
+		queue:  pq.New(entryLess),
+		trace:  trace.New(label, rt.NumWorkers()),
+		policy: WaitQuiescence,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Execute simulates one kernel execution of the given class and virtual
+// duration from inside a scheduler task function. It performs the protocol
+// of Section V-D:
+//
+//  1. read the simulation clock to obtain the virtual start time;
+//  2. enter the Task Execution Queue with completion time start+duration;
+//  3. notify the scheduler that launch bookkeeping for this task is done;
+//  4. wait until this task is at the front of the queue (and, per the wait
+//     policy, until the scheduler is quiescent);
+//  5. log the trace event, advance the clock to the completion time, and
+//     return, letting the scheduler release dependent tasks.
+func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
+	if duration < 0 {
+		duration = 0
+	}
+	s.mu.Lock()
+	start := s.clock
+	end := start + duration
+	me := queueEntry{end: end, seq: s.seq}
+	s.seq++
+	if !s.disableQueue {
+		s.queue.Push(me)
+		if l := s.queue.Len(); l > s.maxInFlight {
+			s.maxInFlight = l
+		}
+	}
+	s.mu.Unlock()
+
+	// The task is now accounted for in virtual time: scheduler-side
+	// launch bookkeeping is complete.
+	ctx.Launched()
+
+	s.mu.Lock()
+	if s.disableQueue {
+		if end > s.clock {
+			s.clock = end
+		}
+		s.record(ctx, class, start, end)
+		s.mu.Unlock()
+		ctx.Completing()
+		return
+	}
+	spins := 0
+	for {
+		front, _ := s.queue.Peek()
+		if front.seq != me.seq {
+			s.cond.Wait()
+			continue
+		}
+		// At the front: apply the race mitigation before completing.
+		if s.policy == WaitQuiescence && !ctx.Runtime.Quiescent() {
+			// Release the queue lock so launching tasks can insert
+			// themselves, then re-check front status: a newly
+			// inserted task may have an earlier completion time.
+			s.mu.Unlock()
+			spins++
+			if spins > 64 {
+				time.Sleep(sleepQuantum)
+			} else {
+				runtime.Gosched()
+			}
+			s.mu.Lock()
+			continue
+		}
+		if s.policy == WaitSleepYield {
+			s.mu.Unlock()
+			runtime.Gosched()
+			time.Sleep(sleepQuantum)
+			s.mu.Lock()
+			// The sleep may have allowed an earlier-completing task
+			// into the queue; re-check the front.
+			if front, _ = s.queue.Peek(); front.seq != me.seq {
+				continue
+			}
+		}
+		break
+	}
+	s.queue.Pop()
+	if end > s.clock {
+		s.clock = end
+	}
+	s.record(ctx, class, start, end)
+	// Mark the completion window before releasing the queue lock: from
+	// here until the scheduler has pushed this task's successors, the
+	// runtime reports non-quiescent, so no other queued task can advance
+	// the clock past the successors' correct start time.
+	ctx.Completing()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// record appends the trace event. Caller holds s.mu.
+func (s *Simulator) record(ctx *sched.Ctx, class string, start, end float64) {
+	s.trace.Append(trace.Event{
+		Worker: ctx.Worker,
+		Class:  class,
+		Label:  ctx.Task.Label,
+		TaskID: ctx.Task.ID(),
+		Start:  start,
+		End:    end,
+	})
+	if s.onSample != nil {
+		s.onSample(class, ctx.Worker, end-start)
+	}
+}
+
+// Now returns the current simulation clock.
+func (s *Simulator) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Trace returns the simulated execution trace. Call after the scheduler
+// barrier; the trace must not be read while tasks are executing.
+func (s *Simulator) Trace() *trace.Trace { return s.trace }
+
+// MaxInFlight returns the high-water mark of concurrently executing
+// simulated tasks (bounded by the worker count).
+func (s *Simulator) MaxInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxInFlight
+}

@@ -1,0 +1,429 @@
+// Package dist implements the probability distributions the paper uses to
+// model per-kernel execution times (Section V-B): Normal, Gamma and
+// LogNormal, plus Constant and Uniform baselines the paper mentions as
+// inferior alternatives, and Exponential and Shifted as utility models.
+//
+// Every distribution supports density, CDF, moments and sampling from a
+// deterministic rng.Source, and has a maximum-likelihood Fit function so
+// the perfmodel package can calibrate models from measured kernel timings.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"supersim/internal/rng"
+)
+
+// Distribution is a univariate probability distribution over task durations.
+type Distribution interface {
+	// Name identifies the distribution family ("normal", "gamma", ...).
+	Name() string
+	// Mean returns the expected value.
+	Mean() float64
+	// Var returns the variance.
+	Var() float64
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Sample draws one variate using src.
+	Sample(src *rng.Source) float64
+	// NumParams returns the number of free parameters (for AIC).
+	NumParams() int
+	// String renders the distribution with its parameters.
+	String() string
+}
+
+// ---------------------------------------------------------------- Constant
+
+// Constant is a degenerate distribution: every sample equals Value.
+// It models the naive "each kernel takes its average time" assumption the
+// paper argues is insufficient.
+type Constant struct {
+	Value float64
+}
+
+func (c Constant) Name() string  { return "constant" }
+func (c Constant) Mean() float64 { return c.Value }
+func (c Constant) Var() float64  { return 0 }
+func (c Constant) PDF(x float64) float64 {
+	if x == c.Value {
+		return math.Inf(1)
+	}
+	return 0
+}
+func (c Constant) CDF(x float64) float64 {
+	if x < c.Value {
+		return 0
+	}
+	return 1
+}
+func (c Constant) Sample(*rng.Source) float64 { return c.Value }
+func (c Constant) NumParams() int             { return 1 }
+func (c Constant) String() string             { return fmt.Sprintf("Constant(%.6g)", c.Value) }
+
+// FitConstant fits a Constant to the sample mean.
+func FitConstant(xs []float64) (Constant, error) {
+	if len(xs) == 0 {
+		return Constant{}, errEmpty("constant")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Constant{Value: sum / float64(len(xs))}, nil
+}
+
+// ----------------------------------------------------------------- Uniform
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+func (u Uniform) Name() string  { return "uniform" }
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+func (u Uniform) Var() float64  { d := u.Hi - u.Lo; return d * d / 12 }
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi || u.Hi <= u.Lo {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+func (u Uniform) Sample(src *rng.Source) float64 {
+	return u.Lo + src.Float64()*(u.Hi-u.Lo)
+}
+func (u Uniform) NumParams() int { return 2 }
+func (u Uniform) String() string { return fmt.Sprintf("Uniform(%.6g,%.6g)", u.Lo, u.Hi) }
+
+// FitUniform fits a Uniform to the sample range.
+func FitUniform(xs []float64) (Uniform, error) {
+	if len(xs) == 0 {
+		return Uniform{}, errEmpty("uniform")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + math.Max(1e-12, math.Abs(lo)*1e-9)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// ------------------------------------------------------------------ Normal
+
+// Normal is the Gaussian distribution N(Mu, Sigma^2).
+type Normal struct {
+	Mu, Sigma float64
+}
+
+func (n Normal) Name() string  { return "normal" }
+func (n Normal) Mean() float64 { return n.Mu }
+func (n Normal) Var() float64  { return n.Sigma * n.Sigma }
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return 0
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return NormalCDF((x - n.Mu) / n.Sigma)
+}
+func (n Normal) Sample(src *rng.Source) float64 {
+	return n.Mu + n.Sigma*src.NormFloat64()
+}
+func (n Normal) NumParams() int { return 2 }
+func (n Normal) String() string { return fmt.Sprintf("Normal(mu=%.6g, sigma=%.6g)", n.Mu, n.Sigma) }
+
+// FitNormal fits by maximum likelihood (sample mean, MLE sigma).
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) < 2 {
+		return Normal{}, fmt.Errorf("dist: FitNormal needs >= 2 samples, got %d", len(xs))
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mu := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(xs)))
+	if sigma == 0 {
+		sigma = math.Max(1e-15, math.Abs(mu)*1e-12)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// --------------------------------------------------------------- LogNormal
+
+// LogNormal is the distribution of exp(N(Mu, Sigma^2)); strictly positive
+// and right-skewed, which the paper found fits some kernel classes best.
+type LogNormal struct {
+	Mu, Sigma float64 // parameters of the underlying normal
+}
+
+func (l LogNormal) Name() string { return "lognormal" }
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 || l.Sigma <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-0.5*z*z) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+func (l LogNormal) Sample(src *rng.Source) float64 {
+	return math.Exp(l.Mu + l.Sigma*src.NormFloat64())
+}
+func (l LogNormal) NumParams() int { return 2 }
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%.6g, sigma=%.6g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal fits by maximum likelihood on log-transformed data.
+// All samples must be strictly positive.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) < 2 {
+		return LogNormal{}, fmt.Errorf("dist: FitLogNormal needs >= 2 samples, got %d", len(xs))
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, fmt.Errorf("dist: FitLogNormal requires positive samples, got %g", x)
+		}
+		logs[i] = math.Log(x)
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	return LogNormal{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// ------------------------------------------------------------------- Gamma
+
+// Gamma is the Gamma distribution with shape Shape (k) and rate Rate
+// (lambda = 1/scale): pdf(x) = Rate^Shape x^(Shape-1) e^(-Rate x)/Gamma(Shape).
+type Gamma struct {
+	Shape, Rate float64
+}
+
+func (g Gamma) Name() string  { return "gamma" }
+func (g Gamma) Mean() float64 { return g.Shape / g.Rate }
+func (g Gamma) Var() float64  { return g.Shape / (g.Rate * g.Rate) }
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 || g.Shape <= 0 || g.Rate <= 0 {
+		return 0
+	}
+	if x == 0 {
+		if g.Shape < 1 {
+			return math.Inf(1)
+		}
+		if g.Shape == 1 {
+			return g.Rate
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(g.Shape)
+	return math.Exp(g.Shape*math.Log(g.Rate) + (g.Shape-1)*math.Log(x) - g.Rate*x - lg)
+}
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaIncP(g.Shape, g.Rate*x)
+}
+
+// Sample draws from Gamma using the Marsaglia-Tsang squeeze method,
+// with the shape<1 boost G(a) = G(a+1) * U^(1/a).
+func (g Gamma) Sample(src *rng.Source) float64 {
+	shape := g.Shape
+	boost := 1.0
+	if shape < 1 {
+		boost = math.Pow(src.Float64Open(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = src.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := src.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.Rate
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v / g.Rate
+		}
+	}
+}
+func (g Gamma) NumParams() int { return 2 }
+func (g Gamma) String() string {
+	return fmt.Sprintf("Gamma(shape=%.6g, rate=%.6g)", g.Shape, g.Rate)
+}
+
+// FitGamma fits by maximum likelihood. The shape MLE solves
+// log(k) - digamma(k) = log(mean) - mean(log x); we start from the
+// Minka closed-form approximation and refine with Newton iterations.
+// All samples must be strictly positive.
+func FitGamma(xs []float64) (Gamma, error) {
+	if len(xs) < 2 {
+		return Gamma{}, fmt.Errorf("dist: FitGamma needs >= 2 samples, got %d", len(xs))
+	}
+	var sum, sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			return Gamma{}, fmt.Errorf("dist: FitGamma requires positive samples, got %g", x)
+		}
+		sum += x
+		sumLog += math.Log(x)
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	meanLog := sumLog / n
+	s := math.Log(mean) - meanLog
+	if s <= 0 {
+		// Degenerate (all samples equal): arbitrarily large shape.
+		s = 1e-9
+	}
+	// Minka's initial approximation.
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	if k <= 0 || math.IsNaN(k) {
+		k = 1
+	}
+	for i := 0; i < 100; i++ {
+		f := math.Log(k) - Digamma(k) - s
+		fp := 1/k - Trigamma(k)
+		step := f / fp
+		next := k - step
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	return Gamma{Shape: k, Rate: k / mean}, nil
+}
+
+// ------------------------------------------------------------- Exponential
+
+// Exponential has rate Rate (mean 1/Rate). Used for synthetic workloads
+// and scheduler stress tests.
+type Exponential struct {
+	Rate float64
+}
+
+func (e Exponential) Name() string  { return "exponential" }
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+func (e Exponential) Var() float64  { return 1 / (e.Rate * e.Rate) }
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 || e.Rate <= 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+func (e Exponential) Sample(src *rng.Source) float64 {
+	return src.ExpFloat64() / e.Rate
+}
+func (e Exponential) NumParams() int { return 1 }
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(rate=%.6g)", e.Rate) }
+
+// FitExponential fits by maximum likelihood (rate = 1/mean).
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, errEmpty("exponential")
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return Exponential{}, fmt.Errorf("dist: FitExponential requires non-negative samples, got %g", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return Exponential{}, fmt.Errorf("dist: FitExponential with zero mean")
+	}
+	return Exponential{Rate: 1 / mean}, nil
+}
+
+// ----------------------------------------------------------------- Shifted
+
+// Shifted translates a base distribution by Offset. It models a fixed
+// overhead (for example the per-worker start-up penalty of Section VII)
+// plus a stochastic part.
+type Shifted struct {
+	Base   Distribution
+	Offset float64
+}
+
+func (s Shifted) Name() string          { return "shifted-" + s.Base.Name() }
+func (s Shifted) Mean() float64         { return s.Base.Mean() + s.Offset }
+func (s Shifted) Var() float64          { return s.Base.Var() }
+func (s Shifted) PDF(x float64) float64 { return s.Base.PDF(x - s.Offset) }
+func (s Shifted) CDF(x float64) float64 { return s.Base.CDF(x - s.Offset) }
+func (s Shifted) Sample(src *rng.Source) float64 {
+	return s.Base.Sample(src) + s.Offset
+}
+func (s Shifted) NumParams() int { return s.Base.NumParams() + 1 }
+func (s Shifted) String() string {
+	return fmt.Sprintf("Shifted(%v, offset=%.6g)", s.Base, s.Offset)
+}
+
+func errEmpty(name string) error {
+	return fmt.Errorf("dist: Fit%s of empty sample", name)
+}

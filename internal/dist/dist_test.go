@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"supersim/internal/rng"
+)
+
+// sampleMoments draws n variates and returns their mean and variance.
+func sampleMoments(d Distribution, n int, seed uint64) (mean, variance float64) {
+	src := rng.New(seed)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(src)
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return
+}
+
+var testDistributions = []Distribution{
+	Normal{Mu: 3, Sigma: 0.5},
+	LogNormal{Mu: -1, Sigma: 0.4},
+	Gamma{Shape: 4, Rate: 8},
+	Gamma{Shape: 0.7, Rate: 2}, // shape < 1 exercises the boost path
+	Uniform{Lo: 2, Hi: 5},
+	Exponential{Rate: 3},
+	Shifted{Base: Exponential{Rate: 5}, Offset: 1},
+}
+
+func TestSampleMomentsMatchAnalytic(t *testing.T) {
+	for _, d := range testDistributions {
+		mean, variance := sampleMoments(d, 400000, 42)
+		if tol := 0.02 * math.Max(1, math.Abs(d.Mean())); math.Abs(mean-d.Mean()) > tol {
+			t.Errorf("%v: sample mean %g vs analytic %g", d, mean, d.Mean())
+		}
+		if tol := 0.05 * math.Max(0.01, d.Var()); math.Abs(variance-d.Var()) > tol {
+			t.Errorf("%v: sample var %g vs analytic %g", d, variance, d.Var())
+		}
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range testDistributions {
+		lo := d.Mean() - 6*math.Sqrt(d.Var()+1e-9)
+		hi := d.Mean() + 6*math.Sqrt(d.Var()+1e-9)
+		prev := -1.0
+		for i := 0; i <= 200; i++ {
+			x := lo + (hi-lo)*float64(i)/200
+			c := d.CDF(x)
+			if c < -1e-12 || c > 1+1e-12 {
+				t.Fatalf("%v: CDF(%g) = %g out of [0,1]", d, x, c)
+			}
+			if c < prev-1e-12 {
+				t.Fatalf("%v: CDF not monotone at %g", d, x)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Numeric integral of the PDF over a wide interval must approximate
+	// the CDF difference.
+	for _, d := range testDistributions {
+		std := math.Sqrt(d.Var())
+		lo, hi := d.Mean()-5*std, d.Mean()+5*std
+		const steps = 20000
+		h := (hi - lo) / steps
+		var integral float64
+		for i := 0; i < steps; i++ {
+			x := lo + (float64(i)+0.5)*h
+			integral += d.PDF(x) * h
+		}
+		want := d.CDF(hi) - d.CDF(lo)
+		if math.Abs(integral-want) > 0.01 {
+			t.Errorf("%v: integral(pdf) = %g, CDF diff = %g", d, integral, want)
+		}
+	}
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	truth := Normal{Mu: 2.5, Sigma: 0.3}
+	src := rng.New(7)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = truth.Sample(src)
+	}
+	got, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.01 || math.Abs(got.Sigma-truth.Sigma) > 0.01 {
+		t.Errorf("fit %v, want %v", got, truth)
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	truth := LogNormal{Mu: -0.5, Sigma: 0.25}
+	src := rng.New(8)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = truth.Sample(src)
+	}
+	got, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.01 || math.Abs(got.Sigma-truth.Sigma) > 0.01 {
+		t.Errorf("fit %v, want %v", got, truth)
+	}
+}
+
+func TestFitGammaRecoversParameters(t *testing.T) {
+	for _, truth := range []Gamma{{Shape: 4, Rate: 8}, {Shape: 0.8, Rate: 1.5}, {Shape: 50, Rate: 100}} {
+		src := rng.New(9)
+		xs := make([]float64, 60000)
+		for i := range xs {
+			xs[i] = truth.Sample(src)
+		}
+		got, err := FitGamma(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Shape-truth.Shape) > 0.05*truth.Shape {
+			t.Errorf("fit shape %g, want %g", got.Shape, truth.Shape)
+		}
+		if math.Abs(got.Rate-truth.Rate) > 0.05*truth.Rate {
+			t.Errorf("fit rate %g, want %g", got.Rate, truth.Rate)
+		}
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	truth := Exponential{Rate: 4}
+	src := rng.New(10)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = truth.Sample(src)
+	}
+	got, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Rate-4) > 0.1 {
+		t.Errorf("fit rate %g, want 4", got.Rate)
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1, -2, 3}); err == nil {
+		t.Error("FitLogNormal accepted negative samples")
+	}
+	if _, err := FitGamma([]float64{1, 0, 3}); err == nil {
+		t.Error("FitGamma accepted zero samples")
+	}
+	if _, err := FitNormal([]float64{1}); err == nil {
+		t.Error("FitNormal accepted a single sample")
+	}
+	if _, err := FitConstant(nil); err == nil {
+		t.Error("FitConstant accepted empty sample")
+	}
+	if _, err := FitUniform(nil); err == nil {
+		t.Error("FitUniform accepted empty sample")
+	}
+	if _, err := FitExponential([]float64{-1}); err == nil {
+		t.Error("FitExponential accepted negative sample")
+	}
+}
+
+func TestConstantDistribution(t *testing.T) {
+	c := Constant{Value: 2}
+	if c.Mean() != 2 || c.Var() != 0 {
+		t.Error("constant moments wrong")
+	}
+	if c.CDF(1.9) != 0 || c.CDF(2) != 1 {
+		t.Error("constant CDF wrong")
+	}
+	if c.Sample(rng.New(1)) != 2 {
+		t.Error("constant sample wrong")
+	}
+}
+
+func TestFitAllRanksBestFamilyFirst(t *testing.T) {
+	// Data drawn from a clearly skewed log-normal: the log-normal fit
+	// must beat the normal on likelihood.
+	truth := LogNormal{Mu: 0, Sigma: 0.8}
+	src := rng.New(11)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = truth.Sample(src)
+	}
+	results, err := FitAll(xs, PaperFamilies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	if results[0].Dist.Name() == "normal" {
+		t.Errorf("normal ranked first on strongly skewed data (AICs: %v %v %v)",
+			results[0].AIC, results[1].AIC, results[2].AIC)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].AIC < results[i-1].AIC {
+			t.Error("results not sorted by AIC")
+		}
+	}
+}
+
+func TestFitAllSkipsInapplicableFamilies(t *testing.T) {
+	// Data with negative values: lognormal/gamma cannot fit, normal can.
+	xs := []float64{-1, 0.5, 1.2, -0.3, 0.8, 1.5}
+	results, err := FitAll(xs, PaperFamilies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Dist.Name() == "gamma" || r.Dist.Name() == "lognormal" {
+			t.Errorf("%s fitted to negative data", r.Dist.Name())
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	src := rng.New(12)
+	truth := Gamma{Shape: 3, Rate: 5}
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = truth.Sample(src)
+	}
+	d, err := Best(xs, PaperFamilies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-truth.Mean()) > 0.05 {
+		t.Errorf("best model mean %g, want %g", d.Mean(), truth.Mean())
+	}
+}
+
+func TestFitUnknownFamily(t *testing.T) {
+	if _, err := Fit(Family("weibull"), []float64{1, 2}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

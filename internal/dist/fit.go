@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"supersim/internal/stats"
+)
+
+// FitResult describes one candidate distribution fitted to a sample,
+// together with its goodness-of-fit measures.
+type FitResult struct {
+	Dist          Distribution
+	LogLikelihood float64
+	AIC           float64
+	KS            float64 // Kolmogorov-Smirnov statistic
+}
+
+// Family identifies a fittable distribution family.
+type Family string
+
+const (
+	FamConstant    Family = "constant"
+	FamUniform     Family = "uniform"
+	FamNormal      Family = "normal"
+	FamLogNormal   Family = "lognormal"
+	FamGamma       Family = "gamma"
+	FamExponential Family = "exponential"
+)
+
+// PaperFamilies are the three families the paper fits to kernel timings
+// (Section V-B2, Figs. 3-4).
+var PaperFamilies = []Family{FamNormal, FamGamma, FamLogNormal}
+
+// AllFamilies includes the baselines the paper mentions as inferior
+// (constant, uniform) for ablation experiments.
+var AllFamilies = []Family{FamConstant, FamUniform, FamNormal, FamGamma, FamLogNormal, FamExponential}
+
+// Fit fits a single family to xs.
+func Fit(family Family, xs []float64) (Distribution, error) {
+	switch family {
+	case FamConstant:
+		return returnFit(FitConstant(xs))
+	case FamUniform:
+		return returnFit(FitUniform(xs))
+	case FamNormal:
+		return returnFit(FitNormal(xs))
+	case FamLogNormal:
+		return returnFit(FitLogNormal(xs))
+	case FamGamma:
+		return returnFit(FitGamma(xs))
+	case FamExponential:
+		return returnFit(FitExponential(xs))
+	default:
+		return nil, fmt.Errorf("dist: unknown family %q", family)
+	}
+}
+
+func returnFit[D Distribution](d D, err error) (Distribution, error) {
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// FitAll fits each requested family to xs and returns the results sorted by
+// ascending AIC (best model first). Families that fail to fit (for example
+// log-normal on non-positive data) are skipped silently; an error is
+// returned only if no family fits.
+func FitAll(xs []float64, families []Family) ([]FitResult, error) {
+	if len(families) == 0 {
+		families = PaperFamilies
+	}
+	var out []FitResult
+	for _, fam := range families {
+		d, err := Fit(fam, xs)
+		if err != nil {
+			continue
+		}
+		ll := stats.LogLikelihood(xs, d.PDF)
+		out = append(out, FitResult{
+			Dist:          d,
+			LogLikelihood: ll,
+			AIC:           stats.AIC(ll, d.NumParams()),
+			KS:            stats.KSStatistic(xs, d.CDF),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dist: no family could be fitted to the sample (n=%d)", len(xs))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AIC < out[j].AIC })
+	return out, nil
+}
+
+// Best fits the given families and returns the lowest-AIC model.
+func Best(xs []float64, families []Family) (Distribution, error) {
+	results, err := FitAll(xs, families)
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Dist, nil
+}

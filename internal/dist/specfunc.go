@@ -1,0 +1,194 @@
+package dist
+
+import "math"
+
+// This file implements the special functions needed by the Gamma
+// distribution (digamma, trigamma, regularized incomplete gamma) with
+// accuracy sufficient for model fitting (roughly 1e-12 relative error in
+// the parameter ranges that occur for kernel-timing data).
+
+// Digamma returns psi(x), the logarithmic derivative of the Gamma function.
+// Implemented via the recurrence psi(x) = psi(x+1) - 1/x to push x above 10,
+// then the asymptotic series.
+func Digamma(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	var result float64
+	// Reflection for negative arguments: psi(1-x) - psi(x) = pi*cot(pi*x).
+	if x <= 0 {
+		if x == math.Trunc(x) {
+			return math.NaN() // poles at non-positive integers
+		}
+		return Digamma(1-x) - math.Pi/math.Tan(math.Pi*x)
+	}
+	for x < 10 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion, x >= 10.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv
+	// Bernoulli-number series: 1/12, -1/120, 1/252, -1/240, 1/132, -691/32760.
+	result -= inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2*(1.0/132-inv2*691.0/32760)))))
+	return result
+}
+
+// Trigamma returns psi'(x), the derivative of the digamma function.
+func Trigamma(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	if x <= 0 {
+		if x == math.Trunc(x) {
+			return math.NaN()
+		}
+		// psi'(1-x) + psi'(x) = pi^2 / sin^2(pi*x)
+		s := math.Sin(math.Pi * x)
+		return math.Pi*math.Pi/(s*s) - Trigamma(1-x)
+	}
+	var result float64
+	for x < 10 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic: 1/x + 1/(2x^2) + sum B_{2n} / x^{2n+1}.
+	result += inv + 0.5*inv2
+	result += inv * inv2 * (1.0/6 - inv2*(1.0/30-inv2*(1.0/42-inv2*(1.0/30-inv2*5.0/66))))
+	return result
+}
+
+// GammaIncP returns the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a), for a > 0, x >= 0.
+// Uses the series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes style).
+func GammaIncP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// GammaIncQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaIncQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+const (
+	gammaEps     = 1e-15
+	gammaMaxIter = 500
+)
+
+// gammaSeries evaluates P(a,x) via its power series (converges for x < a+1).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) via the Lentz continued fraction
+// (converges for x >= a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// NormalCDF returns the standard normal CDF Phi(z).
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile function (inverse CDF)
+// using the Acklam rational approximation refined with one Halley step,
+// accurate to ~1e-15 over (0,1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gammaEuler = 0.5772156649015329
+	cases := []struct{ x, want float64 }{
+		{1, -gammaEuler},
+		{2, 1 - gammaEuler},
+		{0.5, -gammaEuler - 2*math.Ln2},
+		{10, 2.2517525890667212},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Digamma(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// psi(x+1) = psi(x) + 1/x for many x.
+	for x := 0.1; x < 20; x += 0.37 {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-11 {
+			t.Errorf("digamma recurrence violated at %g: %g vs %g", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaReflection(t *testing.T) {
+	// psi(1-x) - psi(x) = pi*cot(pi*x).
+	for _, x := range []float64{-0.3, -1.7, -4.2} {
+		lhs := Digamma(1-x) - Digamma(x)
+		rhs := math.Pi / math.Tan(math.Pi*x)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Errorf("digamma reflection violated at %g: %g vs %g", x, lhs, rhs)
+		}
+	}
+	if !math.IsNaN(Digamma(0)) || !math.IsNaN(Digamma(-3)) {
+		t.Error("digamma at non-positive integers should be NaN")
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		if got := Trigamma(c.x); math.Abs(got-c.want) > 1e-11 {
+			t.Errorf("Trigamma(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrigammaRecurrence(t *testing.T) {
+	for x := 0.2; x < 15; x += 0.41 {
+		lhs := Trigamma(x + 1)
+		rhs := Trigamma(x) - 1/(x*x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("trigamma recurrence violated at %g", x)
+		}
+	}
+}
+
+func TestGammaIncPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaIncP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P(a, inf) -> 1.
+	if GammaIncP(3, 0) != 0 {
+		t.Error("P(3,0) != 0")
+	}
+	if got := GammaIncP(3, 1000); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(3,1000) = %g", got)
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaIncP(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5,%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestGammaIncComplementarity(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 100} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 20, 150} {
+			p, q := GammaIncP(a, x), GammaIncQ(a, x)
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Errorf("P+Q != 1 at a=%g x=%g: %g", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestGammaIncInvalidInput(t *testing.T) {
+	if !math.IsNaN(GammaIncP(-1, 1)) || !math.IsNaN(GammaIncP(1, -1)) {
+		t.Error("invalid input should yield NaN")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{2.5, 0.9937903346742238},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Phi(%g) = %.15g, want %.15g", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.013 {
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); math.Abs(back-p) > 1e-12 {
+			t.Errorf("Phi(Phi^-1(%g)) = %g", p, back)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile endpoints should be infinite")
+	}
+}

@@ -1,0 +1,108 @@
+package factor
+
+import (
+	"testing"
+
+	"supersim/internal/core"
+	"supersim/internal/sched"
+	"supersim/internal/sched/ompss"
+	"supersim/internal/sched/quark"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/tile"
+	"supersim/internal/workload"
+)
+
+// Scheduled execution must be bit-identical to sequential execution: the
+// hazard analysis serializes every pair of tasks that touch the same tile
+// with a write, so the floating-point operation order per tile is fixed
+// regardless of which interleaving the scheduler picks. This is the
+// strongest possible check that the runtimes enforce exactly the
+// dependences the superscalar model promises.
+func TestScheduledExecutionBitIdenticalToSequential(t *testing.T) {
+	nt, nb := 5, 8
+	for _, alg := range []string{"cholesky", "qr", "lu"} {
+		// Sequential reference.
+		seqA, seqT := workload.ForAlgorithm(alg, nt, nb, 77)
+		ops, err := Stream(alg, seqA, seqT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSequential(ops); err != nil {
+			t.Fatalf("%s sequential: %v", alg, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			for _, rtName := range []string{"quark", "starpu", "ompss"} {
+				a, tm := workload.ForAlgorithm(alg, nt, nb, 77)
+				ops, err := Stream(alg, a, tm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sinkErr error
+				switch rtName {
+				case "quark":
+					q := quark.New(4)
+					sink := InsertReal(q, ops)
+					q.Shutdown()
+					sinkErr = sink.Err()
+				case "starpu":
+					s, err := starpu.New(starpu.Conf{NCPUs: 4, Policy: starpu.PolicyWS})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sink := InsertReal(s, ops)
+					s.Shutdown()
+					sinkErr = sink.Err()
+				case "ompss":
+					o := ompss.New(4)
+					sink := InsertReal(o, ops)
+					o.Shutdown()
+					sinkErr = sink.Err()
+				}
+				if sinkErr != nil {
+					t.Fatalf("%s on %s: %v", alg, rtName, sinkErr)
+				}
+				if d := a.MaxAbsDiff(seqA); d != 0 {
+					t.Errorf("%s on %s (trial %d): scheduled result differs from sequential by %g",
+						alg, rtName, trial, d)
+				}
+				if tm != nil {
+					if d := tm.MaxAbsDiff(seqT); d != 0 {
+						t.Errorf("%s on %s (trial %d): T factors differ by %g",
+							alg, rtName, trial, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The same property must hold under measured-mode simulation (the bodies
+// still execute; only the timeline accounting is added).
+func TestMeasuredModePreservesNumerics(t *testing.T) {
+	nt, nb := 4, 8
+	seqA, seqT := workload.ForAlgorithm("qr", nt, nb, 99)
+	ops, err := Stream("qr", seqA, seqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSequential(ops); err != nil {
+		t.Fatal(err)
+	}
+	a := workload.RandomGeneral(nt, nb, 99)
+	tm := tile.NewMatrix(nt, nb)
+	q := quark.New(3)
+	sim := newTestSimulator(q)
+	sink := InsertMeasured(q, sim, QR(a, tm))
+	q.Shutdown()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.MaxAbsDiff(seqA); d != 0 {
+		t.Errorf("measured-mode result differs from sequential by %g", d)
+	}
+}
+
+// newTestSimulator builds a measured-mode simulator for tests.
+func newTestSimulator(rt sched.Runtime) *core.Simulator {
+	return core.NewSimulator(rt, "test")
+}

@@ -1,0 +1,233 @@
+// Package factor expresses the paper's two case-study algorithms — tile
+// Cholesky (Algorithm 1) and tile QR (Algorithm 2) — as serial streams of
+// superscalar tasks with read/write data annotations, exactly as a PLASMA
+// user would insert them into QUARK, StarPU or OmpSs. The same stream can
+// be executed sequentially (reference), scheduled for real (measured mode),
+// scheduled in simulation (the paper's contribution), or analyzed into a
+// dependence DAG (Fig. 1).
+package factor
+
+import (
+	"fmt"
+
+	"supersim/internal/hazard"
+	"supersim/internal/kernels"
+	"supersim/internal/sched"
+	"supersim/internal/tile"
+)
+
+// OpArg is a named, access-annotated data reference of one task, carrying
+// the information shown in the paper's Fig. 2 decorations (A^rw, T^r, ...).
+type OpArg struct {
+	Name   string
+	Handle any
+	Mode   hazard.Access
+}
+
+// Op is one task of a tile algorithm: the kernel class, a human-readable
+// instance label, the access-annotated arguments, a relative priority, and
+// the real compute body.
+type Op struct {
+	Class    kernels.Class
+	Args     []OpArg
+	Priority int
+	// Body performs the real computation. It returns an error only for
+	// numerical failures (currently: Cholesky on a non-SPD pivot tile).
+	Body func() error
+}
+
+// Label renders the instance like "DTSMQR(1,2,0)" — class plus tile indices.
+func (o Op) Label() string {
+	s := string(o.Class) + "("
+	for i, a := range o.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.Name
+	}
+	return s + ")"
+}
+
+// String renders the op in the style of the paper's Fig. 2 task listing,
+// for example "tsmqr( A01^rw, A11^rw, A10^r, T10^r )".
+func (o Op) String() string {
+	s := string(o.Class) + "("
+	for i, a := range o.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s^%s", a.Name, a.Mode)
+	}
+	return s + ")"
+}
+
+// SchedArgs converts the op's arguments to scheduler arguments.
+func (o Op) SchedArgs() []sched.Arg {
+	out := make([]sched.Arg, len(o.Args))
+	for i, a := range o.Args {
+		out[i] = sched.Arg{Handle: a.Handle, Mode: a.Mode}
+	}
+	return out
+}
+
+func argA(prefix string, t *tile.Tile, i, j int, mode hazard.Access) OpArg {
+	return OpArg{Name: fmt.Sprintf("%s%d%d", prefix, i, j), Handle: t, Mode: mode}
+}
+
+// Task priorities: panel-factorization kernels ahead of updates, so that
+// priority-aware policies advance the critical path (the standard PLASMA
+// prioritization).
+const (
+	prioPanel  = 2
+	prioSolve  = 1
+	prioUpdate = 0
+)
+
+// Cholesky returns the serial task stream of the tile Cholesky
+// factorization A = L*L^T (Algorithm 1 of the paper). The matrix is
+// factored in place (lower triangle).
+func Cholesky(a *tile.Matrix) []Op {
+	nt := a.NT
+	ops := make([]Op, 0, nt*nt*nt/6+nt*nt)
+	for k := 0; k < nt; k++ {
+		akk := a.Tile(k, k)
+		ops = append(ops, Op{
+			Class:    kernels.ClassPOTRF,
+			Args:     []OpArg{argA("A", akk, k, k, hazard.ReadWrite)},
+			Priority: prioPanel,
+			Body:     func() error { return kernels.Potrf(akk) },
+		})
+		for i := k + 1; i < nt; i++ {
+			aik := a.Tile(i, k)
+			aii := a.Tile(i, i)
+			ops = append(ops, Op{
+				Class: kernels.ClassTRSM,
+				Args: []OpArg{
+					argA("A", akk, k, k, hazard.Read),
+					argA("A", aik, i, k, hazard.ReadWrite),
+				},
+				Priority: prioSolve,
+				Body:     func() error { kernels.Trsm(akk, aik); return nil },
+			})
+			ops = append(ops, Op{
+				Class: kernels.ClassSYRK,
+				Args: []OpArg{
+					argA("A", aik, i, k, hazard.Read),
+					argA("A", aii, i, i, hazard.ReadWrite),
+				},
+				Priority: prioUpdate,
+				Body:     func() error { kernels.Syrk(-1, aik, 1, aii); return nil },
+			})
+		}
+		for i := k + 2; i < nt; i++ {
+			aik := a.Tile(i, k)
+			for j := k + 1; j < i; j++ {
+				ajk := a.Tile(j, k)
+				aij := a.Tile(i, j)
+				ops = append(ops, Op{
+					Class: kernels.ClassGEMM,
+					Args: []OpArg{
+						argA("A", aij, i, j, hazard.ReadWrite),
+						argA("A", aik, i, k, hazard.Read),
+						argA("A", ajk, j, k, hazard.Read),
+					},
+					Priority: prioUpdate,
+					Body: func() error {
+						kernels.Gemm(false, true, -1, aik, ajk, 1, aij)
+						return nil
+					},
+				})
+			}
+		}
+	}
+	return ops
+}
+
+// QR returns the serial task stream of the tile QR factorization
+// (Algorithm 2 of the paper). a is factored in place (R in the upper
+// triangle, Householder blocks below); t receives the block-reflector T
+// factors and must be an NT x NT tile matrix of the same tile size.
+func QR(a, t *tile.Matrix) []Op {
+	if t.NT != a.NT || t.NB != a.NB {
+		panic("factor: QR T matrix shape mismatch")
+	}
+	nt := a.NT
+	ops := make([]Op, 0, nt*nt*nt/2+nt*nt)
+	for k := 0; k < nt; k++ {
+		akk := a.Tile(k, k)
+		tkk := t.Tile(k, k)
+		ops = append(ops, Op{
+			Class: kernels.ClassGEQRT,
+			Args: []OpArg{
+				argA("A", akk, k, k, hazard.ReadWrite),
+				argA("T", tkk, k, k, hazard.Write),
+			},
+			Priority: prioPanel,
+			Body:     func() error { kernels.Geqrt(akk, tkk); return nil },
+		})
+		for n := k + 1; n < nt; n++ {
+			akn := a.Tile(k, n)
+			ops = append(ops, Op{
+				Class: kernels.ClassORMQR,
+				Args: []OpArg{
+					argA("A", akk, k, k, hazard.Read),
+					argA("T", tkk, k, k, hazard.Read),
+					argA("A", akn, k, n, hazard.ReadWrite),
+				},
+				Priority: prioSolve,
+				Body:     func() error { kernels.Ormqr(akk, tkk, akn); return nil },
+			})
+		}
+		for m := k + 1; m < nt; m++ {
+			amk := a.Tile(m, k)
+			tmk := t.Tile(m, k)
+			ops = append(ops, Op{
+				Class: kernels.ClassTSQRT,
+				Args: []OpArg{
+					argA("A", akk, k, k, hazard.ReadWrite),
+					argA("A", amk, m, k, hazard.ReadWrite),
+					argA("T", tmk, m, k, hazard.Write),
+				},
+				Priority: prioSolve,
+				Body:     func() error { kernels.Tsqrt(akk, amk, tmk); return nil },
+			})
+			for n := k + 1; n < nt; n++ {
+				akn := a.Tile(k, n)
+				amn := a.Tile(m, n)
+				ops = append(ops, Op{
+					Class: kernels.ClassTSMQR,
+					Args: []OpArg{
+						argA("A", amk, m, k, hazard.Read),
+						argA("T", tmk, m, k, hazard.Read),
+						argA("A", akn, k, n, hazard.ReadWrite),
+						argA("A", amn, m, n, hazard.ReadWrite),
+					},
+					Priority: prioUpdate,
+					Body: func() error {
+						kernels.Tsmqr(akn, amn, amk, tmk)
+						return nil
+					},
+				})
+			}
+		}
+	}
+	return ops
+}
+
+// Stream identifies a tile algorithm by name and builds its op stream.
+// Supported names: "cholesky" (alias "chol"), "qr" and "lu".
+func Stream(algorithm string, a, t *tile.Matrix) ([]Op, error) {
+	switch algorithm {
+	case "cholesky", "chol":
+		return Cholesky(a), nil
+	case "qr":
+		if t == nil {
+			return nil, fmt.Errorf("factor: qr requires a T matrix")
+		}
+		return QR(a, t), nil
+	case "lu":
+		return LU(a), nil
+	default:
+		return nil, fmt.Errorf("factor: unknown algorithm %q", algorithm)
+	}
+}

@@ -1,0 +1,296 @@
+package factor
+
+import (
+	"strings"
+	"testing"
+
+	"supersim/internal/kernels"
+	"supersim/internal/lapackref"
+	"supersim/internal/sched/ompss"
+	"supersim/internal/sched/quark"
+	"supersim/internal/sched/starpu"
+	"supersim/internal/tile"
+	"supersim/internal/workload"
+)
+
+const residualTol = 1e-10
+
+func TestCholeskySequentialCorrect(t *testing.T) {
+	for _, shape := range []struct{ nt, nb int }{{1, 8}, {2, 5}, {3, 8}, {5, 12}} {
+		a := workload.RandomSPD(shape.nt, shape.nb, 42)
+		orig := a.Clone()
+		if err := RunSequential(Cholesky(a)); err != nil {
+			t.Fatalf("nt=%d nb=%d: %v", shape.nt, shape.nb, err)
+		}
+		if r := CholeskyResidual(orig, a); r > residualTol {
+			t.Errorf("nt=%d nb=%d: residual %g", shape.nt, shape.nb, r)
+		}
+	}
+}
+
+func TestCholeskyMatchesLAPACKReference(t *testing.T) {
+	nt, nb := 3, 7
+	a := workload.RandomSPD(nt, nb, 7)
+	ref := lapackref.FromSlice(a.ToDense(), a.N())
+	if err := lapackref.Cholesky(ref); err != nil {
+		t.Fatalf("reference Cholesky: %v", err)
+	}
+	if err := RunSequential(Cholesky(a)); err != nil {
+		t.Fatalf("tile Cholesky: %v", err)
+	}
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := a.At(i, j) - ref.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-9 {
+				t.Fatalf("L mismatch at (%d,%d): tile %g vs ref %g", i, j, a.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	nt, nb := 2, 4
+	a := tile.NewMatrix(nt, nb)
+	n := a.N()
+	for i := 0; i < n; i++ {
+		a.Set(i, i, -1) // negative definite
+	}
+	err := RunSequential(Cholesky(a))
+	if err == nil {
+		t.Fatal("tile Cholesky accepted a negative definite matrix")
+	}
+}
+
+func TestQRSequentialCorrect(t *testing.T) {
+	for _, shape := range []struct{ nt, nb int }{{1, 8}, {2, 5}, {3, 8}, {4, 10}} {
+		a := workload.RandomGeneral(shape.nt, shape.nb, 13)
+		tm := tile.NewMatrix(shape.nt, shape.nb)
+		orig := a.Clone()
+		if err := RunSequential(QR(a, tm)); err != nil {
+			t.Fatalf("nt=%d nb=%d: %v", shape.nt, shape.nb, err)
+		}
+		if r := QRResidual(orig, a, tm); r > residualTol {
+			t.Errorf("nt=%d nb=%d: residual %g", shape.nt, shape.nb, r)
+		}
+		if o := QROrthogonality(a, tm); o > residualTol {
+			t.Errorf("nt=%d nb=%d: orthogonality error %g", shape.nt, shape.nb, o)
+		}
+	}
+}
+
+func TestQRMatchesReferenceRUpToSigns(t *testing.T) {
+	// The tile QR produces a different reflector sequence than plain
+	// Householder QR, but |R| must agree.
+	nt, nb := 2, 6
+	a := workload.RandomGeneral(nt, nb, 99)
+	tm := tile.NewMatrix(nt, nb)
+	ref := lapackref.FromSlice(a.ToDense(), a.N())
+	_, rRef := lapackref.QR(ref)
+	if err := RunSequential(QR(a, tm)); err != nil {
+		t.Fatal(err)
+	}
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			got, want := a.At(i, j), rRef.At(i, j)
+			if got < 0 {
+				got = -got
+			}
+			if want < 0 {
+				want = -want
+			}
+			d := got - want
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-9 {
+				t.Fatalf("|R| mismatch at (%d,%d): %g vs %g", i, j, a.At(i, j), rRef.At(i, j))
+			}
+		}
+	}
+}
+
+func TestScheduledFactorizationsCorrectOnAllRuntimes(t *testing.T) {
+	// The heart of superscalar correctness: out-of-order scheduled
+	// execution must compute the same factorization as sequential order,
+	// on every runtime reproduction.
+	nt, nb := 4, 8
+	for _, alg := range []string{"cholesky", "qr"} {
+		for _, rtName := range []string{"quark", "starpu", "ompss"} {
+			a, tm := workload.ForAlgorithm(alg, nt, nb, 31)
+			orig := a.Clone()
+			ops, err := Stream(alg, a, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch rtName {
+			case "quark":
+				q := quark.New(3)
+				sink := InsertReal(q, ops)
+				q.Shutdown()
+				err = sink.Err()
+			case "starpu":
+				s, serr := starpu.New(starpu.Conf{NCPUs: 3, Policy: starpu.PolicyWS})
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				sink := InsertReal(s, ops)
+				s.Shutdown()
+				err = sink.Err()
+			case "ompss":
+				o := ompss.New(3)
+				sink := InsertReal(o, ops)
+				o.Shutdown()
+				err = sink.Err()
+			}
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, rtName, err)
+			}
+			var resid float64
+			if alg == "cholesky" {
+				resid = CholeskyResidual(orig, a)
+			} else {
+				resid = QRResidual(orig, a, tm)
+			}
+			if resid > residualTol {
+				t.Errorf("%s on %s: residual %g", alg, rtName, resid)
+			}
+		}
+	}
+}
+
+func TestTaskStreamMatchesPaperFig2(t *testing.T) {
+	// The paper's Fig. 2 lists the serial task stream of a 3x3 tile QR:
+	// F0..F13 = geqrt, unmqr x2, tsqrt, tsmqr x2, tsqrt, tsmqr x2,
+	// geqrt, unmqr, tsqrt, tsmqr, geqrt.
+	a := workload.RandomGeneral(3, 4, 1)
+	tm := tile.NewMatrix(3, 4)
+	ops := QR(a, tm)
+	want := []kernels.Class{
+		kernels.ClassGEQRT,
+		kernels.ClassORMQR, kernels.ClassORMQR,
+		kernels.ClassTSQRT, kernels.ClassTSMQR, kernels.ClassTSMQR,
+		kernels.ClassTSQRT, kernels.ClassTSMQR, kernels.ClassTSMQR,
+		kernels.ClassGEQRT, kernels.ClassORMQR,
+		kernels.ClassTSQRT, kernels.ClassTSMQR,
+		kernels.ClassGEQRT,
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("3x3 QR stream has %d tasks, want %d", len(ops), len(want))
+	}
+	for i, op := range ops {
+		if op.Class != want[i] {
+			t.Errorf("F%d = %s, want %s", i, op.Class, want[i])
+		}
+	}
+	// Check a specific decoration against the paper: F4 reads A10, T10
+	// and read-writes A01, A11.
+	f4 := ops[4]
+	s := f4.String()
+	for _, frag := range []string{"A10^r", "T10^r", "A01^rw", "A11^rw"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("F4 rendering %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCholeskyTaskCounts(t *testing.T) {
+	// Algorithm 1 counts: NT potrf, NT(NT-1)/2 trsm, NT(NT-1)/2 syrk,
+	// NT(NT-1)(NT-2)/6 gemm.
+	for _, nt := range []int{1, 2, 3, 5, 8} {
+		a := workload.RandomSPD(nt, 2, 3)
+		ops := Cholesky(a)
+		counts := map[kernels.Class]int{}
+		for _, op := range ops {
+			counts[op.Class]++
+		}
+		if got, want := counts[kernels.ClassPOTRF], nt; got != want {
+			t.Errorf("nt=%d: %d POTRF, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassTRSM], nt*(nt-1)/2; got != want {
+			t.Errorf("nt=%d: %d TRSM, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassSYRK], nt*(nt-1)/2; got != want {
+			t.Errorf("nt=%d: %d SYRK, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassGEMM], nt*(nt-1)*(nt-2)/6; got != want {
+			t.Errorf("nt=%d: %d GEMM, want %d", nt, got, want)
+		}
+	}
+}
+
+func TestQRTaskCounts(t *testing.T) {
+	// Algorithm 2 counts: NT geqrt, NT(NT-1)/2 each of ormqr and tsqrt,
+	// and sum_k (NT-k-1)^2 tsmqr.
+	for _, nt := range []int{1, 2, 3, 4, 6} {
+		a := workload.RandomGeneral(nt, 2, 3)
+		tm := tile.NewMatrix(nt, 2)
+		ops := QR(a, tm)
+		counts := map[kernels.Class]int{}
+		for _, op := range ops {
+			counts[op.Class]++
+		}
+		tsmqr := 0
+		for k := 0; k < nt; k++ {
+			tsmqr += (nt - k - 1) * (nt - k - 1)
+		}
+		if got, want := counts[kernels.ClassGEQRT], nt; got != want {
+			t.Errorf("nt=%d: %d GEQRT, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassORMQR], nt*(nt-1)/2; got != want {
+			t.Errorf("nt=%d: %d ORMQR, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassTSQRT], nt*(nt-1)/2; got != want {
+			t.Errorf("nt=%d: %d TSQRT, want %d", nt, got, want)
+		}
+		if got, want := counts[kernels.ClassTSMQR], tsmqr; got != want {
+			t.Errorf("nt=%d: %d TSMQR, want %d", nt, got, want)
+		}
+	}
+}
+
+func TestBuildDAGQR4x4MatchesFig1Scale(t *testing.T) {
+	// Fig. 1 shows the DAG of a 4x4 tile QR: 4+6+6+14 = 30 vertices.
+	a := workload.RandomGeneral(4, 2, 3)
+	tm := tile.NewMatrix(4, 2)
+	ops := QR(a, tm)
+	g := BuildDAG(ops, nil)
+	if g.NumNodes() != 30 {
+		t.Errorf("4x4 QR DAG has %d vertices, want 30", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("DAG not acyclic: %v", err)
+	}
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 4 {
+		t.Errorf("DAG depth %d unreasonably small", depth)
+	}
+	// Every non-root task must have at least one predecessor.
+	roots := 0
+	for id := range g.Nodes {
+		if len(g.Predecessors(id)) == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("QR DAG has %d roots, want exactly 1 (the first GEQRT)", roots)
+	}
+}
+
+func TestDAGSequentialOrderIsTopological(t *testing.T) {
+	a := workload.RandomSPD(5, 2, 3)
+	g := BuildDAG(Cholesky(a), nil)
+	// Serial insertion order must respect all edges (pred id < succ id).
+	for _, e := range g.Edges {
+		if e.From >= e.To {
+			t.Fatalf("edge %d -> %d against insertion order", e.From, e.To)
+		}
+	}
+}

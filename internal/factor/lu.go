@@ -1,0 +1,113 @@
+package factor
+
+import (
+	"math"
+
+	"supersim/internal/hazard"
+	"supersim/internal/kernels"
+	"supersim/internal/tile"
+)
+
+// LU returns the serial task stream of the tile LU factorization without
+// pivoting (PLASMA dgetrf_nopiv): A = L*U with L unit lower triangular.
+// The matrix must be such that all pivots stay nonzero (the workload
+// generator's diagonally dominant matrices guarantee it). A is factored in
+// place: U in the upper triangle (with diagonal), L strictly below (unit
+// diagonal implicit).
+func LU(a *tile.Matrix) []Op {
+	nt := a.NT
+	ops := make([]Op, 0, nt*nt*nt/3+nt*nt)
+	for k := 0; k < nt; k++ {
+		akk := a.Tile(k, k)
+		ops = append(ops, Op{
+			Class:    kernels.ClassGETRF,
+			Args:     []OpArg{argA("A", akk, k, k, hazard.ReadWrite)},
+			Priority: prioPanel,
+			Body:     func() error { return kernels.Getrf(akk) },
+		})
+		for j := k + 1; j < nt; j++ {
+			akj := a.Tile(k, j)
+			ops = append(ops, Op{
+				Class: kernels.ClassTRSMU,
+				Args: []OpArg{
+					argA("A", akk, k, k, hazard.Read),
+					argA("A", akj, k, j, hazard.ReadWrite),
+				},
+				Priority: prioSolve,
+				Body:     func() error { kernels.TrsmLowerUnit(akk, akj); return nil },
+			})
+		}
+		for i := k + 1; i < nt; i++ {
+			aik := a.Tile(i, k)
+			ops = append(ops, Op{
+				Class: kernels.ClassTRSML,
+				Args: []OpArg{
+					argA("A", akk, k, k, hazard.Read),
+					argA("A", aik, i, k, hazard.ReadWrite),
+				},
+				Priority: prioSolve,
+				Body:     func() error { kernels.TrsmUpperRight(akk, aik); return nil },
+			})
+		}
+		for i := k + 1; i < nt; i++ {
+			aik := a.Tile(i, k)
+			for j := k + 1; j < nt; j++ {
+				akj := a.Tile(k, j)
+				aij := a.Tile(i, j)
+				ops = append(ops, Op{
+					Class: kernels.ClassGEMM,
+					Args: []OpArg{
+						argA("A", aij, i, j, hazard.ReadWrite),
+						argA("A", aik, i, k, hazard.Read),
+						argA("A", akj, k, j, hazard.Read),
+					},
+					Priority: prioUpdate,
+					Body: func() error {
+						kernels.Gemm(false, false, -1, aik, akj, 1, aij)
+						return nil
+					},
+				})
+			}
+		}
+	}
+	return ops
+}
+
+// LUResidual returns ||A - L*U||_F / ||A||_F where factored holds the
+// in-place tile LU (no pivoting) result of orig.
+func LUResidual(orig, factored *tile.Matrix) float64 {
+	n := factored.N()
+	// Extract L (unit lower) and U (upper including diagonal) densely.
+	l := tile.NewMatrix(factored.NT, factored.NB)
+	u := tile.NewMatrix(factored.NT, factored.NB)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			l.Set(i, j, factored.At(i, j))
+		}
+		for j := i; j < n; j++ {
+			u.Set(i, j, factored.At(i, j))
+		}
+	}
+	rebuilt := tile.NewMatrix(factored.NT, factored.NB)
+	for i := 0; i < factored.NT; i++ {
+		for j := 0; j < factored.NT; j++ {
+			for k := 0; k < factored.NT; k++ {
+				kernels.Gemm(false, false, 1, l.Tile(i, k), u.Tile(k, j), 1, rebuilt.Tile(i, j))
+			}
+		}
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := rebuilt.At(i, j) - orig.At(i, j)
+			num += d * d
+			v := orig.At(i, j)
+			den += v * v
+		}
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}

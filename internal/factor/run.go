@@ -1,0 +1,138 @@
+package factor
+
+import (
+	"sync"
+
+	"supersim/internal/core"
+	"supersim/internal/graph"
+	"supersim/internal/hazard"
+	"supersim/internal/kernels"
+	"supersim/internal/sched"
+)
+
+// RunSequential executes the op stream in insertion order on the calling
+// goroutine. It is the single-core reference used by correctness tests.
+// It stops at the first error.
+func RunSequential(ops []Op) error {
+	for _, op := range ops {
+		if err := op.Body(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrorSink collects the first numerical error raised by scheduled task
+// bodies (superscalar runtimes keep executing; the error surfaces at the
+// barrier, like a QUARK sequence).
+type ErrorSink struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Record stores err if it is the first one.
+func (s *ErrorSink) Record(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first recorded error, if any.
+func (s *ErrorSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// InsertMeasured inserts the op stream into rt in measured mode: each task
+// executes its real kernel body, and the measured time is accounted on
+// sim's virtual timeline. This is the reproduction's "real run" (see
+// DESIGN.md). Call rt.Barrier() afterwards and check sink.Err.
+func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink {
+	sink := &ErrorSink{}
+	for i := range ops {
+		op := ops[i]
+		rt.Insert(&sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+			Func: core.MeasuredTask(sim, string(op.Class), func(*sched.Ctx) {
+				sink.Record(op.Body())
+			}),
+		})
+	}
+	return sink
+}
+
+// InsertSimulated inserts the op stream into rt in simulation mode: the
+// kernel bodies are skipped and durations are sampled from the tasker's
+// model — the paper's usage ("the programmer simply replaces each task
+// function with a call to the simulation library"). Call rt.Barrier()
+// afterwards.
+func InsertSimulated(rt sched.Runtime, tk *core.Tasker, ops []Op) {
+	for i := range ops {
+		op := ops[i]
+		rt.Insert(&sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+			Func:     tk.SimTask(string(op.Class)),
+		})
+	}
+}
+
+// InsertReal inserts the op stream for plain execution (no simulator, no
+// virtual timeline): tasks just run their bodies under the scheduler.
+// Used by tests that only care about numerical results and by wall-clock
+// reference timings.
+func InsertReal(rt sched.Runtime, ops []Op) *ErrorSink {
+	sink := &ErrorSink{}
+	for i := range ops {
+		op := ops[i]
+		rt.Insert(&sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+			Func:     func(*sched.Ctx) { sink.Record(op.Body()) },
+		})
+	}
+	return sink
+}
+
+// BuildDAG derives the dependence DAG of the op stream through the same
+// hazard analysis the runtimes use (Fig. 1 of the paper). weight assigns
+// node weights (for critical-path analysis); nil weights every node 1.
+func BuildDAG(ops []Op, weight func(kernels.Class) float64) *graph.DAG {
+	if weight == nil {
+		weight = func(kernels.Class) float64 { return 1 }
+	}
+	g := graph.New()
+	tracker := hazard.NewTracker()
+	for _, op := range ops {
+		id := g.AddNode(op.Label(), string(op.Class), weight(op.Class))
+		hid, deps := tracker.Insert(opHazardArgs(op))
+		if hid != id {
+			panic("factor: DAG node numbering out of sync with hazard tracker")
+		}
+		for _, d := range deps {
+			g.AddEdge(d.Pred, id, d.Kind)
+		}
+	}
+	return g
+}
+
+func opHazardArgs(op Op) []hazard.Arg {
+	out := make([]hazard.Arg, len(op.Args))
+	for i, a := range op.Args {
+		out[i] = hazard.Arg{Handle: a.Handle, Mode: a.Mode}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package factor
+
+import (
+	"math"
+
+	"supersim/internal/kernels"
+	"supersim/internal/tile"
+)
+
+// This file verifies factorizations produced by the tile algorithms, giving
+// the test suite and the examples scale-free residual measures.
+
+// CholeskyResidual returns ||A - L*L^T||_F / ||A||_F where factored holds
+// the in-place tile Cholesky result of orig.
+func CholeskyResidual(orig, factored *tile.Matrix) float64 {
+	l := factored.LowerTriangular()
+	n := l.N()
+	rebuilt := tile.NewMatrix(l.NT, l.NB)
+	// rebuilt = L * L^T, dense triple loop over tiles.
+	for i := 0; i < l.NT; i++ {
+		for j := 0; j < l.NT; j++ {
+			for k := 0; k < l.NT; k++ {
+				kernels.Gemm(false, true, 1, l.Tile(i, k), l.Tile(j, k), 1, rebuilt.Tile(i, j))
+			}
+		}
+	}
+	sym := orig.Clone()
+	sym.Symmetrize()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := rebuilt.At(i, j) - sym.At(i, j)
+			num += d * d
+			v := sym.At(i, j)
+			den += v * v
+		}
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// ApplyQT applies Q^T from a tile QR factorization (a holds V/R, t holds
+// the T factors) to the tile matrix b in place, replaying the reflector
+// sequence in factorization order over all of b's columns.
+func ApplyQT(a, t, b *tile.Matrix) {
+	nt := a.NT
+	for k := 0; k < nt; k++ {
+		for n := 0; n < nt; n++ {
+			kernels.Ormqr(a.Tile(k, k), t.Tile(k, k), b.Tile(k, n))
+		}
+		for m := k + 1; m < nt; m++ {
+			for n := 0; n < nt; n++ {
+				kernels.Tsmqr(b.Tile(k, n), b.Tile(m, n), a.Tile(m, k), t.Tile(m, k))
+			}
+		}
+	}
+}
+
+// ApplyQ applies Q (not transposed) to the tile matrix b in place: the
+// reflector sequence in reverse order without transposition.
+func ApplyQ(a, t, b *tile.Matrix) {
+	nt := a.NT
+	for k := nt - 1; k >= 0; k-- {
+		for m := nt - 1; m > k; m-- {
+			for n := 0; n < nt; n++ {
+				kernels.TsmqrNoTrans(b.Tile(k, n), b.Tile(m, n), a.Tile(m, k), t.Tile(m, k))
+			}
+		}
+		for n := 0; n < nt; n++ {
+			kernels.OrmqrNoTrans(a.Tile(k, k), t.Tile(k, k), b.Tile(k, n))
+		}
+	}
+}
+
+// QRResidual returns ||A - Q*R||_F / ||A||_F for a tile QR factorization
+// of orig, where factored holds R (upper triangle) and the V blocks, and
+// tmat holds the T factors.
+func QRResidual(orig, factored, tmat *tile.Matrix) float64 {
+	r := factored.UpperTriangular()
+	ApplyQ(factored, tmat, r) // r <- Q * R
+	n := orig.N()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := r.At(i, j) - orig.At(i, j)
+			num += d * d
+			v := orig.At(i, j)
+			den += v * v
+		}
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// QROrthogonality returns ||Q^T*Q - I||_F / sqrt(N) for a tile QR
+// factorization: it builds M = Q^T * I and measures ||M*M^T - I||.
+func QROrthogonality(factored, tmat *tile.Matrix) float64 {
+	nt, nb := factored.NT, factored.NB
+	m := tile.Identity(nt, nb)
+	ApplyQT(factored, tmat, m) // m <- Q^T
+	// g = m * m^T - I.
+	g := tile.NewMatrix(nt, nb)
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			for k := 0; k < nt; k++ {
+				kernels.Gemm(false, true, 1, m.Tile(i, k), m.Tile(j, k), 1, g.Tile(i, j))
+			}
+		}
+	}
+	n := g.N()
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := g.At(i, j)
+			if i == j {
+				v -= 1
+			}
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum / float64(n))
+}

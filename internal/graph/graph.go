@@ -1,0 +1,285 @@
+// Package graph represents the task dependence DAG of a superscalar
+// execution (Fig. 1 of the paper): vertices are tasks, edges are data
+// dependences. It supports topological analysis, critical-path computation
+// and Graphviz DOT export for visualization.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EdgeKind classifies the data hazard that induced a dependence edge.
+type EdgeKind string
+
+const (
+	EdgeRaW EdgeKind = "RaW" // read after write (true dependence)
+	EdgeWaR EdgeKind = "WaR" // write after read (anti dependence)
+	EdgeWaW EdgeKind = "WaW" // write after write (output dependence)
+)
+
+// Node is one task vertex.
+type Node struct {
+	ID     int
+	Label  string  // e.g. "GEQRT(0,0)"
+	Kind   string  // kernel class, used for coloring
+	Weight float64 // expected duration, used for critical path
+}
+
+// Edge is a directed dependence From -> To (To must wait for From).
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// DAG is a directed acyclic task graph. Nodes are added with sequential IDs
+// (the serial task-insertion order of the superscalar model).
+type DAG struct {
+	Nodes []Node
+	Edges []Edge
+	succ  map[int][]int
+	pred  map[int][]int
+	// edgeSet deduplicates parallel edges of the same kind.
+	edgeSet map[[2]int]map[EdgeKind]bool
+}
+
+// New returns an empty DAG.
+func New() *DAG {
+	return &DAG{
+		succ:    make(map[int][]int),
+		pred:    make(map[int][]int),
+		edgeSet: make(map[[2]int]map[EdgeKind]bool),
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *DAG) AddNode(label, kind string, weight float64) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{ID: id, Label: label, Kind: kind, Weight: weight})
+	return id
+}
+
+// AddEdge adds a dependence edge from -> to. Duplicate (from, to, kind)
+// edges are ignored; duplicate (from, to) pairs with different kinds are
+// kept, as in Fig. 1 where a vertex can have multiple edges from one parent.
+// Adding an edge that would point backwards (to <= from is required for the
+// serial-insertion construction, so from < to always holds there) is
+// allowed for generic use but validated by Validate.
+func (g *DAG) AddEdge(from, to int, kind EdgeKind) {
+	key := [2]int{from, to}
+	kinds := g.edgeSet[key]
+	if kinds == nil {
+		kinds = make(map[EdgeKind]bool)
+		g.edgeSet[key] = kinds
+	}
+	if kinds[kind] {
+		return
+	}
+	kinds[kind] = true
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind})
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// NumNodes returns the vertex count.
+func (g *DAG) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the edge count (kind-distinct).
+func (g *DAG) NumEdges() int { return len(g.Edges) }
+
+// Successors returns the IDs of nodes depending on id (may contain
+// duplicates if multiple hazard kinds connect the same pair).
+func (g *DAG) Successors(id int) []int { return g.succ[id] }
+
+// Predecessors returns the IDs id depends on.
+func (g *DAG) Predecessors(id int) []int { return g.pred[id] }
+
+// TopoSort returns a topological order of the node IDs, or an error if the
+// graph has a cycle.
+func (g *DAG) TopoSort() ([]int, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks acyclicity.
+func (g *DAG) Validate() error {
+	_, err := g.TopoSort()
+	return err
+}
+
+// CriticalPath returns the longest weighted path (by node Weight) and its
+// total weight. This bounds the achievable parallel makespan from below.
+func (g *DAG) CriticalPath() (path []int, length float64, err error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(g.Nodes)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range from {
+		from[i] = -1
+	}
+	for i := range dist {
+		dist[i] = g.Nodes[i].Weight
+	}
+	for _, id := range order {
+		for _, s := range g.succ[id] {
+			if d := dist[id] + g.Nodes[s].Weight; d > dist[s] {
+				dist[s] = d
+				from[s] = id
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if dist[i] > dist[best] {
+			best = i
+		}
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for at := best; at != -1; at = from[at] {
+		path = append(path, at)
+	}
+	// Reverse into source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[best], nil
+}
+
+// Depth returns the number of levels in the DAG (longest path by node
+// count), a measure of the inherent serialization.
+func (g *DAG) Depth() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	level := make([]int, len(g.Nodes))
+	max := 0
+	for _, id := range order {
+		if level[id] == 0 {
+			level[id] = 1
+		}
+		if level[id] > max {
+			max = level[id]
+		}
+		for _, s := range g.succ[id] {
+			if level[id]+1 > level[s] {
+				level[s] = level[id] + 1
+			}
+		}
+	}
+	return max, nil
+}
+
+// WidthProfile returns, per level (as computed by longest-path layering),
+// the number of tasks on that level: the available parallelism profile.
+func (g *DAG) WidthProfile() ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, len(g.Nodes))
+	for _, id := range order {
+		for _, s := range g.succ[id] {
+			if level[id]+1 > level[s] {
+				level[s] = level[id] + 1
+			}
+		}
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	widths := make([]int, maxLevel+1)
+	for _, l := range level {
+		widths[l]++
+	}
+	return widths, nil
+}
+
+// CountByKind returns the number of nodes per kernel class.
+func (g *DAG) CountByKind() map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.Nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// dotColors assigns stable fill colors per kernel kind for DOT export.
+var dotColors = []string{
+	"#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3",
+	"#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
+}
+
+// WriteDOT renders the DAG in Graphviz DOT format, one vertex per task and
+// one edge per dependence, reproducing the style of Fig. 1.
+func (g *DAG) WriteDOT(w io.Writer, title string) error {
+	kinds := make([]string, 0)
+	seen := make(map[string]int)
+	for _, n := range g.Nodes {
+		if _, ok := seen[n.Kind]; !ok {
+			seen[n.Kind] = len(kinds)
+			kinds = append(kinds, n.Kind)
+		}
+	}
+	sort.Strings(kinds)
+	for i, k := range kinds {
+		seen[k] = i
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [style=filled, shape=box, fontname=\"Helvetica\"];\n", title); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		color := dotColors[seen[n.Kind]%len(dotColors)]
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, fillcolor=%q];\n", n.ID, n.Label, color); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		style := ""
+		switch e.Kind {
+		case EdgeWaR:
+			style = " [style=dashed]"
+		case EdgeWaW:
+			style = " [style=dotted]"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.From, e.To, style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a linear DAG of n nodes.
+func chain(n int) *DAG {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("n", "K", 1)
+		if i > 0 {
+			g.AddEdge(i-1, i, EdgeRaW)
+		}
+	}
+	return g
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(10)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("topo order %v", order)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddNode("a", "K", 1)
+	g.AddNode("b", "K", 1)
+	g.AddEdge(0, 1, EdgeRaW)
+	g.AddEdge(1, 0, EdgeRaW)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed the cycle")
+	}
+}
+
+func TestDuplicateEdgeDeduplication(t *testing.T) {
+	g := New()
+	g.AddNode("a", "K", 1)
+	g.AddNode("b", "K", 1)
+	g.AddEdge(0, 1, EdgeRaW)
+	g.AddEdge(0, 1, EdgeRaW) // duplicate, dropped
+	g.AddEdge(0, 1, EdgeWaW) // different kind, kept (Fig. 1 multi-edges)
+	if g.NumEdges() != 2 {
+		t.Errorf("%d edges, want 2", g.NumEdges())
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// a -> {b(5), c(1)} -> d: critical path a,b,d with length 1+5+1.
+	g := New()
+	a := g.AddNode("a", "K", 1)
+	b := g.AddNode("b", "K", 5)
+	c := g.AddNode("c", "K", 1)
+	d := g.AddNode("d", "K", 1)
+	g.AddEdge(a, b, EdgeRaW)
+	g.AddEdge(a, c, EdgeRaW)
+	g.AddEdge(b, d, EdgeRaW)
+	g.AddEdge(c, d, EdgeRaW)
+	path, length, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 7 {
+		t.Errorf("critical length %g, want 7", length)
+	}
+	want := []int{a, b, d}
+	if len(path) != 3 {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDepthAndWidth(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "K", 1)
+	for i := 0; i < 3; i++ {
+		m := g.AddNode("m", "K", 1)
+		g.AddEdge(a, m, EdgeRaW)
+	}
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Errorf("depth %d, want 2", depth)
+	}
+	widths, err := g.WidthProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 2 || widths[0] != 1 || widths[1] != 3 {
+		t.Errorf("widths %v, want [1 3]", widths)
+	}
+}
+
+func TestEmptyDAG(t *testing.T) {
+	g := New()
+	if _, _, err := g.CriticalPath(); err != nil {
+		t.Errorf("empty critical path errored: %v", err)
+	}
+	if d, _ := g.Depth(); d != 0 {
+		t.Errorf("empty depth %d", d)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	g := New()
+	g.AddNode("a", "GEMM", 1)
+	g.AddNode("b", "GEMM", 1)
+	g.AddNode("c", "TRSM", 1)
+	counts := g.CountByKind()
+	if counts["GEMM"] != 2 || counts["TRSM"] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	a := g.AddNode("GEQRT(0,0)", "GEQRT", 1)
+	b := g.AddNode("ORMQR(0,0,1)", "ORMQR", 1)
+	g.AddEdge(a, b, EdgeRaW)
+	g.AddEdge(a, b, EdgeWaR)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph", "GEQRT(0,0)", "n0 -> n1", "style=dashed", "fillcolor"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// Property: any DAG built with edges only from lower to higher IDs (the
+// serial-insertion invariant) is acyclic and TopoSort succeeds.
+func TestForwardEdgesAlwaysAcyclic(t *testing.T) {
+	err := quick.Check(func(pairs [][2]uint8) bool {
+		g := New()
+		n := 40
+		for i := 0; i < n; i++ {
+			g.AddNode("x", "K", 1)
+		}
+		for _, p := range pairs {
+			from, to := int(p[0])%n, int(p[1])%n
+			if from == to {
+				continue
+			}
+			if from > to {
+				from, to = to, from
+			}
+			g.AddEdge(from, to, EdgeRaW)
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make([]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the critical path length is at least the weight of any single
+// node and at most the sum of all weights.
+func TestCriticalPathBoundsProperty(t *testing.T) {
+	err := quick.Check(func(weights []uint8, pairs [][2]uint8) bool {
+		if len(weights) == 0 {
+			return true
+		}
+		if len(weights) > 30 {
+			weights = weights[:30]
+		}
+		g := New()
+		var total, maxW float64
+		for _, w := range weights {
+			wf := float64(w%10) + 1
+			g.AddNode("x", "K", wf)
+			total += wf
+			if wf > maxW {
+				maxW = wf
+			}
+		}
+		n := len(weights)
+		for _, p := range pairs {
+			from, to := int(p[0])%n, int(p[1])%n
+			if from < to {
+				g.AddEdge(from, to, EdgeRaW)
+			}
+		}
+		_, length, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		return length >= maxW-1e-9 && length <= total+1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package hazard implements the superscalar data-hazard analysis shared by
+// all three scheduler reproductions and by the DAG builder: given a serial
+// stream of tasks, each annotated with the data it reads and writes, it
+// derives the Read-after-Write, Write-after-Read and Write-after-Write
+// dependences (Section IV-A of the paper).
+//
+// Handles are opaque comparable values identifying a datum (in practice a
+// *tile.Tile pointer); the tracker never dereferences them, exactly as the
+// paper's simulator requires real addresses only for dependence identity.
+package hazard
+
+import "supersim/internal/graph"
+
+// Access is the declared access mode of a task argument.
+type Access uint8
+
+const (
+	// Read declares input access (the "r" decoration in Fig. 2).
+	Read Access = 1 << iota
+	// Write declares output access (the "w" decoration in Fig. 2).
+	Write
+	// ReadWrite declares in-out access (the "rw" decoration in Fig. 2).
+	ReadWrite = Read | Write
+)
+
+// String renders the access mode as in the paper's pseudocode decorations.
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case ReadWrite:
+		return "rw"
+	default:
+		return "?"
+	}
+}
+
+// Dep is one derived dependence: the task being inserted depends on the
+// task with index Pred.
+type Dep struct {
+	Pred int
+	Kind graph.EdgeKind
+}
+
+// access records one past access to a handle.
+type state struct {
+	lastWriter       int   // task index of last writer, -1 if none
+	readersSinceLast []int // readers since the last write
+}
+
+// Tracker incrementally derives dependences from a serial task stream.
+// It is not safe for concurrent use; schedulers serialize insertion
+// (superscalar semantics) so a single goroutine owns it.
+type Tracker struct {
+	states map[any]*state
+	next   int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{states: make(map[any]*state)}
+}
+
+// Arg pairs a data handle with its access mode.
+type Arg struct {
+	Handle any
+	Mode   Access
+}
+
+// Insert registers the next task in the serial stream with its argument
+// list and returns its task index along with the dependences it must wait
+// for. Multiple hazards against the same predecessor are deduplicated with
+// RaW preferred over WaW over WaR (the strongest reported kind), matching
+// how runtime systems count a predecessor only once.
+func (t *Tracker) Insert(args []Arg) (id int, deps []Dep) {
+	id = t.next
+	t.next++
+	best := make(map[int]graph.EdgeKind)
+	rank := map[graph.EdgeKind]int{graph.EdgeRaW: 3, graph.EdgeWaW: 2, graph.EdgeWaR: 1}
+	record := func(pred int, kind graph.EdgeKind) {
+		if pred < 0 || pred == id {
+			return
+		}
+		if prev, ok := best[pred]; !ok || rank[kind] > rank[prev] {
+			best[pred] = kind
+		}
+	}
+	for _, a := range args {
+		st := t.states[a.Handle]
+		if st == nil {
+			st = &state{lastWriter: -1}
+			t.states[a.Handle] = st
+		}
+		if a.Mode&Read != 0 {
+			record(st.lastWriter, graph.EdgeRaW)
+		}
+		if a.Mode&Write != 0 {
+			record(st.lastWriter, graph.EdgeWaW)
+			for _, r := range st.readersSinceLast {
+				record(r, graph.EdgeWaR)
+			}
+		}
+		// Update the handle's state after deriving hazards. A task that
+		// appears multiple times in the arg list for the same handle is
+		// processed per-arg, which matches serial insertion semantics.
+		if a.Mode&Write != 0 {
+			st.lastWriter = id
+			st.readersSinceLast = st.readersSinceLast[:0]
+		} else {
+			st.readersSinceLast = append(st.readersSinceLast, id)
+		}
+	}
+	deps = make([]Dep, 0, len(best))
+	for pred, kind := range best {
+		deps = append(deps, Dep{Pred: pred, Kind: kind})
+	}
+	return id, deps
+}
+
+// NumTasks returns how many tasks have been inserted.
+func (t *Tracker) NumTasks() int { return t.next }
+
+// NumHandles returns how many distinct data handles have been seen.
+func (t *Tracker) NumHandles() int { return len(t.states) }
+
+// Reset clears all state, reusing the allocation.
+func (t *Tracker) Reset() {
+	for k := range t.states {
+		delete(t.states, k)
+	}
+	t.next = 0
+}

@@ -1,0 +1,140 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"supersim/internal/rng"
+	"supersim/internal/tile"
+)
+
+// Micro-benchmarks of the tile kernels: these are the "real work" of
+// measured runs, so their throughput fixes the wall-clock scale of every
+// experiment. Run with:
+//
+//	go test -bench . -benchmem ./internal/kernels/
+
+func benchSizes() []int { return []int{60, 120, 200} }
+
+func reportKernelRate(b *testing.B, class Class, nb int) {
+	b.Helper()
+	flops := class.Flops(nb) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(1)
+			x, y, z := randTile(nb, src), randTile(nb, src), randTile(nb, src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(false, true, -1, x, y, 1, z)
+			}
+			reportKernelRate(b, ClassGEMM, nb)
+		})
+	}
+}
+
+func BenchmarkSyrk(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(2)
+			x, z := randTile(nb, src), randSPDTile(nb, src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Syrk(-1, x, 1, z)
+			}
+			reportKernelRate(b, ClassSYRK, nb)
+		})
+	}
+}
+
+func BenchmarkTrsm(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(3)
+			l := randSPDTile(nb, src)
+			if err := Potrf(l); err != nil {
+				b.Fatal(err)
+			}
+			x := randTile(nb, src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Trsm(l, x)
+			}
+			reportKernelRate(b, ClassTRSM, nb)
+		})
+	}
+}
+
+func BenchmarkPotrf(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(4)
+			spd := randSPDTile(nb, src)
+			work := tile.NewTile(nb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(spd)
+				if err := Potrf(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportKernelRate(b, ClassPOTRF, nb)
+		})
+	}
+}
+
+func BenchmarkGeqrt(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(5)
+			a := randTile(nb, src)
+			work := tile.NewTile(nb)
+			tt := tile.NewTile(nb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(a)
+				Geqrt(work, tt)
+			}
+			reportKernelRate(b, ClassGEQRT, nb)
+		})
+	}
+}
+
+func BenchmarkTsmqr(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(6)
+			r0 := upperOf(randTile(nb, src))
+			v := randTile(nb, src)
+			tt := tile.NewTile(nb)
+			Tsqrt(r0, v, tt)
+			b1, b2 := randTile(nb, src), randTile(nb, src)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Tsmqr(b1, b2, v, tt)
+			}
+			reportKernelRate(b, ClassTSMQR, nb)
+		})
+	}
+}
+
+func BenchmarkGetrf(b *testing.B) {
+	for _, nb := range benchSizes() {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			src := rng.New(7)
+			a := randDiagDomTile(nb, src)
+			work := tile.NewTile(nb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(a)
+				if err := Getrf(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportKernelRate(b, ClassGETRF, nb)
+		})
+	}
+}

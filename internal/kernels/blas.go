@@ -1,0 +1,202 @@
+// Package kernels implements the tile compute kernels of the two case-study
+// factorizations (Section IV-B): DGEMM, DSYRK, DTRSM, DPOTRF for tile
+// Cholesky and DGEQRT, DORMQR, DTSQRT, DTSMQR for tile QR. All kernels
+// operate on square column-major tiles and follow LAPACK/PLASMA semantics,
+// so the tile algorithms in internal/factor can be verified against dense
+// reference implementations.
+//
+// These kernels are the "real work" of the reproduction: in measured-mode
+// runs they genuinely execute, providing the per-invocation timing variance
+// the paper's duration models are fitted to.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"supersim/internal/tile"
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C on nb x nb tiles, where
+// op(X) is X or X^T according to transA/transB.
+func Gemm(transA, transB bool, alpha float64, a, b *tile.Tile, beta float64, c *tile.Tile) {
+	nb := c.NB
+	if a.NB != nb || b.NB != nb {
+		panic("kernels: Gemm tile size mismatch")
+	}
+	// BLAS semantics: beta == 0 means C is write-only (never read), so NaN
+	// or uninitialized contents must not propagate.
+	if beta == 0 {
+		for i := range c.Data {
+			c.Data[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	switch {
+	case !transA && !transB:
+		// C += alpha * A * B, column-major: accumulate rank-1 column updates.
+		for j := 0; j < nb; j++ {
+			cj := cd[j*nb : j*nb+nb]
+			for k := 0; k < nb; k++ {
+				s := alpha * bd[k+j*nb]
+				if s == 0 {
+					continue
+				}
+				ak := ad[k*nb : k*nb+nb]
+				for i := 0; i < nb; i++ {
+					cj[i] += s * ak[i]
+				}
+			}
+		}
+	case !transA && transB:
+		// C += alpha * A * B^T: B^T[k][j] = B[j][k] = bd[j + k*nb].
+		for j := 0; j < nb; j++ {
+			cj := cd[j*nb : j*nb+nb]
+			for k := 0; k < nb; k++ {
+				s := alpha * bd[j+k*nb]
+				if s == 0 {
+					continue
+				}
+				ak := ad[k*nb : k*nb+nb]
+				for i := 0; i < nb; i++ {
+					cj[i] += s * ak[i]
+				}
+			}
+		}
+	case transA && !transB:
+		// C += alpha * A^T * B: C[i][j] += sum_k A[k][i]*B[k][j] (dot of columns).
+		for j := 0; j < nb; j++ {
+			bj := bd[j*nb : j*nb+nb]
+			cj := cd[j*nb : j*nb+nb]
+			for i := 0; i < nb; i++ {
+				ai := ad[i*nb : i*nb+nb]
+				var sum float64
+				for k := 0; k < nb; k++ {
+					sum += ai[k] * bj[k]
+				}
+				cj[i] += alpha * sum
+			}
+		}
+	default: // transA && transB
+		for j := 0; j < nb; j++ {
+			cj := cd[j*nb : j*nb+nb]
+			for i := 0; i < nb; i++ {
+				ai := ad[i*nb : i*nb+nb]
+				var sum float64
+				for k := 0; k < nb; k++ {
+					sum += ai[k] * bd[j+k*nb]
+				}
+				cj[i] += alpha * sum
+			}
+		}
+	}
+}
+
+// Syrk performs the symmetric rank-k update used by tile Cholesky:
+// C = alpha*A*A^T + beta*C, updating only the lower triangle of C.
+func Syrk(alpha float64, a *tile.Tile, beta float64, c *tile.Tile) {
+	nb := c.NB
+	if a.NB != nb {
+		panic("kernels: Syrk tile size mismatch")
+	}
+	ad, cd := a.Data, c.Data
+	for j := 0; j < nb; j++ {
+		if beta == 0 {
+			for i := j; i < nb; i++ {
+				cd[i+j*nb] = 0
+			}
+		} else if beta != 1 {
+			for i := j; i < nb; i++ {
+				cd[i+j*nb] *= beta
+			}
+		}
+		for k := 0; k < nb; k++ {
+			s := alpha * ad[j+k*nb]
+			if s == 0 {
+				continue
+			}
+			ak := ad[k*nb : k*nb+nb]
+			cj := cd[j*nb : j*nb+nb]
+			for i := j; i < nb; i++ {
+				cj[i] += s * ak[i]
+			}
+		}
+	}
+}
+
+// Trsm solves X * L^T = B for X in place of B, with L the lower-triangular
+// tile a (non-unit diagonal). This is the right/lower/transpose DTRSM case
+// used by tile Cholesky: B <- B * L^{-T}.
+func Trsm(a, b *tile.Tile) {
+	nb := b.NB
+	if a.NB != nb {
+		panic("kernels: Trsm tile size mismatch")
+	}
+	ad, bd := a.Data, b.Data
+	// (X L^T)[i][j] = sum_{k<=j} X[i][k] * L[j][k] = B[i][j].
+	// Solve column by column, ascending j.
+	for j := 0; j < nb; j++ {
+		diag := ad[j+j*nb]
+		if diag == 0 {
+			panic("kernels: Trsm with singular triangular tile")
+		}
+		bj := bd[j*nb : j*nb+nb]
+		for k := 0; k < j; k++ {
+			s := ad[j+k*nb] // L[j][k]
+			if s == 0 {
+				continue
+			}
+			bk := bd[k*nb : k*nb+nb]
+			for i := 0; i < nb; i++ {
+				bj[i] -= s * bk[i]
+			}
+		}
+		inv := 1 / diag
+		for i := 0; i < nb; i++ {
+			bj[i] *= inv
+		}
+	}
+}
+
+// ErrNotPositiveDefinite is returned by Potrf when a diagonal pivot is not
+// strictly positive.
+type ErrNotPositiveDefinite struct {
+	Index int
+}
+
+func (e *ErrNotPositiveDefinite) Error() string {
+	return fmt.Sprintf("kernels: matrix not positive definite (pivot %d)", e.Index)
+}
+
+// Potrf computes the unblocked Cholesky factorization A = L*L^T of the
+// tile in place (lower triangle; the strictly upper triangle is left
+// untouched). It corresponds to the DPOTF2 task in Algorithm 1.
+func Potrf(a *tile.Tile) error {
+	nb := a.NB
+	ad := a.Data
+	for j := 0; j < nb; j++ {
+		d := ad[j+j*nb]
+		for k := 0; k < j; k++ {
+			v := ad[j+k*nb]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return &ErrNotPositiveDefinite{Index: j}
+		}
+		d = math.Sqrt(d)
+		ad[j+j*nb] = d
+		inv := 1 / d
+		for i := j + 1; i < nb; i++ {
+			s := ad[i+j*nb]
+			for k := 0; k < j; k++ {
+				s -= ad[i+k*nb] * ad[j+k*nb]
+			}
+			ad[i+j*nb] = s * inv
+		}
+	}
+	return nil
+}

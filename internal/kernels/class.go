@@ -1,0 +1,77 @@
+package kernels
+
+// Class identifies a kernel type for timing models, traces and statistics.
+// The names match the BLAS/LAPACK routines in Algorithms 1 and 2.
+type Class string
+
+const (
+	// Cholesky kernels (Algorithm 1).
+	ClassPOTRF Class = "DPOTRF"
+	ClassTRSM  Class = "DTRSM"
+	ClassSYRK  Class = "DSYRK"
+	ClassGEMM  Class = "DGEMM"
+	// QR kernels (Algorithm 2).
+	ClassGEQRT Class = "DGEQRT"
+	ClassORMQR Class = "DORMQR"
+	ClassTSQRT Class = "DTSQRT"
+	ClassTSMQR Class = "DTSMQR"
+)
+
+// CholeskyClasses lists the kernel classes of tile Cholesky in the order
+// they appear in Algorithm 1.
+var CholeskyClasses = []Class{ClassPOTRF, ClassTRSM, ClassSYRK, ClassGEMM}
+
+// QRClasses lists the kernel classes of tile QR in the order they appear
+// in Algorithm 2.
+var QRClasses = []Class{ClassGEQRT, ClassORMQR, ClassTSQRT, ClassTSMQR}
+
+// Flops returns the approximate floating-point operation count of one
+// kernel invocation on nb x nb tiles. The counts follow the PLASMA
+// conventions (mults+adds); QR kernels use full inner blocking (ib = nb).
+func (c Class) Flops(nb int) float64 {
+	if f, ok := luFlops(c, nb); ok {
+		return f
+	}
+	n := float64(nb)
+	switch c {
+	case ClassGEMM:
+		return 2 * n * n * n
+	case ClassSYRK:
+		return n * n * (n + 1)
+	case ClassTRSM:
+		return n * n * n
+	case ClassPOTRF:
+		return n * n * n / 3
+	case ClassGEQRT:
+		// QR of an nb x nb tile plus construction of T.
+		return 4.0 / 3.0 * n * n * n
+	case ClassORMQR:
+		// W = V^T C, W = T^T W, C -= V W: three triangular-ish products.
+		return 3 * n * n * n
+	case ClassTSQRT:
+		return 2 * n * n * n
+	case ClassTSMQR:
+		// W = B1 + V^T B2, W = T^T W, B1 -= W, B2 -= V W.
+		return 5 * n * n * n
+	default:
+		return 0
+	}
+}
+
+// AlgorithmFlops returns the nominal operation count of a factorization of
+// an n x n matrix, as used for GFLOP/s reporting in the paper's
+// performance plots: n^3/3 for Cholesky, (4/3) n^3 for QR and (2/3) n^3
+// for LU.
+func AlgorithmFlops(algorithm string, n int) float64 {
+	fn := float64(n)
+	switch algorithm {
+	case "cholesky", "chol":
+		return fn * fn * fn / 3
+	case "qr":
+		return 4.0 / 3.0 * fn * fn * fn
+	case "lu":
+		return 2.0 / 3.0 * fn * fn * fn
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"supersim/internal/tile"
+)
+
+// This file implements the tile kernels of the LU factorization without
+// pivoting (PLASMA's dgetrf_nopiv variant), the third tile algorithm the
+// PLASMA library the paper builds on provides. LU without pivoting is
+// numerically safe for diagonally dominant matrices, which is what the
+// workload generator produces. The kernel classes:
+//
+//	DGETRF  - LU factorization of a diagonal tile (no pivoting)
+//	DTRSMU  - triangular solve with L from the diagonal tile (row panel)
+//	DTRSML  - triangular solve with U from the diagonal tile (column panel)
+//	DGEMM   - trailing update (shared with Cholesky)
+
+// LU kernel classes.
+const (
+	ClassGETRF Class = "DGETRF"
+	ClassTRSMU Class = "DTRSMU"
+	ClassTRSML Class = "DTRSML"
+)
+
+// LUClasses lists the kernel classes of tile LU in algorithm order.
+var LUClasses = []Class{ClassGETRF, ClassTRSMU, ClassTRSML, ClassGEMM}
+
+// luFlops extends Class.Flops for the LU kernels.
+func luFlops(c Class, nb int) (float64, bool) {
+	n := float64(nb)
+	switch c {
+	case ClassGETRF:
+		return 2.0 / 3.0 * n * n * n, true
+	case ClassTRSMU, ClassTRSML:
+		return n * n * n, true
+	default:
+		return 0, false
+	}
+}
+
+// ErrZeroPivot is returned by Getrf when a pivot vanishes; without
+// pivoting that makes the factorization impossible.
+type ErrZeroPivot struct {
+	Index int
+}
+
+func (e *ErrZeroPivot) Error() string {
+	return fmt.Sprintf("kernels: zero pivot at index %d (LU without pivoting)", e.Index)
+}
+
+// Getrf computes the LU factorization without pivoting of the tile in
+// place: A = L*U with L unit lower triangular (unit diagonal implicit) and
+// U upper triangular. It corresponds to the DGETRF task.
+func Getrf(a *tile.Tile) error {
+	nb := a.NB
+	ad := a.Data
+	for k := 0; k < nb; k++ {
+		pivot := ad[k+k*nb]
+		if pivot == 0 || math.IsNaN(pivot) {
+			return &ErrZeroPivot{Index: k}
+		}
+		inv := 1 / pivot
+		for i := k + 1; i < nb; i++ {
+			ad[i+k*nb] *= inv
+		}
+		for j := k + 1; j < nb; j++ {
+			s := ad[k+j*nb]
+			if s == 0 {
+				continue
+			}
+			col := ad[j*nb : j*nb+nb]
+			lcol := ad[k*nb : k*nb+nb]
+			for i := k + 1; i < nb; i++ {
+				col[i] -= lcol[i] * s
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLowerUnit solves L*X = B in place of B, with L the unit lower
+// triangle of the factored tile a (the DTRSMU task: it produces the U
+// blocks of the row panel).
+func TrsmLowerUnit(a, b *tile.Tile) {
+	nb := b.NB
+	if a.NB != nb {
+		panic("kernels: TrsmLowerUnit tile size mismatch")
+	}
+	ad, bd := a.Data, b.Data
+	for j := 0; j < nb; j++ {
+		bj := bd[j*nb : j*nb+nb]
+		// Forward substitution down each column of B.
+		for k := 0; k < nb; k++ {
+			s := bj[k]
+			if s == 0 {
+				continue
+			}
+			lk := ad[k*nb : k*nb+nb]
+			for i := k + 1; i < nb; i++ {
+				bj[i] -= lk[i] * s
+			}
+		}
+	}
+}
+
+// TrsmUpperRight solves X*U = B in place of B, with U the upper triangle
+// (including diagonal) of the factored tile a (the DTRSML task: it
+// produces the L blocks of the column panel).
+func TrsmUpperRight(a, b *tile.Tile) {
+	nb := b.NB
+	if a.NB != nb {
+		panic("kernels: TrsmUpperRight tile size mismatch")
+	}
+	ad, bd := a.Data, b.Data
+	// (X U)[i][j] = sum_{k<=j} X[i][k] U[k][j] = B[i][j]; solve columns
+	// in ascending j.
+	for j := 0; j < nb; j++ {
+		diag := ad[j+j*nb]
+		if diag == 0 {
+			panic("kernels: TrsmUpperRight with singular U")
+		}
+		bj := bd[j*nb : j*nb+nb]
+		for k := 0; k < j; k++ {
+			s := ad[k+j*nb] // U[k][j]
+			if s == 0 {
+				continue
+			}
+			bk := bd[k*nb : k*nb+nb]
+			for i := 0; i < nb; i++ {
+				bj[i] -= s * bk[i]
+			}
+		}
+		inv := 1 / diag
+		for i := 0; i < nb; i++ {
+			bj[i] *= inv
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"supersim/internal/rng"
+	"supersim/internal/tile"
+)
+
+func randDiagDomTile(nb int, src *rng.Source) *tile.Tile {
+	t := randTile(nb, src)
+	for i := 0; i < nb; i++ {
+		t.Set(i, i, t.At(i, i)+float64(nb))
+	}
+	return t
+}
+
+func TestGetrfReconstructs(t *testing.T) {
+	src := rng.New(30)
+	for _, nb := range []int{1, 2, 4, 9} {
+		a := randDiagDomTile(nb, src)
+		orig := a.Clone()
+		if err := Getrf(a); err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		// Rebuild L*U.
+		rebuilt := tile.NewTile(nb)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				var sum float64
+				for k := 0; k <= i && k <= j; k++ {
+					lik := a.At(i, k)
+					if k == i {
+						lik = 1
+					}
+					if k > i {
+						lik = 0
+					}
+					sum += lik * a.At(k, j)
+				}
+				rebuilt.Set(i, j, sum)
+			}
+		}
+		if d := maxAbsDiffTiles(rebuilt, orig); d > 1e-9 {
+			t.Errorf("nb=%d: ||L U - A||_max = %g", nb, d)
+		}
+	}
+}
+
+func TestGetrfZeroPivot(t *testing.T) {
+	a := tile.NewTile(3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 0) // becomes a zero pivot
+	a.Set(2, 2, 1)
+	err := Getrf(a)
+	if err == nil {
+		t.Fatal("zero pivot not detected")
+	}
+	if zp, ok := err.(*ErrZeroPivot); !ok || zp.Index != 1 {
+		t.Errorf("err %v, want zero pivot at 1", err)
+	}
+}
+
+func TestTrsmLowerUnitSolves(t *testing.T) {
+	src := rng.New(31)
+	nb := 6
+	a := randDiagDomTile(nb, src)
+	if err := Getrf(a); err != nil {
+		t.Fatal(err)
+	}
+	b := randTile(nb, src)
+	x := b.Clone()
+	TrsmLowerUnit(a, x)
+	// Verify L*X == B with unit lower L from a.
+	check := tile.NewTile(nb)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < nb; i++ {
+			sum := x.At(i, j) // L[i][i] = 1
+			for k := 0; k < i; k++ {
+				sum += a.At(i, k) * x.At(k, j)
+			}
+			check.Set(i, j, sum)
+		}
+	}
+	if d := maxAbsDiffTiles(check, b); d > 1e-10 {
+		t.Errorf("||L X - B||_max = %g", d)
+	}
+}
+
+func TestTrsmUpperRightSolves(t *testing.T) {
+	src := rng.New(32)
+	nb := 6
+	a := randDiagDomTile(nb, src)
+	if err := Getrf(a); err != nil {
+		t.Fatal(err)
+	}
+	b := randTile(nb, src)
+	x := b.Clone()
+	TrsmUpperRight(a, x)
+	// Verify X*U == B with upper U from a.
+	check := tile.NewTile(nb)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < nb; i++ {
+			var sum float64
+			for k := 0; k <= j; k++ {
+				sum += x.At(i, k) * a.At(k, j)
+			}
+			check.Set(i, j, sum)
+		}
+	}
+	if d := maxAbsDiffTiles(check, b); d > 1e-10 {
+		t.Errorf("||X U - B||_max = %g", d)
+	}
+}
+
+func TestTrsmUpperRightSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on singular U")
+		}
+	}()
+	TrsmUpperRight(tile.NewTile(3), tile.NewTile(3))
+}
+
+func TestLUFlops(t *testing.T) {
+	if f := ClassGETRF.Flops(30); math.Abs(f-2.0/3.0*27000) > 1 {
+		t.Errorf("GETRF flops %g", f)
+	}
+	if ClassTRSMU.Flops(10) != 1000 || ClassTRSML.Flops(10) != 1000 {
+		t.Error("TRSM flops wrong")
+	}
+	if AlgorithmFlops("lu", 30) != 2.0/3.0*27000 {
+		t.Error("lu algorithm flops wrong")
+	}
+}

@@ -1,0 +1,334 @@
+package kernels
+
+import (
+	"math"
+	"sync"
+
+	"supersim/internal/tile"
+)
+
+// scratch recycles the two nb x nb work arrays used by the block-reflector
+// applications; ORMQR/TSMQR dominate the factorizations and would otherwise
+// allocate on every call.
+var scratch = sync.Pool{New: func() any { return []float64(nil) }}
+
+func getScratch(n int) []float64 {
+	s := scratch.Get().([]float64)
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func putScratch(s []float64) { scratch.Put(s) } //nolint:staticcheck // slice header copy is fine here
+
+// This file implements the four tile QR kernels (Algorithm 2 of the paper).
+// All follow the compact WY representation: a sequence of Householder
+// reflectors H_0 ... H_{nb-1} is accumulated as Q = I - V*T*V^T, with the
+// reflector vectors V stored in the factored tile and T an upper-triangular
+// nb x nb tile, so that applying Q^T to a block C is
+// C <- C - V * T^T * (V^T * C).
+
+// householder generates a Householder reflector for the vector
+// (alpha, x[0..m-1]): it returns beta and tau and overwrites x with the
+// scaled reflector tail v (the implicit leading element of v is 1), such
+// that H * (alpha, x)^T = (beta, 0)^T with H = I - tau * v * v^T.
+func householder(alpha float64, x []float64) (beta, tau float64) {
+	var xnorm float64
+	for _, v := range x {
+		xnorm += v * v
+	}
+	if xnorm == 0 {
+		// Already in triangular form; H = I.
+		return alpha, 0
+	}
+	norm := math.Sqrt(alpha*alpha + xnorm)
+	if alpha >= 0 {
+		beta = -norm
+	} else {
+		beta = norm
+	}
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	for i := range x {
+		x[i] *= scale
+	}
+	return beta, tau
+}
+
+// Geqrt computes the QR factorization of the nb x nb tile a: on exit the
+// upper triangle of a holds R, the strictly lower triangle holds the
+// Householder vectors V (unit diagonal implicit), and t holds the upper
+// triangular block-reflector factor T with Q = I - V*T*V^T.
+// It corresponds to the DGEQRT task in Algorithm 2.
+func Geqrt(a, t *tile.Tile) {
+	nb := a.NB
+	if t.NB != nb {
+		panic("kernels: Geqrt tile size mismatch")
+	}
+	ad, td := a.Data, t.Data
+	t.Zero()
+	taus := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		col := ad[i*nb : i*nb+nb]
+		beta, tau := householder(col[i], col[i+1:])
+		col[i] = beta
+		taus[i] = tau
+		if tau != 0 {
+			// Apply H_i = I - tau*v*v^T to trailing columns j > i.
+			for j := i + 1; j < nb; j++ {
+				cj := ad[j*nb : j*nb+nb]
+				w := cj[i]
+				for r := i + 1; r < nb; r++ {
+					w += col[r] * cj[r]
+				}
+				w *= tau
+				cj[i] -= w
+				for r := i + 1; r < nb; r++ {
+					cj[r] -= w * col[r]
+				}
+			}
+		}
+		// T(:, i) recurrence: z = V(:, 0:i)^T * v_i, where v_i has implicit
+		// 1 at row i and tail col[i+1:]; V(:, j) has implicit 1 at row j
+		// (j < i, so the unit elements never overlap v_i's support).
+		if i > 0 && tau != 0 {
+			z := make([]float64, i)
+			for j := 0; j < i; j++ {
+				vj := ad[j*nb : j*nb+nb]
+				s := vj[i] // V[i][j] * v_i[i] with v_i[i] = 1
+				for r := i + 1; r < nb; r++ {
+					s += vj[r] * col[r]
+				}
+				z[j] = s
+			}
+			// T(0:i, i) = -tau * T(0:i, 0:i) * z  (T upper triangular).
+			for r := 0; r < i; r++ {
+				var s float64
+				for k := r; k < i; k++ {
+					s += td[r+k*nb] * z[k]
+				}
+				td[r+i*nb] = -tau * s
+			}
+		}
+		td[i+i*nb] = taus[i]
+	}
+}
+
+// applyBlockReflector computes C <- C - V * op(T) * (V^T * C) for the
+// unit-lower-triangular reflector block V stored in v's strictly lower
+// triangle, with op(T) = T^T when trans is true (applying Q^T) or T when
+// false (applying Q). C is the nb x nb tile c.
+func applyBlockReflector(v, t, c *tile.Tile, trans bool) {
+	nb := c.NB
+	vd, td, cd := v.Data, t.Data, c.Data
+	w := getScratch(nb * nb)
+	defer putScratch(w)
+	// W = V^T * C with V unit lower triangular (diagonal implicit 1).
+	for j := 0; j < nb; j++ {
+		cj := cd[j*nb : j*nb+nb]
+		for i := 0; i < nb; i++ {
+			s := cj[i] // the implicit V[i][i] = 1 term
+			vi := vd[i*nb : i*nb+nb]
+			for r := i + 1; r < nb; r++ {
+				s += vi[r] * cj[r]
+			}
+			w[i+j*nb] = s
+		}
+	}
+	// W <- op(T) * W with T upper triangular.
+	w2 := getScratch(nb * nb)
+	defer putScratch(w2)
+	for j := 0; j < nb; j++ {
+		wj := w[j*nb : j*nb+nb]
+		oj := w2[j*nb : j*nb+nb]
+		if trans {
+			// T^T is lower triangular: (T^T W)[i] = sum_{k<=i} T[k][i]*W[k].
+			for i := 0; i < nb; i++ {
+				var s float64
+				ti := td[i*nb : i*nb+nb]
+				for k := 0; k <= i; k++ {
+					s += ti[k] * wj[k]
+				}
+				oj[i] = s
+			}
+		} else {
+			for i := 0; i < nb; i++ {
+				var s float64
+				for k := i; k < nb; k++ {
+					s += td[i+k*nb] * wj[k]
+				}
+				oj[i] = s
+			}
+		}
+	}
+	// C <- C - V * W2 with V unit lower triangular.
+	for j := 0; j < nb; j++ {
+		oj := w2[j*nb : j*nb+nb]
+		cj := cd[j*nb : j*nb+nb]
+		for i := 0; i < nb; i++ {
+			s := oj[i]
+			if s == 0 {
+				continue
+			}
+			cj[i] -= s
+			vi := vd[i*nb : i*nb+nb]
+			for r := i + 1; r < nb; r++ {
+				cj[r] -= s * vi[r]
+			}
+		}
+	}
+}
+
+// Ormqr applies Q^T from a Geqrt factorization (v holds V, t holds T) to
+// the tile c: c <- Q^T * c. It corresponds to the DORMQR task.
+func Ormqr(v, t, c *tile.Tile) {
+	applyBlockReflector(v, t, c, true)
+}
+
+// OrmqrNoTrans applies Q (not transposed) from a Geqrt factorization to c.
+// Used when reconstructing A = Q*R in verification code.
+func OrmqrNoTrans(v, t, c *tile.Tile) {
+	applyBlockReflector(v, t, c, false)
+}
+
+// Tsqrt computes the QR factorization of the (2nb) x nb "triangle on top of
+// square" pair [R; A], where r holds an upper-triangular tile and a holds a
+// full tile. On exit r holds the updated R, a holds the Householder vector
+// block V (the top part of each reflector is an implicit unit vector), and
+// t holds the block-reflector factor T. It corresponds to the DTSQRT task.
+func Tsqrt(r, a, t *tile.Tile) {
+	nb := r.NB
+	if a.NB != nb || t.NB != nb {
+		panic("kernels: Tsqrt tile size mismatch")
+	}
+	rd, ad, td := r.Data, a.Data, t.Data
+	t.Zero()
+	for i := 0; i < nb; i++ {
+		acol := ad[i*nb : i*nb+nb]
+		// Reflector over (R[i][i], A[:, i]); the rows of R below i are
+		// untouched (they are structurally zero in the stacked column).
+		beta, tau := householder(rd[i+i*nb], acol)
+		rd[i+i*nb] = beta
+		if tau != 0 {
+			// Update trailing columns j > i of the stacked pair.
+			for j := i + 1; j < nb; j++ {
+				aj := ad[j*nb : j*nb+nb]
+				w := rd[i+j*nb]
+				for rr := 0; rr < nb; rr++ {
+					w += acol[rr] * aj[rr]
+				}
+				w *= tau
+				rd[i+j*nb] -= w
+				for rr := 0; rr < nb; rr++ {
+					aj[rr] -= w * acol[rr]
+				}
+			}
+			// T(:, i): z = V(:, 0:i)^T v_i reduces to the square blocks
+			// because the top parts are distinct unit vectors.
+			if i > 0 {
+				z := make([]float64, i)
+				for j := 0; j < i; j++ {
+					vj := ad[j*nb : j*nb+nb]
+					var s float64
+					for rr := 0; rr < nb; rr++ {
+						s += vj[rr] * acol[rr]
+					}
+					z[j] = s
+				}
+				for rr := 0; rr < i; rr++ {
+					var s float64
+					for k := rr; k < i; k++ {
+						s += td[rr+k*nb] * z[k]
+					}
+					td[rr+i*nb] = -tau * s
+				}
+			}
+		}
+		td[i+i*nb] = tau
+	}
+}
+
+// tsApply computes the block application for the TS (triangle-square)
+// reflector family: [B1; B2] <- (I - [I; V]*op(T)*[I; V]^T) [B1; B2],
+// i.e. W = op(T) * (B1 + V^T B2); B1 -= W; B2 -= V*W.
+func tsApply(v, t, b1, b2 *tile.Tile, trans bool) {
+	nb := b1.NB
+	vd, td := v.Data, t.Data
+	b1d, b2d := b1.Data, b2.Data
+	w := getScratch(nb * nb)
+	defer putScratch(w)
+	// W = B1 + V^T * B2.
+	for j := 0; j < nb; j++ {
+		bj := b2d[j*nb : j*nb+nb]
+		wj := w[j*nb : j*nb+nb]
+		copy(wj, b1d[j*nb:j*nb+nb])
+		for i := 0; i < nb; i++ {
+			vi := vd[i*nb : i*nb+nb]
+			var s float64
+			for rr := 0; rr < nb; rr++ {
+				s += vi[rr] * bj[rr]
+			}
+			wj[i] += s
+		}
+	}
+	// W <- op(T) * W.
+	w2 := getScratch(nb * nb)
+	defer putScratch(w2)
+	for j := 0; j < nb; j++ {
+		wj := w[j*nb : j*nb+nb]
+		oj := w2[j*nb : j*nb+nb]
+		if trans {
+			for i := 0; i < nb; i++ {
+				var s float64
+				ti := td[i*nb : i*nb+nb]
+				for k := 0; k <= i; k++ {
+					s += ti[k] * wj[k]
+				}
+				oj[i] = s
+			}
+		} else {
+			for i := 0; i < nb; i++ {
+				var s float64
+				for k := i; k < nb; k++ {
+					s += td[i+k*nb] * wj[k]
+				}
+				oj[i] = s
+			}
+		}
+	}
+	// B1 -= W2; B2 -= V * W2.
+	for j := 0; j < nb; j++ {
+		oj := w2[j*nb : j*nb+nb]
+		b1j := b1d[j*nb : j*nb+nb]
+		b2j := b2d[j*nb : j*nb+nb]
+		for i := 0; i < nb; i++ {
+			s := oj[i]
+			if s == 0 {
+				continue
+			}
+			b1j[i] -= s
+			vi := vd[i*nb : i*nb+nb]
+			for rr := 0; rr < nb; rr++ {
+				b2j[rr] -= s * vi[rr]
+			}
+		}
+	}
+}
+
+// Tsmqr applies Q^T from a Tsqrt factorization (v holds the square V block,
+// t holds T) to the stacked tile pair [b1; b2]. It corresponds to the
+// DTSMQR task, the dominant kernel of tile QR.
+func Tsmqr(b1, b2, v, t *tile.Tile) {
+	tsApply(v, t, b1, b2, true)
+}
+
+// TsmqrNoTrans applies Q (not transposed) from a Tsqrt factorization to
+// [b1; b2]. Used when reconstructing A = Q*R in verification code.
+func TsmqrNoTrans(b1, b2, v, t *tile.Tile) {
+	tsApply(v, t, b1, b2, false)
+}

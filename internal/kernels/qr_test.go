@@ -1,0 +1,253 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"supersim/internal/rng"
+	"supersim/internal/tile"
+)
+
+// upperOf extracts the upper triangle (with diagonal) of a into a new tile.
+func upperOf(a *tile.Tile) *tile.Tile {
+	r := tile.NewTile(a.NB)
+	for j := 0; j < a.NB; j++ {
+		for i := 0; i <= j; i++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	return r
+}
+
+func TestGeqrtReconstructsA(t *testing.T) {
+	src := rng.New(10)
+	for _, nb := range []int{1, 2, 3, 8, 17} {
+		a := randTile(nb, src)
+		orig := a.Clone()
+		tt := tile.NewTile(nb)
+		Geqrt(a, tt)
+		// Reconstruct Q*R and compare to the original tile.
+		r := upperOf(a)
+		OrmqrNoTrans(a, tt, r) // r <- Q*R
+		if d := maxAbsDiffTiles(r, orig); d > 1e-9 {
+			t.Errorf("Geqrt nb=%d: ||Q R - A||_max = %g", nb, d)
+		}
+	}
+}
+
+func TestGeqrtQIsOrthogonal(t *testing.T) {
+	src := rng.New(11)
+	for _, nb := range []int{2, 5, 16} {
+		a := randTile(nb, src)
+		tt := tile.NewTile(nb)
+		Geqrt(a, tt)
+		q := tile.NewTile(nb)
+		for i := 0; i < nb; i++ {
+			q.Set(i, i, 1)
+		}
+		OrmqrNoTrans(a, tt, q) // q <- Q * I
+		qtq := tile.NewTile(nb)
+		Gemm(true, false, 1, q, q, 0, qtq)
+		for i := 0; i < nb; i++ {
+			qtq.Set(i, i, qtq.At(i, i)-1)
+		}
+		var max float64
+		for _, v := range qtq.Data {
+			if d := math.Abs(v); d > max {
+				max = d
+			}
+		}
+		if max > 1e-10 {
+			t.Errorf("Geqrt nb=%d: ||Q^T Q - I||_max = %g", nb, max)
+		}
+	}
+}
+
+func TestOrmqrIsInverseOfOrmqrNoTrans(t *testing.T) {
+	src := rng.New(12)
+	nb := 9
+	a := randTile(nb, src)
+	tt := tile.NewTile(nb)
+	Geqrt(a, tt)
+	c := randTile(nb, src)
+	orig := c.Clone()
+	Ormqr(a, tt, c)        // c <- Q^T c
+	OrmqrNoTrans(a, tt, c) // c <- Q Q^T c = c
+	if d := maxAbsDiffTiles(c, orig); d > 1e-10 {
+		t.Errorf("Q Q^T c != c: max diff %g", d)
+	}
+}
+
+func TestGeqrtAppliedToSelfGivesR(t *testing.T) {
+	// Applying Q^T to the original tile must reproduce R.
+	src := rng.New(13)
+	nb := 7
+	a := randTile(nb, src)
+	orig := a.Clone()
+	tt := tile.NewTile(nb)
+	Geqrt(a, tt)
+	Ormqr(a, tt, orig) // orig <- Q^T A = R (should be upper triangular)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < nb; i++ {
+			if i <= j {
+				if d := math.Abs(orig.At(i, j) - a.At(i, j)); d > 1e-9 {
+					t.Errorf("R mismatch at (%d,%d): %g", i, j, d)
+				}
+			} else if math.Abs(orig.At(i, j)) > 1e-9 {
+				t.Errorf("Q^T A not upper triangular at (%d,%d): %g", i, j, orig.At(i, j))
+			}
+		}
+	}
+}
+
+func TestGeqrtZeroColumnTile(t *testing.T) {
+	// A tile with a zero column exercises the tau = 0 path.
+	src := rng.New(14)
+	nb := 5
+	a := randTile(nb, src)
+	for i := 0; i < nb; i++ {
+		a.Set(i, 2, 0)
+	}
+	orig := a.Clone()
+	tt := tile.NewTile(nb)
+	Geqrt(a, tt)
+	r := upperOf(a)
+	OrmqrNoTrans(a, tt, r)
+	if d := maxAbsDiffTiles(r, orig); d > 1e-9 {
+		t.Errorf("Geqrt with zero column: ||Q R - A||_max = %g", d)
+	}
+}
+
+func TestTsqrtReconstructsStackedPair(t *testing.T) {
+	src := rng.New(15)
+	for _, nb := range []int{1, 2, 4, 11} {
+		// Start from an upper-triangular R0 and a full tile A1.
+		r0 := upperOf(randTile(nb, src))
+		a1 := randTile(nb, src)
+		r0c, a1c := r0.Clone(), a1.Clone()
+		tt := tile.NewTile(nb)
+		Tsqrt(r0c, a1c, tt)
+		// Reconstruct: Q * [Rnew; 0] must equal [R0; A1].
+		top := upperOf(r0c)
+		bottom := tile.NewTile(nb)
+		TsmqrNoTrans(top, bottom, a1c, tt)
+		if d := maxAbsDiffTiles(top, r0); d > 1e-9 {
+			t.Errorf("Tsqrt nb=%d: top reconstruction error %g", nb, d)
+		}
+		if d := maxAbsDiffTiles(bottom, a1); d > 1e-9 {
+			t.Errorf("Tsqrt nb=%d: bottom reconstruction error %g", nb, d)
+		}
+	}
+}
+
+func TestTsmqrAnnihilatesFactoredPair(t *testing.T) {
+	// Applying Q^T to the original stacked pair must give [Rnew; 0].
+	src := rng.New(16)
+	nb := 6
+	r0 := upperOf(randTile(nb, src))
+	a1 := randTile(nb, src)
+	r0c, a1c := r0.Clone(), a1.Clone()
+	tt := tile.NewTile(nb)
+	Tsqrt(r0c, a1c, tt)
+	top, bottom := r0.Clone(), a1.Clone()
+	Tsmqr(top, bottom, a1c, tt)
+	if d := maxAbsDiffTiles(top, upperOf(r0c)); d > 1e-9 {
+		t.Errorf("Q^T [R0; A1] top != Rnew: max diff %g", d)
+	}
+	var max float64
+	for _, v := range bottom.Data {
+		if d := math.Abs(v); d > max {
+			max = d
+		}
+	}
+	if max > 1e-9 {
+		t.Errorf("Q^T [R0; A1] bottom not annihilated: max %g", max)
+	}
+}
+
+func TestTsmqrRoundTrip(t *testing.T) {
+	src := rng.New(17)
+	nb := 8
+	r0 := upperOf(randTile(nb, src))
+	a1 := randTile(nb, src)
+	tt := tile.NewTile(nb)
+	v := a1.Clone()
+	rr := r0.Clone()
+	Tsqrt(rr, v, tt)
+	b1, b2 := randTile(nb, src), randTile(nb, src)
+	ob1, ob2 := b1.Clone(), b2.Clone()
+	Tsmqr(b1, b2, v, tt)
+	TsmqrNoTrans(b1, b2, v, tt)
+	if d := maxAbsDiffTiles(b1, ob1); d > 1e-10 {
+		t.Errorf("Tsmqr round trip top: %g", d)
+	}
+	if d := maxAbsDiffTiles(b2, ob2); d > 1e-10 {
+		t.Errorf("Tsmqr round trip bottom: %g", d)
+	}
+}
+
+func TestTsqrtZeroBottomTile(t *testing.T) {
+	// If the bottom tile is zero the factorization is the identity:
+	// R unchanged, all taus zero.
+	src := rng.New(18)
+	nb := 4
+	r0 := upperOf(randTile(nb, src))
+	a1 := tile.NewTile(nb)
+	rc := r0.Clone()
+	tt := tile.NewTile(nb)
+	Tsqrt(rc, a1, tt)
+	if d := maxAbsDiffTiles(rc, r0); d > 1e-12 {
+		t.Errorf("Tsqrt with zero bottom changed R: %g", d)
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatalf("Tsqrt with zero bottom produced nonzero T")
+		}
+	}
+}
+
+func TestHouseholderZeroTail(t *testing.T) {
+	beta, tau := householder(3.5, []float64{0, 0})
+	if beta != 3.5 || tau != 0 {
+		t.Errorf("householder with zero tail: beta=%g tau=%g, want 3.5, 0", beta, tau)
+	}
+}
+
+func TestHouseholderAnnihilates(t *testing.T) {
+	src := rng.New(19)
+	for trial := 0; trial < 20; trial++ {
+		alpha := 2*src.Float64() - 1
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = 2*src.Float64() - 1
+		}
+		ox := append([]float64(nil), x...)
+		beta, tau := householder(alpha, x)
+		// Apply H = I - tau v v^T to the original vector (alpha, ox):
+		// result must be (beta, 0, ..., 0).
+		w := alpha // v[0] = 1 implicit
+		for i := range x {
+			w += x[i] * ox[i]
+		}
+		w *= tau
+		head := alpha - w
+		if math.Abs(head-beta) > 1e-12 {
+			t.Errorf("head after reflection = %g, want beta = %g", head, beta)
+		}
+		for i := range x {
+			tail := ox[i] - w*x[i]
+			if math.Abs(tail) > 1e-12 {
+				t.Errorf("tail %d after reflection = %g, want 0", i, tail)
+			}
+		}
+		// Norm preservation: |beta| = ||(alpha, x)||.
+		var norm float64
+		norm = alpha * alpha
+		for _, v := range ox {
+			norm += v * v
+		}
+		if math.Abs(math.Abs(beta)-math.Sqrt(norm)) > 1e-12 {
+			t.Errorf("|beta| = %g, want %g", math.Abs(beta), math.Sqrt(norm))
+		}
+	}
+}

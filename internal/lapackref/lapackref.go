@@ -1,0 +1,217 @@
+// Package lapackref contains straightforward dense reference
+// implementations (unblocked, row-major) of the operations computed by the
+// tile kernels and tile algorithms. They exist purely to verify the tiled
+// implementations in tests and examples and are deliberately simple rather
+// than fast.
+package lapackref
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a square row-major dense matrix of order N.
+type Dense struct {
+	N    int
+	Data []float64 // Data[i*N+j] is element (i, j)
+}
+
+// NewDense returns a zeroed n x n dense matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// FromSlice wraps a row-major slice (must have n*n elements).
+func FromSlice(data []float64, n int) *Dense {
+	if len(data) != n*n {
+		panic(fmt.Sprintf("lapackref: FromSlice expects %d elements, got %d", n*n, len(data)))
+	}
+	return &Dense{N: n, Data: data}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.N+j] }
+
+// Set stores element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.N+j] = v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.N)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// Identity returns the n x n identity.
+func Identity(n int) *Dense {
+	d := NewDense(n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 1)
+	}
+	return d
+}
+
+// MatMul returns A*B.
+func MatMul(a, b *Dense) *Dense {
+	n := a.N
+	if b.N != n {
+		panic("lapackref: MatMul size mismatch")
+	}
+	c := NewDense(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			s := a.At(i, k)
+			if s == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += s * b.Data[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns A^T.
+func Transpose(a *Dense) *Dense {
+	t := NewDense(a.N)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			t.Set(j, i, a.At(i, j))
+		}
+	}
+	return t
+}
+
+// FrobeniusNorm returns ||A||_F.
+func FrobeniusNorm(a *Dense) float64 {
+	var sum float64
+	for _, v := range a.Data {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbsDiff returns max_ij |A_ij - B_ij|.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.N != b.N {
+		panic("lapackref: MaxAbsDiff size mismatch")
+	}
+	var max float64
+	for i, v := range a.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Cholesky factors A = L*L^T in place (lower triangle of a; the strictly
+// upper triangle is zeroed). Returns an error if A is not positive definite.
+func Cholesky(a *Dense) error {
+	n := a.N
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("lapackref: not positive definite at pivot %d", j)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// QR computes a Householder QR factorization of A and returns (Q, R) as
+// dense matrices with Q orthogonal and R upper triangular, A = Q*R.
+func QR(a *Dense) (q, r *Dense) {
+	n := a.N
+	r = a.Clone()
+	q = Identity(n)
+	v := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		var norm float64
+		for i := k; i < n; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := r.At(k, k)
+		if alpha >= 0 {
+			norm = -norm
+		}
+		for i := 0; i < n; i++ {
+			v[i] = 0
+		}
+		v[k] = alpha - norm
+		for i := k + 1; i < n; i++ {
+			v[i] = r.At(i, k)
+		}
+		var vtv float64
+		for i := k; i < n; i++ {
+			vtv += v[i] * v[i]
+		}
+		if vtv == 0 {
+			continue
+		}
+		tau := 2 / vtv
+		// R <- H R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			dot *= tau
+			for i := k; i < n; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i])
+			}
+		}
+		// Q <- Q H (accumulate Q = H_0 H_1 ... so that A = Q R).
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := k; j < n; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			dot *= tau
+			for j := k; j < n; j++ {
+				q.Set(i, j, q.At(i, j)-dot*v[j])
+			}
+		}
+	}
+	// Clean tiny subdiagonal residue in R.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return q, r
+}
+
+// OrthogonalityError returns ||Q^T Q - I||_F / sqrt(n), a scale-free
+// measure of how orthogonal Q is.
+func OrthogonalityError(q *Dense) float64 {
+	n := q.N
+	g := MatMul(Transpose(q), q)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)-1)
+	}
+	return FrobeniusNorm(g) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,130 @@
+package lapackref
+
+import (
+	"math"
+	"testing"
+
+	"supersim/internal/rng"
+)
+
+func randDense(n int, seed uint64) *Dense {
+	src := rng.New(seed)
+	d := NewDense(n)
+	for i := range d.Data {
+		d.Data[i] = 2*src.Float64() - 1
+	}
+	return d
+}
+
+func randSPD(n int, seed uint64) *Dense {
+	a := randDense(n, seed)
+	spd := MatMul(a, Transpose(a))
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := randDense(5, 1)
+	got := MatMul(a, Identity(5))
+	if MaxAbsDiff(got, a) > 1e-14 {
+		t.Error("A * I != A")
+	}
+	got = MatMul(Identity(5), a)
+	if MaxAbsDiff(got, a) > 1e-14 {
+		t.Error("I * A != A")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := randDense(6, 2)
+	if MaxAbsDiff(Transpose(Transpose(a)), a) != 0 {
+		t.Error("transpose not an involution")
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randSPD(n, 3)
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rebuilt := MatMul(a, Transpose(a))
+		if d := MaxAbsDiff(rebuilt, orig); d > 1e-9 {
+			t.Errorf("n=%d: ||L L^T - A||_max = %g", n, d)
+		}
+		// Strictly upper part must be zeroed.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if a.At(i, j) != 0 {
+					t.Fatalf("upper part not zeroed at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDense(3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -5)
+	a.Set(2, 2, 1)
+	if err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 15} {
+		a := randDense(n, 4)
+		q, r := QR(a.Clone())
+		rebuilt := MatMul(q, r)
+		if d := MaxAbsDiff(rebuilt, a); d > 1e-9 {
+			t.Errorf("n=%d: ||Q R - A||_max = %g", n, d)
+		}
+		if e := OrthogonalityError(q); e > 1e-10 {
+			t.Errorf("n=%d: orthogonality error %g", n, e)
+		}
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// A matrix with two identical columns still reconstructs.
+	n := 4
+	a := randDense(n, 5)
+	for i := 0; i < n; i++ {
+		a.Set(i, 2, a.At(i, 1))
+	}
+	q, r := QR(a.Clone())
+	if d := MaxAbsDiff(MatMul(q, r), a); d > 1e-9 {
+		t.Errorf("rank-deficient reconstruction error %g", d)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := NewDense(2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 4)
+	if got := FrobeniusNorm(a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("norm = %g", got)
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong length")
+		}
+	}()
+	FromSlice(make([]float64, 5), 2)
+}

@@ -1,0 +1,109 @@
+// Package pq implements a small generic binary min-heap.
+//
+// It backs the simulator's Task Execution Queue (ordered by virtual
+// completion time) and the schedulers' priority ready queues. Unlike
+// container/heap it is generic, allocation-light and keeps the comparison
+// function with the heap rather than on the element type.
+package pq
+
+// Heap is a binary min-heap ordered by the less function supplied at
+// construction: the element x for which less(x, y) holds for every other
+// element y is at the front.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewWithCapacity returns an empty heap with preallocated storage.
+func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Heap[T] {
+	return &Heap[T]{less: less, items: make([]T, 0, capacity)}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum element without removing it.
+// The second result is false if the heap is empty.
+func (h *Heap[T]) Peek() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum element.
+// The second result is false if the heap is empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release reference for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Clear removes all elements, retaining capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+// Items returns the backing slice in heap order (not sorted order).
+// The caller must not modify it. Intended for inspection and testing.
+func (h *Heap[T]) Items() []T { return h.items }
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,180 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestEmptyHeap(t *testing.T) {
+	h := intHeap()
+	if !h.Empty() || h.Len() != 0 {
+		t.Error("new heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap returned ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap returned ok")
+	}
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0} {
+		h.Push(v)
+	}
+	for want := 0; want < 10; want++ {
+		got, ok := h.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if !h.Empty() {
+		t.Error("heap not empty after draining")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := intHeap()
+	h.Push(2)
+	h.Push(1)
+	if v, _ := h.Peek(); v != 1 {
+		t.Errorf("Peek = %d, want 1", v)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Peek removed an element")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 5; i++ {
+		h.Push(7)
+	}
+	h.Push(3)
+	if v, _ := h.Pop(); v != 3 {
+		t.Errorf("first pop = %d, want 3", v)
+	}
+	for i := 0; i < 5; i++ {
+		if v, _ := h.Pop(); v != 7 {
+			t.Fatalf("pop = %d, want 7", v)
+		}
+	}
+}
+
+func TestClearRetainsUsability(t *testing.T) {
+	h := intHeap()
+	h.Push(1)
+	h.Push(2)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+	h.Push(9)
+	if v, _ := h.Pop(); v != 9 {
+		t.Error("heap unusable after Clear")
+	}
+}
+
+func TestNewWithCapacity(t *testing.T) {
+	h := NewWithCapacity(func(a, b int) bool { return a < b }, 64)
+	for i := 63; i >= 0; i-- {
+		h.Push(i)
+	}
+	for i := 0; i < 64; i++ {
+		if v, _ := h.Pop(); v != i {
+			t.Fatalf("pop = %d, want %d", v, i)
+		}
+	}
+}
+
+// Property: popping everything yields the sorted input, for arbitrary
+// inputs (testing/quick).
+func TestHeapSortProperty(t *testing.T) {
+	err := quick.Check(func(xs []int) bool {
+		h := intHeap()
+		for _, v := range xs {
+			h.Push(v)
+		}
+		out := make([]int, 0, len(xs))
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			out = append(out, v)
+		}
+		if len(out) != len(xs) {
+			return false
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved pushes and pops never violate the min property.
+func TestInterleavedMinProperty(t *testing.T) {
+	err := quick.Check(func(ops []int16) bool {
+		h := intHeap()
+		var min *int
+		_ = min
+		for _, op := range ops {
+			if op >= 0 {
+				h.Push(int(op))
+			} else if !h.Empty() {
+				top, _ := h.Peek()
+				v, _ := h.Pop()
+				if v != top {
+					return false
+				}
+				// Every remaining element must be >= v.
+				for _, rest := range h.Items() {
+					if rest < v {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructElements(t *testing.T) {
+	type entry struct {
+		end float64
+		seq int
+	}
+	h := New(func(a, b entry) bool {
+		if a.end != b.end {
+			return a.end < b.end
+		}
+		return a.seq < b.seq
+	})
+	h.Push(entry{2.0, 1})
+	h.Push(entry{1.0, 2})
+	h.Push(entry{1.0, 0})
+	want := []entry{{1.0, 0}, {1.0, 2}, {2.0, 1}}
+	for i, w := range want {
+		got, _ := h.Pop()
+		if got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("reseed did not reset stream at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64Open()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %g", v)
+		}
+	}
+}
+
+func TestFloat64MeanAndVariance(t *testing.T) {
+	s := New(8)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance %g, want ~%g", variance, 1.0/12)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(9)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn bucket %d has %d hits, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(11)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(12)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %g, want ~1", mean)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(3)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws between parent and split child", same)
+	}
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+)
+
+// Micro-benchmarks of the runtime engine: insertion throughput (with
+// hazard analysis) and end-to-end task churn fix the scheduler-overhead
+// scale the paper's simulations have to outrun.
+
+// benchWindow bounds outstanding tasks during insertion benchmarks so the
+// workers drain concurrently (steady-state cost) instead of accumulating
+// b.N live tasks for one giant untimed drain.
+const benchWindow = 4096
+
+func BenchmarkInsertIndependentTasks(b *testing.B) {
+	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	noop := func(*Ctx) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Insert(&Task{Class: "K", Func: noop})
+	}
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func BenchmarkInsertDependentChain(b *testing.B) {
+	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	noop := func(*Ctx) {}
+	h := new(int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Insert(&Task{Class: "K", Func: noop, Args: []Arg{RW(h)}})
+	}
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func BenchmarkInsertGemmLikeTasks(b *testing.B) {
+	// Three-operand tasks over a pool of handles: the realistic hazard
+	// analysis load of a tile factorization.
+	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	noop := func(*Ctx) {}
+	handles := make([]*int, 64)
+	for i := range handles {
+		handles[i] = new(int)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Insert(&Task{Class: "GEMM", Func: noop, Args: []Arg{
+			RW(handles[i%64]),
+			R(handles[(i+7)%64]),
+			R(handles[(i+13)%64]),
+		}})
+	}
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func BenchmarkEndToEndTaskChurn(b *testing.B) {
+	// Insert + schedule + execute + complete for b.N no-op tasks across
+	// 4 workers: the runtime's per-task overhead floor.
+	e := NewEngine(Config{Workers: 4, Policy: NewFIFOPolicy(), Window: benchWindow})
+	noop := func(*Ctx) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Insert(&Task{Class: "K", Func: noop})
+	}
+	e.Barrier()
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func benchmarkPolicy(b *testing.B, mk func() Policy) {
+	b.Helper()
+	p := mk()
+	kinds := cpuKinds(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Push(&Task{Class: "K", seq: i, Priority: i % 7}, i%4)
+		// Keep the queue at a realistic steady-state depth instead of
+		// letting it grow with b.N.
+		if p.Len() > 512 {
+			p.Pop(i%4, kinds[i%4])
+		}
+	}
+}
+
+func BenchmarkFIFOPolicy(b *testing.B) { benchmarkPolicy(b, func() Policy { return NewFIFOPolicy() }) }
+func BenchmarkPriorityPolicy(b *testing.B) {
+	benchmarkPolicy(b, func() Policy { return NewPriorityPolicy() })
+}
+func BenchmarkLocalityPolicy(b *testing.B) {
+	benchmarkPolicy(b, func() Policy { return NewLocalityPolicy(4) })
+}
+func BenchmarkWorkStealingPolicy(b *testing.B) {
+	benchmarkPolicy(b, func() Policy { return NewWorkStealingPolicy(4) })
+}
+func BenchmarkDMPolicy(b *testing.B) {
+	benchmarkPolicy(b, func() Policy { return NewDMPolicy(cpuKinds(4), nil) })
+}

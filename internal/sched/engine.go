@@ -1,0 +1,446 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"supersim/internal/hazard"
+)
+
+// Config parameterizes the shared runtime engine.
+type Config struct {
+	// Workers is the number of virtual cores (>= 1).
+	Workers int
+	// Policy orders ready tasks. Defaults to a FIFO policy.
+	Policy Policy
+	// Window throttles insertion: Insert blocks while more than Window
+	// tasks are outstanding. 0 means unlimited (no throttling).
+	Window int
+	// MasterParticipates makes the goroutine calling Barrier execute
+	// tasks as worker 0 (QUARK and OmpSs style). When false all Workers
+	// are dedicated goroutines (StarPU style) and Barrier only waits.
+	MasterParticipates bool
+	// Kinds optionally assigns a kind per worker; defaults to all CPU.
+	Kinds []WorkerKind
+	// Name labels the runtime in traces and stats.
+	Name string
+}
+
+// gang coordinates a multi-threaded task (Section VII extension).
+type gang struct {
+	task   *Task
+	needed int
+	joined int
+	done   int
+}
+
+// Engine is the shared superscalar runtime: serial insertion with hazard
+// analysis, a pluggable ready-task policy, worker goroutines, window
+// throttling, barrier, and the quiescence query the simulator's race fix
+// depends on. The scheduler packages (quark, starpu, ompss) wrap it with
+// their distinctive APIs and policies.
+type Engine struct {
+	cfg  Config
+	self Runtime // the wrapping runtime exposed in Ctx; defaults to e
+
+	mu        sync.Mutex
+	readyCond *sync.Cond // workers: ready work or state change
+	spaceCond *sync.Cond // Insert: window space
+	doneCond  *sync.Cond // Barrier (non-participating): outstanding == 0
+	gangCond  *sync.Cond // gang fill / drain
+
+	tracker       *hazard.Tracker
+	live          map[int]*Task // unfinished tasks by id
+	owner         map[any]int   // data handle -> worker that last wrote it
+	outstanding   int
+	launching     int // popped from ready but not yet Launched()
+	completing    int // announced Completing() but successors not yet released
+	transition    int // workers between finishing a task and their next decision
+	inserting     bool
+	masterServing bool   // master is inside a participating Barrier
+	activeW       []bool // worker currently occupied by a task
+	idle          int
+	seq           int
+	shutdown      bool
+	pendingGang   *gang
+	stats         Stats
+	wg            sync.WaitGroup
+}
+
+// NewEngine creates and starts an engine. The returned engine is ready for
+// Insert calls; call Shutdown when done.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("sched: NewEngine with %d workers", cfg.Workers))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewFIFOPolicy()
+	}
+	if cfg.Kinds == nil {
+		cfg.Kinds = make([]WorkerKind, cfg.Workers)
+		for i := range cfg.Kinds {
+			cfg.Kinds[i] = KindCPU
+		}
+	}
+	if len(cfg.Kinds) != cfg.Workers {
+		panic("sched: len(Kinds) != Workers")
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tracker: hazard.NewTracker(),
+		live:    make(map[int]*Task),
+		owner:   make(map[any]int),
+	}
+	e.self = e
+	e.readyCond = sync.NewCond(&e.mu)
+	e.spaceCond = sync.NewCond(&e.mu)
+	e.doneCond = sync.NewCond(&e.mu)
+	e.gangCond = sync.NewCond(&e.mu)
+	e.stats.TasksPerWorker = make([]int, cfg.Workers)
+	e.activeW = make([]bool, cfg.Workers)
+	first := 0
+	if cfg.MasterParticipates {
+		first = 1 // worker 0 is the master goroutine, joining at Barrier
+	}
+	for w := first; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+	return e
+}
+
+// SetSelf installs the wrapping Runtime exposed to tasks via Ctx.Runtime
+// and used by the simulation library's quiescence check.
+func (e *Engine) SetSelf(r Runtime) { e.self = r }
+
+// Name implements Runtime.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// NumWorkers implements Runtime.
+func (e *Engine) NumWorkers() int { return e.cfg.Workers }
+
+// WorkerKind implements Runtime.
+func (e *Engine) WorkerKind(w int) WorkerKind { return e.cfg.Kinds[w] }
+
+// Insert implements Runtime: serial superscalar task insertion with hazard
+// analysis. Blocks while the task window is full.
+func (e *Engine) Insert(t *Task) {
+	if t.Func == nil {
+		panic("sched: Insert of task with nil Func")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shutdown {
+		panic("sched: Insert after Shutdown")
+	}
+	// While the master streams insertions, simulated completions are held
+	// back (see Quiescent): on the paper's hardware insertion is orders
+	// of magnitude faster than a task's simulated turnaround, and this
+	// flag reproduces that timing relationship on hosts where it does
+	// not hold physically. The flag is dropped while the insertion blocks
+	// on a full window, letting tasks complete and free window space.
+	e.inserting = true
+	for e.cfg.Window > 0 && e.outstanding >= e.cfg.Window {
+		e.inserting = false
+		if e.cfg.MasterParticipates {
+			// QUARK behavior: the master executes tasks while its
+			// unrolling window is full. Without this, a one-worker
+			// configuration would deadlock (the master is the only
+			// executor).
+			e.masterServing = true
+			if !e.serveOne(0) {
+				e.spaceCond.Wait()
+			}
+			e.masterServing = false
+		} else {
+			e.spaceCond.Wait()
+		}
+		e.inserting = true
+	}
+	if t.NumThreads > e.cfg.Workers {
+		t.NumThreads = e.cfg.Workers
+	}
+	hargs := make([]hazard.Arg, len(t.Args))
+	copy(hargs, t.Args)
+	id, deps := e.tracker.Insert(hargs)
+	t.id = id
+	t.affinity = -1
+	e.live[id] = t
+	e.outstanding++
+	e.stats.TasksInserted++
+	e.stats.EdgesResolved += len(deps)
+	for _, d := range deps {
+		if pred, ok := e.live[d.Pred]; ok {
+			pred.succs = append(pred.succs, t)
+			t.waitCount++
+		}
+	}
+	if t.waitCount == 0 {
+		e.pushReady(t, -1)
+	}
+}
+
+// pushReady makes t available to workers. Caller holds e.mu. by is the
+// worker whose completion released t, or -1 for direct insertion.
+func (e *Engine) pushReady(t *Task, by int) {
+	// Data-locality affinity: prefer the worker that last wrote the
+	// task's first read operand (QUARK-style cache affinity).
+	for _, a := range t.Args {
+		if a.Mode&hazard.Read != 0 {
+			if w, ok := e.owner[a.Handle]; ok {
+				t.affinity = w
+			}
+			break
+		}
+	}
+	t.seq = e.seq
+	e.seq++
+	e.cfg.Policy.Push(t, by)
+	if l := e.cfg.Policy.Len(); l > e.stats.MaxReadyLen {
+		e.stats.MaxReadyLen = l
+	}
+	// Broadcast, not Signal: policies with per-worker queues (dm, ws,
+	// locality) bind the task to a specific worker, and a single wakeup
+	// could land on a worker whose Pop returns nil, losing the task
+	// until the next unrelated wakeup.
+	e.readyCond.Broadcast()
+}
+
+// complete finishes bookkeeping after t's function returned on worker w.
+// It leaves e.transition incremented: the caller is about to make its next
+// scheduling decision and must decrement it under e.mu (serveOne does).
+func (e *Engine) complete(t *Task, w int, ctx *Ctx) {
+	e.mu.Lock()
+	e.stats.TasksCompleted++
+	e.stats.TasksPerWorker[w]++
+	e.outstanding--
+	delete(e.live, t.id)
+	for _, a := range t.Args {
+		if a.Mode&hazard.Write != 0 {
+			e.owner[a.Handle] = w
+		}
+	}
+	for _, s := range t.succs {
+		s.waitCount--
+		if s.waitCount == 0 {
+			e.pushReady(s, w)
+		}
+	}
+	t.succs = nil
+	e.transition++
+	if ctx != nil && ctx.completing {
+		e.completing--
+	}
+	if e.cfg.Window > 0 {
+		e.spaceCond.Signal()
+	}
+	if e.outstanding == 0 {
+		e.doneCond.Broadcast()
+		e.readyCond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// runTask executes a (non-gang) task on worker w.
+func (e *Engine) runTask(t *Task, w int) {
+	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e}
+	t.Func(ctx)
+	ctx.Launched() // idempotent: covers real (non-simulated) task bodies
+	e.complete(t, w, ctx)
+}
+
+// runGang executes a multi-threaded task body as one of its gang members
+// and performs the completion barrier. Only rank 0 completes the task.
+// Every member leaves with e.transition incremented (decremented by
+// serveOne at its next decision).
+func (e *Engine) runGang(g *gang, w, rank int) {
+	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: g.task, Runtime: e.self, engine: e, GangRank: rank}
+	g.task.Func(ctx)
+	if rank == 0 {
+		ctx.Launched()
+	}
+	e.mu.Lock()
+	g.done++
+	if g.done == g.needed {
+		e.gangCond.Broadcast()
+	} else {
+		for g.done < g.needed {
+			e.gangCond.Wait()
+		}
+	}
+	if rank != 0 {
+		e.transition++ // rank 0's transition comes from complete()
+	}
+	e.mu.Unlock()
+	if rank == 0 {
+		e.complete(g.task, w, ctx)
+	}
+}
+
+// serveOne attempts to execute one unit of work on worker w.
+// Caller holds e.mu; serveOne returns with e.mu held and reports whether it
+// executed anything (false means the caller should wait). After executing,
+// it clears the transition mark set by complete()/runGang while still
+// holding e.mu, so quiescence observes no gap between finishing a task and
+// the worker's next scheduling decision.
+func (e *Engine) serveOne(w int) bool {
+	if g := e.pendingGang; g != nil {
+		rank := g.joined
+		g.joined++
+		e.activeW[w] = true
+		if g.joined == g.needed {
+			e.pendingGang = nil
+			e.gangCond.Broadcast()
+		} else {
+			for g.joined < g.needed {
+				e.gangCond.Wait()
+			}
+		}
+		e.mu.Unlock()
+		e.runGang(g, w, rank)
+		e.mu.Lock()
+		e.transition--
+		e.activeW[w] = false
+		return true
+	}
+	t := e.cfg.Policy.Pop(w, e.cfg.Kinds[w])
+	if t == nil {
+		return false
+	}
+	e.launching++
+	e.activeW[w] = true
+	if t.NumThreads > 1 {
+		g := &gang{task: t, needed: t.NumThreads, joined: 1}
+		e.pendingGang = g
+		e.readyCond.Broadcast() // wake idle workers to join the gang
+		for g.joined < g.needed {
+			e.gangCond.Wait()
+		}
+		e.mu.Unlock()
+		e.runGang(g, w, 0)
+		e.mu.Lock()
+		e.transition--
+		e.activeW[w] = false
+		return true
+	}
+	e.mu.Unlock()
+	e.runTask(t, w)
+	e.mu.Lock()
+	e.transition--
+	e.activeW[w] = false
+	return true
+}
+
+// workerLoop is the body of a dedicated worker goroutine.
+func (e *Engine) workerLoop(w int) {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		if e.shutdown && e.outstanding == 0 {
+			e.mu.Unlock()
+			return
+		}
+		if !e.serveOne(w) {
+			e.idle++
+			e.readyCond.Wait()
+			e.idle--
+		}
+	}
+}
+
+// Barrier implements Runtime. With MasterParticipates the caller serves
+// tasks as worker 0 until everything has drained.
+func (e *Engine) Barrier() {
+	e.mu.Lock()
+	e.inserting = false
+	e.readyCond.Broadcast() // quiescence state changed; re-evaluate
+	if e.cfg.MasterParticipates {
+		e.masterServing = true
+		for e.outstanding > 0 {
+			if !e.serveOne(0) {
+				e.idle++
+				e.readyCond.Wait()
+				e.idle--
+			}
+		}
+		e.masterServing = false
+	} else {
+		for e.outstanding > 0 {
+			e.doneCond.Wait()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Shutdown implements Runtime: drains remaining work and stops workers.
+func (e *Engine) Shutdown() {
+	e.Barrier()
+	e.mu.Lock()
+	e.shutdown = true
+	e.readyCond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Quiescent implements Runtime (the paper's Section V-E fix): true when
+// the scheduler has no bookkeeping in flight that could place an earlier
+// event on the virtual timeline. Specifically, all of:
+//
+//   - the master is not actively streaming insertions (new source tasks
+//     start at the current clock, so completions must not advance it
+//     past them);
+//   - no completed task is still releasing its successors (completing);
+//   - no worker is between finishing a task and its next scheduling
+//     decision (transition);
+//   - no task sits between the ready queue and its simulation-queue
+//     registration (launching); and
+//   - no ready task is waiting for a currently idle worker.
+func (e *Engine) Quiescent() bool {
+	e.mu.Lock()
+	free := e.freeWorkers()
+	launching := e.launching
+	if e.pendingGang != nil && len(free) == 0 {
+		// A gang waiting for members it cannot get until some task
+		// completes: treat its leader as stalled, not launching,
+		// otherwise the simulation queue's front task would deadlock.
+		launching--
+	}
+	q := !e.inserting &&
+		e.completing == 0 &&
+		e.transition == 0 &&
+		launching == 0 &&
+		!e.cfg.Policy.Claimable(free, e.cfg.Kinds)
+	e.mu.Unlock()
+	return q
+}
+
+// freeWorkers lists the worker slots not currently occupied by a task and
+// able to serve (the master slot only counts while it is inside Barrier).
+// Caller holds e.mu. Note the list deliberately includes workers whose
+// goroutines have not yet been scheduled by the Go runtime: a free virtual
+// core is free regardless of host scheduling.
+func (e *Engine) freeWorkers() []int {
+	free := make([]int, 0, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		if e.activeW[w] {
+			continue
+		}
+		if w == 0 && e.cfg.MasterParticipates && !e.masterServing {
+			continue
+		}
+		free = append(free, w)
+	}
+	return free
+}
+
+// Stats implements Runtime.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.TasksPerWorker = append([]int(nil), e.stats.TasksPerWorker...)
+	if sc, ok := e.cfg.Policy.(stealCounter); ok {
+		s.Steals = sc.Steals()
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package ompss
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"supersim/internal/sched"
+)
+
+func TestTaskWithDependClauses(t *testing.T) {
+	o := New(3)
+	h := new(int)
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) func(*sched.Ctx) {
+		return func(*sched.Ctx) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	o.Task("W", log("producer"), Out(h))
+	o.Task("R", log("consumer1"), In(h))
+	o.Task("R", log("consumer2"), In(h))
+	o.Task("W", log("overwriter"), InOut(h))
+	o.TaskWait()
+	o.Shutdown()
+	if len(order) != 4 {
+		t.Fatalf("order %v", order)
+	}
+	if order[0] != "producer" || order[3] != "overwriter" {
+		t.Errorf("dependence order violated: %v", order)
+	}
+}
+
+func TestTaskWaitJoinsTeam(t *testing.T) {
+	// With one thread the master must execute everything during TaskWait.
+	o := New(1)
+	var count int64
+	for i := 0; i < 10; i++ {
+		o.Task("X", func(*sched.Ctx) { atomic.AddInt64(&count, 1) })
+	}
+	o.TaskWait()
+	if count != 10 {
+		t.Errorf("ran %d before TaskWait returned, want 10", count)
+	}
+	o.Shutdown()
+}
+
+func TestPriorityClause(t *testing.T) {
+	// With MasterParticipates the only worker is the master, which joins
+	// at TaskWait, so all priorities are queued before execution starts
+	// and the order is fully deterministic.
+	o := New(1, WithPriorities())
+	var mu sync.Mutex
+	var order []int
+	for _, p := range []int{1, 9, 5} {
+		p := p
+		o.TaskPriority("P", p, func(*sched.Ctx) {
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+		})
+	}
+	o.TaskWait()
+	o.Shutdown()
+	want := []int{9, 5, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	o := New(1)
+	if o.Name() != "ompss" {
+		t.Errorf("name %q", o.Name())
+	}
+	o.Shutdown()
+}

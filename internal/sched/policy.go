@@ -1,0 +1,445 @@
+package sched
+
+import (
+	"supersim/internal/pq"
+)
+
+// Policy orders ready tasks. All methods are called with the engine mutex
+// held, so implementations need no locking of their own.
+type Policy interface {
+	// Push makes t available. by is the worker whose completion released
+	// the task, or -1 when it was ready at insertion.
+	Push(t *Task, by int)
+	// Pop returns a task for worker w of the given kind, or nil if none
+	// is eligible.
+	Pop(w int, kind WorkerKind) *Task
+	// Len returns the number of queued ready tasks.
+	Len() int
+	// Claimable reports whether Pop would return a task for at least one
+	// of the free workers. The engine's quiescence query uses it: the
+	// scheduler is not quiescent while a free worker could still claim
+	// ready work.
+	Claimable(free []int, kinds []WorkerKind) bool
+}
+
+// stealCounter is implemented by policies that steal work.
+type stealCounter interface{ Steals() int }
+
+// ------------------------------------------------------------------- FIFO
+
+// FIFOPolicy is a single global first-in-first-out ready queue (StarPU's
+// "eager" policy, and the OmpSs default).
+type FIFOPolicy struct {
+	queue []*Task
+}
+
+// NewFIFOPolicy returns an empty FIFO policy.
+func NewFIFOPolicy() *FIFOPolicy { return &FIFOPolicy{} }
+
+// Push implements Policy.
+func (p *FIFOPolicy) Push(t *Task, _ int) { p.queue = append(p.queue, t) }
+
+// Pop implements Policy: the oldest task the worker kind may execute.
+func (p *FIFOPolicy) Pop(_ int, kind WorkerKind) *Task {
+	for i, t := range p.queue {
+		if t.Where.Allows(kind) {
+			if i == 0 {
+				// Common case: pop the head without copying the tail
+				// (O(1) amortized; append reallocates and compacts the
+				// backing array when its capacity runs out).
+				p.queue[0] = nil
+				p.queue = p.queue[1:]
+			} else {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (p *FIFOPolicy) Len() int { return len(p.queue) }
+
+// --------------------------------------------------------------- Priority
+
+// PriorityPolicy is a single global priority queue: higher Task.Priority
+// first, insertion order as tiebreak (StarPU's "prio" policy; also used by
+// OmpSs when the priority clause is enabled).
+type PriorityPolicy struct {
+	heap *pq.Heap[*Task]
+}
+
+// NewPriorityPolicy returns an empty priority policy.
+func NewPriorityPolicy() *PriorityPolicy {
+	return &PriorityPolicy{heap: pq.New(taskLess)}
+}
+
+func taskLess(a, b *Task) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority // higher priority first
+	}
+	return a.seq < b.seq
+}
+
+// Push implements Policy.
+func (p *PriorityPolicy) Push(t *Task, _ int) { p.heap.Push(t) }
+
+// Pop implements Policy. Tasks the worker kind cannot run are temporarily
+// removed and reinserted, preserving the priority order for other kinds.
+func (p *PriorityPolicy) Pop(_ int, kind WorkerKind) *Task {
+	var stash []*Task
+	var found *Task
+	for {
+		t, ok := p.heap.Pop()
+		if !ok {
+			break
+		}
+		if t.Where.Allows(kind) {
+			found = t
+			break
+		}
+		stash = append(stash, t)
+	}
+	for _, t := range stash {
+		p.heap.Push(t)
+	}
+	return found
+}
+
+// Len implements Policy.
+func (p *PriorityPolicy) Len() int { return p.heap.Len() }
+
+// --------------------------------------------------------------- Locality
+
+// LocalityPolicy reproduces QUARK's scheduling flavor: a priority queue per
+// worker fed by data-locality affinity (tasks preferentially run on the
+// worker that last wrote their input), a shared queue for unbound tasks,
+// and work stealing from the busiest peer when a worker runs dry.
+type LocalityPolicy struct {
+	local  []*pq.Heap[*Task]
+	global *pq.Heap[*Task]
+	total  int
+	steals int
+}
+
+// NewLocalityPolicy returns a locality policy for n workers.
+func NewLocalityPolicy(n int) *LocalityPolicy {
+	p := &LocalityPolicy{
+		local:  make([]*pq.Heap[*Task], n),
+		global: pq.New(taskLess),
+	}
+	for i := range p.local {
+		p.local[i] = pq.New(taskLess)
+	}
+	return p
+}
+
+// Push implements Policy.
+func (p *LocalityPolicy) Push(t *Task, _ int) {
+	p.total++
+	if t.affinity >= 0 && t.affinity < len(p.local) {
+		p.local[t.affinity].Push(t)
+		return
+	}
+	p.global.Push(t)
+}
+
+// Pop implements Policy: own queue, then the shared queue, then steal from
+// the peer with the longest queue.
+func (p *LocalityPolicy) Pop(w int, kind WorkerKind) *Task {
+	if w >= 0 && w < len(p.local) {
+		if t := popAllowed(p.local[w], kind); t != nil {
+			p.total--
+			return t
+		}
+	}
+	if t := popAllowed(p.global, kind); t != nil {
+		p.total--
+		return t
+	}
+	// Steal from the busiest peer.
+	victim := -1
+	best := 0
+	for i, q := range p.local {
+		if i != w && q.Len() > best {
+			best = q.Len()
+			victim = i
+		}
+	}
+	if victim >= 0 {
+		if t := popAllowed(p.local[victim], kind); t != nil {
+			p.total--
+			p.steals++
+			return t
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (p *LocalityPolicy) Len() int { return p.total }
+
+// Steals returns how many tasks were stolen from peers.
+func (p *LocalityPolicy) Steals() int { return p.steals }
+
+func popAllowed(h *pq.Heap[*Task], kind WorkerKind) *Task {
+	var stash []*Task
+	var found *Task
+	for {
+		t, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if t.Where.Allows(kind) {
+			found = t
+			break
+		}
+		stash = append(stash, t)
+	}
+	for _, t := range stash {
+		h.Push(t)
+	}
+	return found
+}
+
+// ----------------------------------------------------------- WorkStealing
+
+// WorkStealingPolicy reproduces StarPU's "ws" policy: per-worker deques,
+// tasks pushed onto the releasing worker's deque (LIFO for cache reuse),
+// idle workers steal the oldest task from the longest peer deque.
+type WorkStealingPolicy struct {
+	deques [][]*Task
+	global []*Task // tasks released by the master (no worker context)
+	total  int
+	steals int
+}
+
+// NewWorkStealingPolicy returns a work-stealing policy for n workers.
+func NewWorkStealingPolicy(n int) *WorkStealingPolicy {
+	return &WorkStealingPolicy{deques: make([][]*Task, n)}
+}
+
+// Push implements Policy.
+func (p *WorkStealingPolicy) Push(t *Task, by int) {
+	p.total++
+	if by >= 0 && by < len(p.deques) {
+		p.deques[by] = append(p.deques[by], t)
+		return
+	}
+	p.global = append(p.global, t)
+}
+
+// Pop implements Policy: own deque bottom (LIFO), then the global queue
+// (FIFO), then steal the top (oldest) of the longest peer deque.
+func (p *WorkStealingPolicy) Pop(w int, kind WorkerKind) *Task {
+	if w >= 0 && w < len(p.deques) {
+		own := p.deques[w]
+		for i := len(own) - 1; i >= 0; i-- {
+			if own[i].Where.Allows(kind) {
+				t := own[i]
+				p.deques[w] = append(own[:i], own[i+1:]...)
+				p.total--
+				return t
+			}
+		}
+	}
+	for i, t := range p.global {
+		if t.Where.Allows(kind) {
+			p.global = append(p.global[:i], p.global[i+1:]...)
+			p.total--
+			return t
+		}
+	}
+	victim := -1
+	best := 0
+	for i, d := range p.deques {
+		if i != w && len(d) > best {
+			best = len(d)
+			victim = i
+		}
+	}
+	if victim >= 0 {
+		d := p.deques[victim]
+		for i, t := range d {
+			if t.Where.Allows(kind) {
+				p.deques[victim] = append(d[:i], d[i+1:]...)
+				p.total--
+				p.steals++
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (p *WorkStealingPolicy) Len() int { return p.total }
+
+// Steals returns how many tasks were stolen from peers.
+func (p *WorkStealingPolicy) Steals() int { return p.steals }
+
+// --------------------------------------------------------------------- DM
+
+// CostModel estimates the expected duration of a task on a worker kind.
+// StarPU's dm ("deque model") policies use calibrated history; here the
+// estimate typically comes from the perfmodel package.
+type CostModel func(class string, kind WorkerKind) float64
+
+// DMPolicy reproduces StarPU's dm scheduler: at release time each task is
+// dispatched to the worker with the minimum expected completion time
+// (current queued load plus the model estimate on that worker's kind).
+// Workers only execute their own queue; the placement decision is the
+// scheduling decision.
+type DMPolicy struct {
+	queues [][]*Task
+	kinds  []WorkerKind
+	load   []float64
+	model  CostModel
+	total  int
+}
+
+// NewDMPolicy returns a dm policy for workers of the given kinds.
+// If model is nil every task costs 1, degrading to load balancing.
+func NewDMPolicy(kinds []WorkerKind, model CostModel) *DMPolicy {
+	if model == nil {
+		model = func(string, WorkerKind) float64 { return 1 }
+	}
+	return &DMPolicy{
+		queues: make([][]*Task, len(kinds)),
+		kinds:  append([]WorkerKind(nil), kinds...),
+		load:   make([]float64, len(kinds)),
+		model:  model,
+	}
+}
+
+// Push implements Policy: earliest-expected-finish placement.
+func (p *DMPolicy) Push(t *Task, _ int) {
+	best := -1
+	var bestFinish float64
+	for w, kind := range p.kinds {
+		if !t.Where.Allows(kind) {
+			continue
+		}
+		finish := p.load[w] + p.model(t.Class, kind)
+		if best < 0 || finish < bestFinish {
+			best = w
+			bestFinish = finish
+		}
+	}
+	if best < 0 {
+		best = 0 // no eligible worker: park on worker 0 (caller bug)
+	}
+	p.queues[best] = append(p.queues[best], t)
+	p.load[best] += p.model(t.Class, p.kinds[best])
+	p.total++
+}
+
+// Pop implements Policy: strictly the worker's own queue.
+func (p *DMPolicy) Pop(w int, kind WorkerKind) *Task {
+	if w < 0 || w >= len(p.queues) || len(p.queues[w]) == 0 {
+		return nil
+	}
+	t := p.queues[w][0]
+	p.queues[w] = p.queues[w][1:]
+	p.load[w] -= p.model(t.Class, kind)
+	if p.load[w] < 0 {
+		p.load[w] = 0
+	}
+	p.total--
+	return t
+}
+
+// Len implements Policy.
+func (p *DMPolicy) Len() int { return p.total }
+
+// ------------------------------------------------------------- Claimable
+
+// anyKindAllowed reports whether t may run on any of the free workers.
+func anyKindAllowed(t *Task, free []int, kinds []WorkerKind) bool {
+	for _, w := range free {
+		if t.Where.Allows(kinds[w]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Claimable implements Policy.
+func (p *FIFOPolicy) Claimable(free []int, kinds []WorkerKind) bool {
+	if len(free) == 0 {
+		return false
+	}
+	for _, t := range p.queue {
+		if anyKindAllowed(t, free, kinds) {
+			return true
+		}
+	}
+	return false
+}
+
+// Claimable implements Policy.
+func (p *PriorityPolicy) Claimable(free []int, kinds []WorkerKind) bool {
+	if len(free) == 0 {
+		return false
+	}
+	for _, t := range p.heap.Items() {
+		if anyKindAllowed(t, free, kinds) {
+			return true
+		}
+	}
+	return false
+}
+
+// Claimable implements Policy. With work stealing any free worker of an
+// allowed kind can reach any queued task.
+func (p *LocalityPolicy) Claimable(free []int, kinds []WorkerKind) bool {
+	if len(free) == 0 || p.total == 0 {
+		return false
+	}
+	for _, t := range p.global.Items() {
+		if anyKindAllowed(t, free, kinds) {
+			return true
+		}
+	}
+	for _, q := range p.local {
+		for _, t := range q.Items() {
+			if anyKindAllowed(t, free, kinds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Claimable implements Policy. As with LocalityPolicy, stealing makes every
+// queued task reachable from any free worker of an allowed kind.
+func (p *WorkStealingPolicy) Claimable(free []int, kinds []WorkerKind) bool {
+	if len(free) == 0 || p.total == 0 {
+		return false
+	}
+	for _, t := range p.global {
+		if anyKindAllowed(t, free, kinds) {
+			return true
+		}
+	}
+	for _, d := range p.deques {
+		for _, t := range d {
+			if anyKindAllowed(t, free, kinds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Claimable implements Policy. A dm task is bound to its assigned worker,
+// so it is claimable only if that specific worker is free.
+func (p *DMPolicy) Claimable(free []int, _ []WorkerKind) bool {
+	for _, w := range free {
+		if w >= 0 && w < len(p.queues) && len(p.queues[w]) > 0 {
+			return true
+		}
+	}
+	return false
+}

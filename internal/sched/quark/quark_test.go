@@ -1,0 +1,109 @@
+package quark
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"supersim/internal/sched"
+)
+
+func TestInsertTaskRunsWithFlags(t *testing.T) {
+	q := New(2)
+	var ran int64
+	q.InsertTask("DGEMM", func(ctx *sched.Ctx) {
+		atomic.AddInt64(&ran, 1)
+		if ctx.Task.Label != "DGEMM(1,2,3)" {
+			t.Errorf("label %q", ctx.Task.Label)
+		}
+	}, &TaskFlags{Priority: 3, Label: "DGEMM(1,2,3)"})
+	q.InsertTask("DGEMM", func(*sched.Ctx) { atomic.AddInt64(&ran, 1) }, nil)
+	q.Shutdown()
+	if ran != 2 {
+		t.Errorf("%d tasks ran, want 2", ran)
+	}
+}
+
+func TestSequenceCancellationSkipsBodies(t *testing.T) {
+	q := New(2)
+	seq := NewSequence()
+	var ran int64
+	h := new(int)
+	q.InsertTask("A", func(*sched.Ctx) { atomic.AddInt64(&ran, 1) },
+		&TaskFlags{Sequence: seq}, sched.W(h))
+	seq.Cancel()
+	if !seq.Canceled() {
+		t.Fatal("Cancel did not mark the sequence")
+	}
+	// Tasks inserted after cancellation become no-ops but still resolve
+	// dependences, so the final reader runs.
+	q.InsertTask("B", func(*sched.Ctx) { atomic.AddInt64(&ran, 100) },
+		&TaskFlags{Sequence: seq}, sched.RW(h))
+	var readerRan bool
+	q.InsertTask("C", func(*sched.Ctx) { readerRan = true }, nil, sched.R(h))
+	q.Shutdown()
+	if got := atomic.LoadInt64(&ran); got != 1 {
+		t.Errorf("ran = %d, want 1 (canceled body must not run)", got)
+	}
+	if !readerRan {
+		t.Error("downstream task blocked by canceled task")
+	}
+}
+
+func TestSchedulerBookkeepingDone(t *testing.T) {
+	q := New(2)
+	q.InsertTask("X", func(*sched.Ctx) {}, nil)
+	q.Barrier()
+	if !q.SchedulerBookkeepingDone() {
+		t.Error("not quiescent after barrier")
+	}
+	q.Shutdown()
+}
+
+func TestWindowOptionThrottles(t *testing.T) {
+	q := New(2, WithWindow(2))
+	block := make(chan struct{})
+	q.InsertTask("B", func(*sched.Ctx) { <-block }, nil)
+	q.InsertTask("B", func(*sched.Ctx) { <-block }, nil)
+	inserted := make(chan struct{})
+	go func() {
+		q.InsertTask("Over", func(*sched.Ctx) {}, nil)
+		close(inserted)
+	}()
+	select {
+	case <-inserted:
+		t.Fatal("window did not throttle")
+	default:
+	}
+	close(block)
+	<-inserted
+	q.Shutdown()
+}
+
+func TestMultiThreadedFlag(t *testing.T) {
+	q := New(3)
+	var peak, cur int64
+	q.InsertTask("PANEL", func(ctx *sched.Ctx) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		for atomic.LoadInt64(&peak) < 2 {
+		}
+		atomic.AddInt64(&cur, -1)
+	}, &TaskFlags{ThreadCount: 2})
+	q.Shutdown()
+	if peak != 2 {
+		t.Errorf("gang peak %d, want 2", peak)
+	}
+}
+
+func TestName(t *testing.T) {
+	q := New(1)
+	if q.Name() != "quark" {
+		t.Errorf("name %q", q.Name())
+	}
+	q.Shutdown()
+}

@@ -1,0 +1,141 @@
+package starpu
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"supersim/internal/sched"
+)
+
+func TestConfValidation(t *testing.T) {
+	if _, err := New(Conf{NCPUs: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := New(Conf{NCPUs: 2, Policy: "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := New(Conf{NCPUs: -1, NAccelerators: 2}); err == nil {
+		t.Error("negative CPUs accepted")
+	}
+}
+
+func TestAllPoliciesExecute(t *testing.T) {
+	for _, policy := range []string{PolicyEager, PolicyPrio, PolicyWS, PolicyDM} {
+		s, err := New(Conf{NCPUs: 3, Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if s.Policy() != policy {
+			t.Errorf("Policy() = %q", s.Policy())
+		}
+		var ran int64
+		cl := &Codelet{Name: "K", CPU: func(*sched.Ctx) { atomic.AddInt64(&ran, 1) }}
+		h := new(int)
+		for i := 0; i < 20; i++ {
+			if err := s.TaskSubmit(cl, []sched.Arg{sched.RW(h)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Shutdown()
+		if ran != 20 {
+			t.Errorf("%s: ran %d, want 20", policy, ran)
+		}
+	}
+}
+
+func TestCodeletWithoutImplementationRejected(t *testing.T) {
+	s, err := New(Conf{NCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	if err := s.TaskSubmit(&Codelet{Name: "empty"}, nil); err == nil {
+		t.Error("codelet without implementations accepted")
+	}
+}
+
+func TestCodeletDispatchesPerWorkerKind(t *testing.T) {
+	s, err := New(Conf{NCPUs: 1, NAccelerators: 1, Policy: PolicyDM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuRuns, accRuns int64
+	cl := &Codelet{
+		Name:        "HYBRID",
+		CPU:         func(*sched.Ctx) { atomic.AddInt64(&cpuRuns, 1) },
+		Accelerator: func(*sched.Ctx) { atomic.AddInt64(&accRuns, 1) },
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.TaskSubmit(cl, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Shutdown()
+	if cpuRuns+accRuns != 30 {
+		t.Fatalf("ran %d+%d, want 30", cpuRuns, accRuns)
+	}
+	if cpuRuns == 0 || accRuns == 0 {
+		t.Errorf("dm policy used only one worker kind: cpu=%d acc=%d", cpuRuns, accRuns)
+	}
+}
+
+func TestAcceleratorOnlyCodeletAvoidsCPU(t *testing.T) {
+	s, err := New(Conf{NCPUs: 1, NAccelerators: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kind sched.WorkerKind
+	cl := &Codelet{Name: "GPUONLY", Accelerator: func(ctx *sched.Ctx) { kind = ctx.Kind }}
+	if err := s.TaskSubmit(cl, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	if kind != sched.KindAccelerator {
+		t.Errorf("accelerator-only codelet ran on %q", kind)
+	}
+}
+
+func TestSubmitOptions(t *testing.T) {
+	s, err := New(Conf{NCPUs: 1, Policy: PolicyPrio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var label string
+	cl := &Codelet{Name: "K", CPU: func(ctx *sched.Ctx) { label = ctx.Task.Label }}
+	if err := s.TaskSubmit(cl, nil, WithLabel("K(3,4)"), WithPriority(9)); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	if label != "K(3,4)" {
+		t.Errorf("label %q", label)
+	}
+}
+
+func TestWorkStealingCountsSteals(t *testing.T) {
+	s, err := New(Conf{NCPUs: 4, Policy: PolicyWS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fan-out from one producer forces the other workers to steal.
+	h := new(int)
+	cl := &Codelet{Name: "K", CPU: func(*sched.Ctx) {
+		s := 0.0
+		for i := 0; i < 100000; i++ {
+			s += float64(i)
+		}
+		_ = s
+	}}
+	if err := s.TaskSubmit(cl, []sched.Arg{sched.W(h)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.TaskSubmit(cl, []sched.Arg{sched.R(h)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Shutdown()
+	// Steal counting is timing-dependent; just ensure the counter is wired.
+	if s.Stats().Steals < 0 {
+		t.Error("negative steal count")
+	}
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"supersim/internal/rng"
+)
+
+// TestEngineStressRandomDAG churns a few thousand tasks with random
+// dependences through every policy, checking completion counts and
+// read-observation consistency. Run with -race for the full effect.
+func TestEngineStressRandomDAG(t *testing.T) {
+	policies := map[string]func() Policy{
+		"fifo":     func() Policy { return NewFIFOPolicy() },
+		"priority": func() Policy { return NewPriorityPolicy() },
+		"locality": func() Policy { return NewLocalityPolicy(4) },
+		"ws":       func() Policy { return NewWorkStealingPolicy(4) },
+		"dm":       func() Policy { return NewDMPolicy(cpuKinds(4), nil) },
+	}
+	const tasks = 3000
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			e := NewEngine(Config{Workers: 4, Policy: mk(), Window: 500})
+			src := rng.New(99)
+			// Shared counters: each handle holds a running value only its
+			// serialized writers may update.
+			handles := make([]*int64, 16)
+			for i := range handles {
+				handles[i] = new(int64)
+			}
+			var executed int64
+			for i := 0; i < tasks; i++ {
+				h := handles[src.Intn(len(handles))]
+				r := handles[src.Intn(len(handles))]
+				prio := src.Intn(5)
+				e.Insert(&Task{
+					Class:    "S",
+					Priority: prio,
+					Args:     []Arg{RW(h), R(r)},
+					Func: func(*Ctx) {
+						// The RW serialization means plain increments
+						// are safe; run them atomically anyway so -race
+						// can prove the ordering rather than assume it.
+						atomic.AddInt64(h, 1)
+						atomic.AddInt64(&executed, 1)
+					},
+				})
+			}
+			e.Shutdown()
+			if got := atomic.LoadInt64(&executed); got != tasks {
+				t.Fatalf("executed %d, want %d", got, tasks)
+			}
+			var sum int64
+			for _, h := range handles {
+				sum += atomic.LoadInt64(h)
+			}
+			if sum != tasks {
+				t.Fatalf("handle increments %d, want %d", sum, tasks)
+			}
+			st := e.Stats()
+			if st.TasksCompleted != tasks || st.TasksInserted != tasks {
+				t.Errorf("stats inserted=%d completed=%d", st.TasksInserted, st.TasksCompleted)
+			}
+		})
+	}
+}
+
+func TestInsertNilFuncPanics(t *testing.T) {
+	e := newTestEngine(1, NewFIFOPolicy(), false)
+	defer e.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Func accepted")
+		}
+	}()
+	e.Insert(&Task{Class: "X"})
+}
+
+func TestInsertAfterShutdownPanics(t *testing.T) {
+	e := newTestEngine(1, NewFIFOPolicy(), false)
+	e.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert after Shutdown accepted")
+		}
+	}()
+	e.Insert(&Task{Class: "X", Func: func(*Ctx) {}})
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewEngine(Config{Workers: 0}) },
+		func() { NewEngine(Config{Workers: 2, Kinds: []WorkerKind{KindCPU}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestWorkerKindAccessor(t *testing.T) {
+	e := NewEngine(Config{Workers: 2, Kinds: []WorkerKind{KindCPU, KindAccelerator}})
+	defer e.Shutdown()
+	if e.WorkerKind(0) != KindCPU || e.WorkerKind(1) != KindAccelerator {
+		t.Error("WorkerKind wrong")
+	}
+	if e.NumWorkers() != 2 {
+		t.Error("NumWorkers wrong")
+	}
+}
+
+func TestGangWiderThanPoolClamped(t *testing.T) {
+	e := newTestEngine(2, NewFIFOPolicy(), false)
+	var members int64
+	e.Insert(&Task{Class: "G", NumThreads: 10, Func: func(ctx *Ctx) {
+		atomic.AddInt64(&members, 1)
+	}})
+	e.Shutdown()
+	if got := atomic.LoadInt64(&members); got != 2 {
+		t.Errorf("gang ran with %d members, want 2 (clamped to pool)", got)
+	}
+}
+
+func TestWhereAllowsZeroValueIsCPUOnly(t *testing.T) {
+	var w Where
+	if !w.Allows(KindCPU) || w.Allows(KindAccelerator) {
+		t.Error("zero Where should be CPU-only")
+	}
+	if Anywhere.Allows("bogus") {
+		t.Error("unknown kind allowed")
+	}
+}

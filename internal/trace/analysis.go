@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file provides the deeper trace analytics used by the experiment
+// reports: per-worker idle-gap structure, busy/idle timelines, and a
+// machine-readable JSON round trip so traces can be archived and diffed
+// (Section V-A: "stored in a plain text file for further processing").
+
+// Gap is an idle interval on one worker lane.
+type Gap struct {
+	Worker     int
+	Start, End float64
+}
+
+// Duration returns the gap length.
+func (g Gap) Duration() float64 { return g.End - g.Start }
+
+// IdleGaps returns every idle interval on every worker lane between time 0
+// and the trace makespan, sorted by (worker, start). Leading idleness
+// (before the worker's first task) and trailing idleness (after its last)
+// are included: both are real in a parallel run.
+func (t *Trace) IdleGaps() []Gap {
+	makespan := t.Makespan()
+	var gaps []Gap
+	for w, lane := range t.PerWorker() {
+		cursor := 0.0
+		for _, e := range lane {
+			if e.Start > cursor+1e-12 {
+				gaps = append(gaps, Gap{Worker: w, Start: cursor, End: e.Start})
+			}
+			if e.End > cursor {
+				cursor = e.End
+			}
+		}
+		if makespan > cursor+1e-12 {
+			gaps = append(gaps, Gap{Worker: w, Start: cursor, End: makespan})
+		}
+	}
+	return gaps
+}
+
+// IdleTime returns the summed idle time over all lanes:
+// workers*makespan - busy.
+func (t *Trace) IdleTime() float64 {
+	return float64(t.Workers)*t.Makespan() - t.BusyTime()
+}
+
+// CriticalEvents returns a chain of events that ends at the trace's last
+// completion and in which each event begins exactly when its predecessor
+// on the chain ends (within eps) — an observable critical path through the
+// realized schedule. The chain is greedy backwards: from the event that
+// determines the makespan, repeatedly find an event ending at (or just
+// before) the current start.
+func (t *Trace) CriticalEvents(eps float64) []Event {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	events := append([]Event(nil), t.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].End < events[j].End })
+	last := events[len(events)-1]
+	chain := []Event{last}
+	cur := last
+	for cur.Start > eps {
+		// Find an event whose end matches cur.Start most closely from
+		// below.
+		idx := sort.Search(len(events), func(i int) bool {
+			return events[i].End > cur.Start+eps
+		})
+		if idx == 0 {
+			break
+		}
+		next := events[idx-1]
+		if cur.Start-next.End > eps {
+			// No event ends at our start: the chain begins after an
+			// idle wait (dependence released elsewhere); stop.
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	// Reverse to chronological order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// jsonTrace is the wire form of a Trace.
+type jsonTrace struct {
+	Label   string  `json:"label"`
+	Workers int     `json:"workers"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON serializes the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTrace{Label: t.Label, Workers: t.Workers, Events: t.Events})
+}
+
+// ReadJSON parses a trace previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, err
+	}
+	return &Trace{Label: jt.Label, Workers: jt.Workers, Events: jt.Events}, nil
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestIdleGaps(t *testing.T) {
+	tr := New("t", 2)
+	tr.Append(Event{Worker: 0, Start: 0, End: 1})
+	tr.Append(Event{Worker: 0, Start: 2, End: 4}) // gap [1,2] on 0
+	tr.Append(Event{Worker: 1, Start: 1, End: 2}) // gaps [0,1] and [2,4] on 1
+	gaps := tr.IdleGaps()
+	if len(gaps) != 3 {
+		t.Fatalf("gaps %v", gaps)
+	}
+	want := []Gap{{0, 1, 2}, {1, 0, 1}, {1, 2, 4}}
+	for i, g := range want {
+		if gaps[i] != g {
+			t.Errorf("gap %d = %+v, want %+v", i, gaps[i], g)
+		}
+	}
+}
+
+func TestIdleGapsFullyPacked(t *testing.T) {
+	tr := New("t", 1)
+	tr.Append(Event{Worker: 0, Start: 0, End: 1})
+	tr.Append(Event{Worker: 0, Start: 1, End: 2})
+	if gaps := tr.IdleGaps(); len(gaps) != 0 {
+		t.Errorf("packed trace has gaps %v", gaps)
+	}
+}
+
+func TestIdleTimeConsistentWithEfficiency(t *testing.T) {
+	tr := sampleTrace()
+	idle := tr.IdleTime()
+	// idle + busy = workers * makespan.
+	if got := idle + tr.BusyTime(); math.Abs(got-float64(tr.Workers)*tr.Makespan()) > 1e-12 {
+		t.Errorf("idle+busy = %g", got)
+	}
+	// Idle must equal the summed gaps.
+	var gapSum float64
+	for _, g := range tr.IdleGaps() {
+		gapSum += g.Duration()
+	}
+	if math.Abs(gapSum-idle) > 1e-12 {
+		t.Errorf("gap sum %g vs idle %g", gapSum, idle)
+	}
+}
+
+func TestCriticalEventsChain(t *testing.T) {
+	tr := New("t", 2)
+	// w0: [0,1] releases w1: [1,3]; w0 also runs [0,2] irrelevant.
+	tr.Append(Event{Worker: 0, Label: "a", Start: 0, End: 1})
+	tr.Append(Event{Worker: 0, Label: "x", Start: 1, End: 2})
+	tr.Append(Event{Worker: 1, Label: "b", Start: 1, End: 3})
+	chain := tr.CriticalEvents(0)
+	if len(chain) != 2 {
+		t.Fatalf("chain %v", chain)
+	}
+	if chain[0].Label != "a" || chain[1].Label != "b" {
+		t.Errorf("chain labels %s -> %s, want a -> b", chain[0].Label, chain[1].Label)
+	}
+}
+
+func TestCriticalEventsEmpty(t *testing.T) {
+	if chain := New("t", 1).CriticalEvents(0); chain != nil {
+		t.Error("empty trace returned a chain")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != tr.Label || back.Workers != tr.Workers || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Errorf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

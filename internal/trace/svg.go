@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// svgPalette assigns stable colors to kernel classes, mimicking the
+// per-kernel coloring of the paper's trace figures.
+var svgPalette = []string{
+	"#1b9e77", "#d95f02", "#7570b3", "#e7298a",
+	"#66a61e", "#e6ab02", "#a6761d", "#666666",
+	"#1f78b4", "#b2df8a", "#fb9a99", "#cab2d6",
+}
+
+// SVGOptions controls trace rendering.
+type SVGOptions struct {
+	// Width is the drawing width in pixels (default 1200).
+	Width int
+	// LaneHeight is the height of one worker lane (default 18).
+	LaneHeight int
+	// TimeScale fixes seconds-per-full-width; 0 auto-scales to the
+	// makespan. Set the same value on two traces to render them with
+	// identical time axes, as the paper does for Figs. 6-7.
+	TimeScale float64
+}
+
+// WriteSVG renders the trace as an SVG Gantt chart: one horizontal lane per
+// worker, one colored rectangle per task (Section V-A's visualization).
+func (t *Trace) WriteSVG(w io.Writer, opts SVGOptions) error {
+	if opts.Width <= 0 {
+		opts.Width = 1200
+	}
+	if opts.LaneHeight <= 0 {
+		opts.LaneHeight = 18
+	}
+	span := opts.TimeScale
+	if span <= 0 {
+		span = t.Makespan()
+	}
+	if span <= 0 {
+		span = 1
+	}
+	const marginLeft, marginTop, legendHeight = 60, 30, 24
+	width := opts.Width
+	height := marginTop + t.Workers*opts.LaneHeight + legendHeight + 30
+	plotWidth := float64(width - marginLeft - 10)
+
+	classes := make([]string, 0)
+	seen := make(map[string]int)
+	for _, e := range t.Events {
+		if _, ok := seen[e.Class]; !ok {
+			seen[e.Class] = 0
+			classes = append(classes, e.Class)
+		}
+	}
+	sort.Strings(classes)
+	for i, c := range classes {
+		seen[c] = i
+	}
+	color := func(class string) string { return svgPalette[seen[class]%len(svgPalette)] }
+
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="Helvetica,sans-serif">`+"\n", width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">%s — makespan %.4fs, %d tasks, %d workers</text>`+"\n",
+		marginLeft, xmlEscape(t.Label), t.Makespan(), len(t.Events), t.Workers)
+	// Lane backgrounds and labels.
+	for lane := 0; lane < t.Workers; lane++ {
+		y := marginTop + lane*opts.LaneHeight
+		fill := "#f7f7f7"
+		if lane%2 == 1 {
+			fill = "#efefef"
+		}
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s"/>`+"\n",
+			marginLeft, y, plotWidth, opts.LaneHeight, fill)
+		fmt.Fprintf(w, `<text x="4" y="%d" font-size="9">core %d</text>`+"\n",
+			y+opts.LaneHeight-5, lane)
+	}
+	// Events.
+	for _, e := range t.Events {
+		if e.Worker < 0 || e.Worker >= t.Workers {
+			continue
+		}
+		x := marginLeft + int(e.Start/span*plotWidth)
+		wid := e.Duration() / span * plotWidth
+		if wid < 0.5 {
+			wid = 0.5
+		}
+		y := marginTop + e.Worker*opts.LaneHeight + 1
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%.2f" height="%d" fill="%s" stroke="#333" stroke-width="0.2"><title>%s [%.6f, %.6f]</title></rect>`+"\n",
+			x, y, wid, opts.LaneHeight-2, color(e.Class), xmlEscape(e.Label), e.Start, e.End)
+	}
+	// Time axis ticks.
+	axisY := marginTop + t.Workers*opts.LaneHeight
+	for i := 0; i <= 10; i++ {
+		frac := float64(i) / 10
+		x := marginLeft + int(frac*plotWidth)
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`+"\n", x, axisY, x, axisY+4)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="8" text-anchor="middle">%.3f</text>`+"\n", x, axisY+14, frac*span)
+	}
+	// Legend.
+	lx := marginLeft
+	ly := axisY + legendHeight
+	for _, c := range classes {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color(c))
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="9">%s</text>`+"\n", lx+13, ly, xmlEscape(c))
+		lx += 13 + 8*len(c) + 16
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,245 @@
+// Package trace implements the rudimentary trace-generation environment of
+// Section V-A: the simulation logs each task with user-specified (virtual)
+// times, and the trace can be rendered as an SVG Gantt chart or exported as
+// plain text for further processing. It also provides the validation and
+// comparison metrics the experiments use to quantify trace fidelity.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"supersim/internal/stats"
+)
+
+// Event is one executed task instance in the trace.
+type Event struct {
+	// Worker is the virtual core that executed the task.
+	Worker int
+	// Class is the kernel class (colors the SVG).
+	Class string
+	// Label identifies the task instance.
+	Label string
+	// TaskID is the serial insertion index.
+	TaskID int
+	// Start and End are virtual times in seconds.
+	Start, End float64
+}
+
+// Duration returns End - Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Trace is an execution trace over a fixed set of workers. It is not safe
+// for concurrent use; the simulator appends under its own lock.
+type Trace struct {
+	// Label distinguishes traces ("real", "simulated", ...).
+	Label string
+	// Workers is the number of virtual cores (lanes).
+	Workers int
+	// Events holds the logged tasks in completion order.
+	Events []Event
+}
+
+// New returns an empty trace for the given number of workers.
+func New(label string, workers int) *Trace {
+	return &Trace{Label: label, Workers: workers}
+}
+
+// Append logs one event.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Makespan returns the maximum End over all events (0 for empty traces).
+func (t *Trace) Makespan() float64 {
+	var m float64
+	for _, e := range t.Events {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// BusyTime returns the summed durations of all events.
+func (t *Trace) BusyTime() float64 {
+	var b float64
+	for _, e := range t.Events {
+		b += e.Duration()
+	}
+	return b
+}
+
+// Efficiency returns BusyTime / (Workers * Makespan), the parallel
+// efficiency visible in the trace (1.0 = perfectly packed lanes).
+func (t *Trace) Efficiency() float64 {
+	ms := t.Makespan()
+	if ms == 0 || t.Workers == 0 {
+		return 0
+	}
+	return t.BusyTime() / (float64(t.Workers) * ms)
+}
+
+// PerWorker returns the events grouped by worker, each group sorted by
+// start time.
+func (t *Trace) PerWorker() [][]Event {
+	lanes := make([][]Event, t.Workers)
+	for _, e := range t.Events {
+		if e.Worker >= 0 && e.Worker < t.Workers {
+			lanes[e.Worker] = append(lanes[e.Worker], e)
+		}
+	}
+	for _, lane := range lanes {
+		sort.Slice(lane, func(i, j int) bool { return lane[i].Start < lane[j].Start })
+	}
+	return lanes
+}
+
+// TasksPerWorker returns the event count per worker lane (the Fig. 6/7
+// "core 0 runs fewer tasks" observable).
+func (t *Trace) TasksPerWorker() []int {
+	counts := make([]int, t.Workers)
+	for _, e := range t.Events {
+		if e.Worker >= 0 && e.Worker < t.Workers {
+			counts[e.Worker]++
+		}
+	}
+	return counts
+}
+
+// Violation describes one internal inconsistency in a trace.
+type Violation struct {
+	Kind   string // "overlap" or "negative-duration"
+	Worker int
+	A, B   Event // the offending events (B unset for negative-duration)
+}
+
+// Validate checks physical consistency: no two events may overlap on one
+// worker lane, and every duration must be non-negative. A correct
+// simulation produces no violations; the Fig. 5 race ablation uses this
+// and ordering checks to quantify corruption.
+func (t *Trace) Validate() []Violation {
+	var out []Violation
+	for w, lane := range t.PerWorker() {
+		for i, e := range lane {
+			if e.Duration() < 0 {
+				out = append(out, Violation{Kind: "negative-duration", Worker: w, A: e})
+			}
+			if i > 0 {
+				prev := lane[i-1]
+				if e.Start < prev.End-1e-12 {
+					out = append(out, Violation{Kind: "overlap", Worker: w, A: prev, B: e})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ByClass groups event durations per kernel class.
+func (t *Trace) ByClass() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, e := range t.Events {
+		out[e.Class] = append(out[e.Class], e.Duration())
+	}
+	return out
+}
+
+// ClassSummary summarizes durations per kernel class.
+func (t *Trace) ClassSummary() map[string]stats.Summary {
+	out := make(map[string]stats.Summary)
+	for class, durs := range t.ByClass() {
+		out[class] = stats.Summarize(durs)
+	}
+	return out
+}
+
+// Comparison quantifies how closely a simulated trace matches a reference
+// trace (the paper's Figs. 6-7 side-by-side comparison, made numeric).
+type Comparison struct {
+	RefMakespan, SimMakespan float64
+	// MakespanErrorPct is |sim - ref| / ref * 100, the paper's headline
+	// accuracy metric.
+	MakespanErrorPct float64
+	// EventCountDelta is len(sim) - len(ref); 0 when both executed the
+	// same task set.
+	EventCountDelta int
+	// PerClassMeanErrPct is the relative error of mean kernel duration
+	// per class.
+	PerClassMeanErrPct map[string]float64
+	// WorkerLoadDistance is the L1 distance of normalized per-worker
+	// event counts, in [0, 2]; small values mean the same load shape
+	// (for example, a lighter core 0 in both traces).
+	WorkerLoadDistance float64
+}
+
+// Compare computes trace fidelity metrics of sim against ref.
+func Compare(ref, sim *Trace) Comparison {
+	c := Comparison{
+		RefMakespan:        ref.Makespan(),
+		SimMakespan:        sim.Makespan(),
+		EventCountDelta:    len(sim.Events) - len(ref.Events),
+		PerClassMeanErrPct: make(map[string]float64),
+	}
+	if c.RefMakespan > 0 {
+		d := c.SimMakespan - c.RefMakespan
+		if d < 0 {
+			d = -d
+		}
+		c.MakespanErrorPct = d / c.RefMakespan * 100
+	}
+	refClasses := ref.ByClass()
+	simClasses := sim.ByClass()
+	for class, refDurs := range refClasses {
+		simDurs, ok := simClasses[class]
+		if !ok || len(refDurs) == 0 || len(simDurs) == 0 {
+			continue
+		}
+		rm, sm := stats.Mean(refDurs), stats.Mean(simDurs)
+		if rm > 0 {
+			d := (sm - rm) / rm * 100
+			if d < 0 {
+				d = -d
+			}
+			c.PerClassMeanErrPct[class] = d
+		}
+	}
+	refLoad, simLoad := ref.TasksPerWorker(), sim.TasksPerWorker()
+	if len(refLoad) == len(simLoad) {
+		var refTotal, simTotal int
+		for i := range refLoad {
+			refTotal += refLoad[i]
+			simTotal += simLoad[i]
+		}
+		if refTotal > 0 && simTotal > 0 {
+			var dist float64
+			for i := range refLoad {
+				d := float64(refLoad[i])/float64(refTotal) - float64(simLoad[i])/float64(simTotal)
+				if d < 0 {
+					d = -d
+				}
+				dist += d
+			}
+			c.WorkerLoadDistance = dist
+		}
+	}
+	return c
+}
+
+// WriteText exports the trace as tab-separated plain text (Section V-A:
+// "the trace data can also be stored in a plain text file for further
+// processing").
+func (t *Trace) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# trace %s workers=%d events=%d makespan=%.9f\n", t.Label, t.Workers, len(t.Events), t.Makespan()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "taskid\tworker\tclass\tlabel\tstart\tend"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%.9f\t%.9f\n",
+			e.TaskID, e.Worker, e.Class, e.Label, e.Start, e.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}

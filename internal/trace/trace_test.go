@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	tr := New("test", 2)
+	tr.Append(Event{Worker: 0, Class: "GEMM", Label: "g0", TaskID: 0, Start: 0, End: 1})
+	tr.Append(Event{Worker: 1, Class: "TRSM", Label: "t0", TaskID: 1, Start: 0, End: 0.5})
+	tr.Append(Event{Worker: 1, Class: "GEMM", Label: "g1", TaskID: 2, Start: 0.5, End: 2})
+	return tr
+}
+
+func TestMakespanAndBusyTime(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Makespan() != 2 {
+		t.Errorf("makespan = %g", tr.Makespan())
+	}
+	if got := tr.BusyTime(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("busy = %g, want 3", got)
+	}
+	if got := tr.Efficiency(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("efficiency = %g, want 0.75", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New("empty", 4)
+	if tr.Makespan() != 0 || tr.BusyTime() != 0 || tr.Efficiency() != 0 {
+		t.Error("empty trace metrics nonzero")
+	}
+	if len(tr.Validate()) != 0 {
+		t.Error("empty trace invalid")
+	}
+}
+
+func TestPerWorkerSorted(t *testing.T) {
+	tr := New("t", 1)
+	tr.Append(Event{Worker: 0, Start: 5, End: 6})
+	tr.Append(Event{Worker: 0, Start: 1, End: 2})
+	lanes := tr.PerWorker()
+	if lanes[0][0].Start != 1 {
+		t.Error("lane not sorted by start")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	tr := New("t", 1)
+	tr.Append(Event{Worker: 0, Start: 0, End: 2})
+	tr.Append(Event{Worker: 0, Start: 1, End: 3}) // overlaps
+	v := tr.Validate()
+	if len(v) != 1 || v[0].Kind != "overlap" {
+		t.Errorf("violations %v", v)
+	}
+}
+
+func TestValidateDetectsNegativeDuration(t *testing.T) {
+	tr := New("t", 1)
+	tr.Append(Event{Worker: 0, Start: 2, End: 1})
+	v := tr.Validate()
+	found := false
+	for _, viol := range v {
+		if viol.Kind == "negative-duration" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("negative duration not reported")
+	}
+}
+
+func TestValidateAllowsTouchingEvents(t *testing.T) {
+	tr := New("t", 1)
+	tr.Append(Event{Worker: 0, Start: 0, End: 1})
+	tr.Append(Event{Worker: 0, Start: 1, End: 2})
+	if v := tr.Validate(); len(v) != 0 {
+		t.Errorf("back-to-back events flagged: %v", v)
+	}
+}
+
+func TestTasksPerWorker(t *testing.T) {
+	tr := sampleTrace()
+	counts := tr.TasksPerWorker()
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestClassSummary(t *testing.T) {
+	tr := sampleTrace()
+	sums := tr.ClassSummary()
+	if sums["GEMM"].N != 2 || sums["TRSM"].N != 1 {
+		t.Errorf("class summary %v", sums)
+	}
+	if math.Abs(sums["GEMM"].Mean-1.25) > 1e-12 {
+		t.Errorf("GEMM mean = %g", sums["GEMM"].Mean)
+	}
+}
+
+func TestCompareIdenticalTraces(t *testing.T) {
+	a, b := sampleTrace(), sampleTrace()
+	c := Compare(a, b)
+	if c.MakespanErrorPct != 0 || c.EventCountDelta != 0 || c.WorkerLoadDistance != 0 {
+		t.Errorf("identical traces compare as %+v", c)
+	}
+	for class, e := range c.PerClassMeanErrPct {
+		if e != 0 {
+			t.Errorf("class %s error %g", class, e)
+		}
+	}
+}
+
+func TestCompareMakespanError(t *testing.T) {
+	a := New("a", 1)
+	a.Append(Event{End: 10})
+	b := New("b", 1)
+	b.Append(Event{End: 12})
+	c := Compare(a, b)
+	if math.Abs(c.MakespanErrorPct-20) > 1e-9 {
+		t.Errorf("error %g, want 20", c.MakespanErrorPct)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTrace().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"# trace test", "taskid\tworker", "GEMM", "g1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("text export missing %q", frag)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 5 { // header + columns + 3 events
+		t.Errorf("%d lines, want 5", got)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTrace().WriteSVG(&sb, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"<svg", "</svg>", "core 0", "core 1", "GEMM", "rect"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	if strings.Count(out, "<rect") < 5 { // 2 lanes + 3 events
+		t.Error("too few rects in SVG")
+	}
+}
+
+func TestSVGSharedTimeScale(t *testing.T) {
+	// With an explicit TimeScale, two traces of different makespans must
+	// produce the same axis labels (the paper's shared-axis device).
+	var a, b strings.Builder
+	trA := sampleTrace()
+	trB := New("other", 2)
+	trB.Append(Event{Worker: 0, Class: "GEMM", End: 1})
+	if err := trA.WriteSVG(&a, SVGOptions{TimeScale: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.WriteSVG(&b, SVGOptions{TimeScale: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), ">4.000<") || !strings.Contains(b.String(), ">4.000<") {
+		t.Error("shared time axis not applied")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	tr := New(`a<b>&"c`, 1)
+	tr.Append(Event{Worker: 0, Class: "K", Label: `x<&>`, End: 1})
+	var sb strings.Builder
+	if err := tr.WriteSVG(&sb, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `x<&>`) {
+		t.Error("labels not XML-escaped")
+	}
+}
+
+// Property: traces assembled from per-worker sequential, non-overlapping
+// events always validate cleanly, and makespan equals the max end.
+func TestValidTraceProperty(t *testing.T) {
+	err := quick.Check(func(durations []uint8, workersRaw uint8) bool {
+		workers := int(workersRaw%4) + 1
+		tr := New("prop", workers)
+		free := make([]float64, workers)
+		var maxEnd float64
+		for i, d := range durations {
+			w := i % workers
+			dur := float64(d%50) / 10
+			start := free[w]
+			end := start + dur
+			free[w] = end
+			tr.Append(Event{Worker: w, Class: "K", Start: start, End: end})
+			if end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if len(tr.Validate()) != 0 {
+			return false
+		}
+		return math.Abs(tr.Makespan()-maxEnd) < 1e-12
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+)
+
+// This file generates synthetic task graphs: scheduler stress workloads
+// beyond the linear-algebra case studies, used by the policy-comparison
+// experiments and the engine stress tests. Each generator returns the
+// tasks as (class, args, weight) templates; the caller binds the task
+// functions (real, measured or simulated).
+
+// SynthTask is one task template of a synthetic DAG.
+type SynthTask struct {
+	Class    string
+	Args     []sched.Arg
+	Priority int
+	// Weight is the nominal duration in seconds a duration model may use.
+	Weight float64
+}
+
+// SynthWorkload is a named synthetic task stream.
+type SynthWorkload struct {
+	Name  string
+	Tasks []SynthTask
+}
+
+// Model returns a constant-duration model for the workload's classes
+// (class -> weight of the first task of that class).
+func (w SynthWorkload) Model() map[string]float64 {
+	m := make(map[string]float64)
+	for _, t := range w.Tasks {
+		if _, ok := m[t.Class]; !ok {
+			m[t.Class] = t.Weight
+		}
+	}
+	return m
+}
+
+// Chains builds c independent chains of length l: embarrassing parallelism
+// across chains, full serialization within one. Exposes load balancing.
+func Chains(c, l int, taskSeconds float64) SynthWorkload {
+	w := SynthWorkload{Name: fmt.Sprintf("chains-%dx%d", c, l)}
+	for chain := 0; chain < c; chain++ {
+		h := new(int)
+		for step := 0; step < l; step++ {
+			w.Tasks = append(w.Tasks, SynthTask{
+				Class:  "LINK",
+				Args:   []sched.Arg{sched.RW(h)},
+				Weight: taskSeconds,
+			})
+		}
+	}
+	return w
+}
+
+// ForkJoin builds r rounds of a fork to width tasks followed by a join:
+// the classic BSP shape whose synchronization cost the superscalar model
+// avoids (paper Section I on Cilk/BSP).
+func ForkJoin(rounds, width int, taskSeconds float64) SynthWorkload {
+	w := SynthWorkload{Name: fmt.Sprintf("forkjoin-%dx%d", rounds, width)}
+	barrier := new(int)
+	for r := 0; r < rounds; r++ {
+		mids := make([]*int, width)
+		for i := range mids {
+			mids[i] = new(int)
+			w.Tasks = append(w.Tasks, SynthTask{
+				Class:  "WORK",
+				Args:   []sched.Arg{sched.R(barrier), sched.W(mids[i])},
+				Weight: taskSeconds,
+			})
+		}
+		args := []sched.Arg{sched.W(barrier)}
+		for _, m := range mids {
+			args = append(args, sched.R(m))
+		}
+		w.Tasks = append(w.Tasks, SynthTask{
+			Class:    "JOIN",
+			Args:     args,
+			Priority: 1,
+			Weight:   taskSeconds / 4,
+		})
+	}
+	return w
+}
+
+// Stencil builds s sweeps over a 1-D array of n cells where each update
+// reads its neighbors (wavefront parallelism with RaW/WaR interplay).
+func Stencil(sweeps, n int, taskSeconds float64) SynthWorkload {
+	w := SynthWorkload{Name: fmt.Sprintf("stencil-%dx%d", sweeps, n)}
+	cells := make([]*int, n)
+	for i := range cells {
+		cells[i] = new(int)
+	}
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < n; i++ {
+			args := []sched.Arg{sched.RW(cells[i])}
+			if i > 0 {
+				args = append(args, sched.R(cells[i-1]))
+			}
+			if i < n-1 {
+				args = append(args, sched.R(cells[i+1]))
+			}
+			w.Tasks = append(w.Tasks, SynthTask{
+				Class:  "STENCIL",
+				Args:   args,
+				Weight: taskSeconds,
+			})
+		}
+	}
+	return w
+}
+
+// RandomLayeredDAG builds a layered random DAG: layers of width tasks,
+// each task reading a few random outputs of the previous layer. Durations
+// vary log-uniformly in [taskSeconds/3, 3*taskSeconds]; class names encode
+// a coarse duration bucket so per-class models remain meaningful.
+func RandomLayeredDAG(layers, width, fanIn int, taskSeconds float64, seed uint64) SynthWorkload {
+	src := rng.New(seed)
+	w := SynthWorkload{Name: fmt.Sprintf("random-%dx%d", layers, width)}
+	prev := make([]*int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]*int, width)
+		for i := 0; i < width; i++ {
+			cur[i] = new(int)
+			args := []sched.Arg{sched.W(cur[i])}
+			for f := 0; f < fanIn && len(prev) > 0; f++ {
+				args = append(args, sched.R(prev[src.Intn(len(prev))]))
+			}
+			// Log-uniform duration in [1/3, 3] x taskSeconds.
+			factor := 1.0 / 3
+			for k := 0; k < 2; k++ {
+				factor *= 1 + 2*src.Float64()
+			}
+			dur := taskSeconds * factor
+			bucket := "S"
+			switch {
+			case dur > 2*taskSeconds:
+				bucket = "L"
+			case dur > taskSeconds:
+				bucket = "M"
+			}
+			w.Tasks = append(w.Tasks, SynthTask{
+				Class:  "RND" + bucket,
+				Args:   args,
+				Weight: dur,
+			})
+		}
+		prev = cur
+	}
+	return w
+}
