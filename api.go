@@ -1,8 +1,11 @@
 package supersim
 
 import (
+	"time"
+
 	"supersim/internal/core"
 	"supersim/internal/dist"
+	"supersim/internal/fault"
 	"supersim/internal/perfmodel"
 	"supersim/internal/sched"
 	"supersim/internal/sched/ompss"
@@ -101,15 +104,33 @@ var MeasuredTask = core.MeasuredTask
 
 // NewQUARK starts a QUARK-like scheduler with the given worker count
 // (master participates at Barrier, as in QUARK).
-func NewQUARK(workers int) *quark.Scheduler { return quark.New(workers) }
+func NewQUARK(workers int) (*quark.Scheduler, error) { return quark.New(workers) }
 
 // NewOmpSs starts an OmpSs-like scheduler with the given team size.
-func NewOmpSs(workers int) *ompss.Scheduler { return ompss.New(workers) }
+func NewOmpSs(workers int) (*ompss.Scheduler, error) { return ompss.New(workers) }
 
 // NewStarPU starts a StarPU-like scheduler with the given CPU worker count
 // and scheduling policy ("eager", "prio", "ws", "dm"; "" = eager).
 func NewStarPU(workers int, policy string) (*starpu.Scheduler, error) {
 	return starpu.New(starpu.Conf{NCPUs: workers, Policy: policy})
+}
+
+// FaultConfig parameterizes deterministic fault injection (see
+// internal/fault).
+type FaultConfig = fault.Config
+
+// FaultRates holds per-kernel-class fault probabilities.
+type FaultRates = fault.Rates
+
+// NewFaultInjector creates a seeded fault injector; arm it on a runtime
+// with its Attach method before inserting tasks.
+func NewFaultInjector(cfg FaultConfig) *fault.Injector { return fault.New(cfg) }
+
+// WatchStalls starts a wall-clock stall watchdog over a run: if neither
+// the scheduler nor the simulator makes progress for the deadline, both
+// are aborted with a diagnostic dump (a *fault.StallError).
+func WatchStalls(rt Runtime, sim *Simulator, deadline time.Duration) (*fault.Watchdog, error) {
+	return fault.Watch(rt, sim, fault.WatchdogConfig{Deadline: deadline})
 }
 
 // NewCollector returns an empty kernel-timing collector; pass its Hook to

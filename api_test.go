@@ -12,20 +12,17 @@ import (
 func TestFacadeQuickstart(t *testing.T) {
 	newRuntimes := []struct {
 		name string
-		make func() supersim.Runtime
+		make func() (supersim.Runtime, error)
 	}{
-		{"quark", func() supersim.Runtime { return supersim.NewQUARK(3) }},
-		{"ompss", func() supersim.Runtime { return supersim.NewOmpSs(3) }},
-		{"starpu", func() supersim.Runtime {
-			s, err := supersim.NewStarPU(3, "prio")
-			if err != nil {
-				t.Fatal(err)
-			}
-			return s
-		}},
+		{"quark", func() (supersim.Runtime, error) { return supersim.NewQUARK(3) }},
+		{"ompss", func() (supersim.Runtime, error) { return supersim.NewOmpSs(3) }},
+		{"starpu", func() (supersim.Runtime, error) { return supersim.NewStarPU(3, "prio") }},
 	}
 	for _, rtc := range newRuntimes {
-		rt := rtc.make()
+		rt, err := rtc.make()
+		if err != nil {
+			t.Fatal(err)
+		}
 		sim := supersim.NewSimulator(rt, "facade")
 		tk := supersim.NewTasker(sim, supersim.ClassMap{"GEMM": 1e-3, "TRSM": 2e-3}, 42)
 		a, b := new(int), new(int)
@@ -49,7 +46,10 @@ func TestFacadeQuickstart(t *testing.T) {
 // TestFacadeCalibrationFlow exercises Collector + MeasuredTask + FitModel
 // through the public API.
 func TestFacadeCalibrationFlow(t *testing.T) {
-	rt := supersim.NewQUARK(2)
+	rt, err := supersim.NewQUARK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	collector := supersim.NewCollector()
 	sim := supersim.NewSimulator(rt, "measured", supersim.WithSampleHook(collector.Hook()))
 	work := func(*supersim.Ctx) {
@@ -75,7 +75,10 @@ func TestFacadeCalibrationFlow(t *testing.T) {
 		t.Error("fitted model has non-positive mean")
 	}
 	// Drive a simulation with the fitted model.
-	rt2 := supersim.NewQUARK(2)
+	rt2, err := supersim.NewQUARK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim2 := supersim.NewSimulator(rt2, "simulated", supersim.WithWaitPolicy(supersim.WaitQuiescence))
 	tk := supersim.NewTasker(sim2, model, 7)
 	for i := 0; i < 12; i++ {

@@ -11,12 +11,15 @@
 package supersim_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"supersim/internal/bench"
 	"supersim/internal/core"
 	"supersim/internal/dist"
+	"supersim/internal/fault"
 	"supersim/internal/kernels"
 	"supersim/internal/perfmodel"
 	"supersim/internal/workload"
@@ -423,4 +426,42 @@ func BenchmarkStudy_StrongScaling(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Logf("strong-scaling study:\n%s", sb.String())
+}
+
+// BenchmarkStudy_FaultResilience quantifies makespan degradation under the
+// deterministic fault suite (transient failures, kernel panics, stragglers,
+// dead cores, all combined) for all three runtimes — the robustness study
+// enabled by internal/fault.
+func BenchmarkStudy_FaultResilience(b *testing.B) {
+	spec := benchSpec("cholesky", "", 8)
+	spec.StallDeadline = 30 * time.Second
+	model := bench.FaultModel(spec.Algorithm, spec.NB)
+	scenarios := bench.DefaultFaultScenarios(1)
+	var points []bench.FaultPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = bench.FaultStudy(spec, model, scenarios)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	retried := 0
+	for _, p := range points {
+		if p.DegradationPct > worst {
+			worst = p.DegradationPct
+		}
+		retried += p.Retried
+		var stall *fault.StallError
+		if errors.As(p.Err, &stall) {
+			b.Fatalf("%s/%s wedged: %v", p.Scheduler, p.Scenario, p.Err)
+		}
+	}
+	b.ReportMetric(worst, "worst_degradation_%")
+	b.ReportMetric(float64(retried), "retries")
+	var sb strings.Builder
+	if err := bench.WriteFaultStudy(&sb, points); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("fault-resilience study (%d workers):\n%s", spec.Workers, sb.String())
 }

@@ -11,21 +11,27 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"supersim/internal/bench"
 	"supersim/internal/core"
+	"supersim/internal/fault"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simrace: ")
 	var (
-		trials = flag.Int("trials", 200, "trials per policy")
-		sched  = flag.String("sched", "quark", "scheduler: quark, starpu or ompss")
+		trials  = flag.Int("trials", 200, "trials per policy")
+		sched   = flag.String("sched", "quark", "scheduler: quark, starpu or ompss")
+		timeout = flag.Duration("timeout", 30*time.Second,
+			"wall-clock watchdog per trial; a raced trial that wedges is aborted\n"+
+				"with a diagnostic dump instead of hanging (0 disables)")
 	)
 	flag.Parse()
 
@@ -36,8 +42,14 @@ func main() {
 	for _, policy := range []core.WaitPolicy{core.WaitNone, core.WaitSleepYield, core.WaitQuiescence} {
 		rep, err := bench.RaceExperiment(bench.Spec{
 			Scheduler: *sched, Workers: 2, Wait: policy,
+			StallDeadline: *timeout,
 		}, *trials)
 		if err != nil {
+			var stall *fault.StallError
+			if errors.As(err, &stall) {
+				log.Printf("policy %s: trial wedged; watchdog fired after %v", policy, stall.After)
+				log.Fatal(err)
+			}
 			log.Fatal(err)
 		}
 		reports = append(reports, rep)

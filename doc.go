@@ -23,7 +23,7 @@
 //
 // # Quick start
 //
-//	rt := supersim.NewQUARK(8)                       // 8 virtual cores
+//	rt, _ := supersim.NewQUARK(8)                    // 8 virtual cores
 //	sim := supersim.NewSimulator(rt, "demo")
 //	tk := supersim.NewTasker(sim, supersim.ClassMap{"GEMM": 1e-3}, 42)
 //	a, b := new(int), new(int)

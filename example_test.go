@@ -10,7 +10,7 @@ import (
 // simulated kernels, virtual trace. A producer and two parallel consumers
 // run on two virtual cores.
 func ExampleSimulator() {
-	rt := supersim.NewQUARK(2)
+	rt, _ := supersim.NewQUARK(2)
 	sim := supersim.NewSimulator(rt, "example")
 	tk := supersim.NewTasker(sim, supersim.ClassMap{"LOAD": 1.0, "WORK": 2.0}, 42)
 
@@ -35,7 +35,7 @@ func ExampleSimulator() {
 // ExampleTasker_SimTask shows that hazard annotations serialize conflicting
 // tasks in virtual time: two writers to the same handle cannot overlap.
 func ExampleTasker_SimTask() {
-	rt := supersim.NewOmpSs(4)
+	rt, _ := supersim.NewOmpSs(4)
 	sim := supersim.NewSimulator(rt, "example")
 	tk := supersim.NewTasker(sim, supersim.FixedModel(1.5), 1)
 

@@ -41,7 +41,10 @@ func main() {
 	fmt.Printf("tile Cholesky of a %dx%d SPD matrix (%dx%d tiles of %d): %d tasks\n",
 		a.N(), a.N(), *nt, *nt, *nb, len(ops))
 
-	rt := ompss.New(*workers)
+	rt, err := ompss.New(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	collector := supersim.NewCollector()
 	sim := supersim.NewSimulator(rt, "real", supersim.WithSampleHook(collector.Hook()))
 	sink := factor.InsertMeasured(rt, sim, ops)
@@ -65,7 +68,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt2 := ompss.New(*workers)
+	rt2, err := ompss.New(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sim2 := supersim.NewSimulator(rt2, "simulated")
 	tk := supersim.NewTasker(sim2, model, 7)
 	// In the simulated run the same serial task stream is inserted, but

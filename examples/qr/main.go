@@ -45,7 +45,10 @@ func main() {
 		a := workload.RandomGeneral(*nt, *nb, 42)
 		tm := tile.NewMatrix(*nt, *nb)
 		orig := a.Clone()
-		q := quark.New(*workers)
+		q, err := quark.New(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		collector := supersim.NewCollector()
 		sim := supersim.NewSimulator(q, "quark-real", supersim.WithSampleHook(collector.Hook()))
 		sink := factor.InsertMeasured(q, sim, factor.QR(a, tm))
@@ -59,12 +62,14 @@ func main() {
 		fmt.Printf("QUARK : measured makespan %.4fs  residual %.2g  orthogonality %.2g\n",
 			sim.Trace().Makespan(), resid, orth)
 
-		var err error
 		model, err = supersim.FitModel(collector)
 		if err != nil {
 			log.Fatal(err)
 		}
-		q2 := quark.New(*workers)
+		q2, err := quark.New(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sim2 := supersim.NewSimulator(q2, "quark-sim")
 		tk := supersim.NewTasker(sim2, model, 3)
 		b := workload.RandomGeneral(*nt, *nb, 42)
@@ -117,7 +122,10 @@ func main() {
 	{
 		a := workload.RandomGeneral(*nt, *nb, 42)
 		tm := tile.NewMatrix(*nt, *nb)
-		o := ompss.New(*workers)
+		o, err := ompss.New(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sim := supersim.NewSimulator(o, "ompss-sim")
 		tk := supersim.NewTasker(sim, model, 5)
 		for _, op := range factor.QR(a, tm) {

@@ -19,7 +19,11 @@ import (
 
 func main() {
 	// --- 1. Constant-duration simulation --------------------------------
-	rt := supersim.NewQUARK(2) // two virtual cores
+	rt, err := supersim.NewQUARK(2) // two virtual cores
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	sim := supersim.NewSimulator(rt, "quickstart")
 	tk := supersim.NewTasker(sim, supersim.ClassMap{
 		"LOAD": 1.0, "WORK": 2.0, "JOIN": 0.5,
@@ -60,7 +64,11 @@ func main() {
 	model.Dists["WORK"] = dist.LogNormal{Mu: 0.65, Sigma: 0.2} // mean ~1.95
 	model.Dists["JOIN"] = dist.Constant{Value: 0.5}
 
-	rt2 := supersim.NewQUARK(2)
+	rt2, err := supersim.NewQUARK(2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	sim2 := supersim.NewSimulator(rt2, "quickstart-stochastic")
 	tk2 := supersim.NewTasker(sim2, model, 7)
 	src2, l2, r2 := new(int), new(int), new(int)

@@ -58,7 +58,10 @@ func TestNumericalVerificationThroughFacade(t *testing.T) {
 	nt, nb := 4, 16
 	a := workload.RandomSPD(nt, nb, 5)
 	orig := a.Clone()
-	rt := supersim.NewOmpSs(3)
+	rt, err := supersim.NewOmpSs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim := supersim.NewSimulator(rt, "real")
 	sink := factor.InsertMeasured(rt, sim, factor.Cholesky(a))
 	rt.Shutdown()

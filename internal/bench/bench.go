@@ -12,6 +12,7 @@ import (
 	"supersim/internal/core"
 	"supersim/internal/dist"
 	"supersim/internal/factor"
+	"supersim/internal/fault"
 	"supersim/internal/kernels"
 	"supersim/internal/perfmodel"
 	"supersim/internal/sched"
@@ -40,6 +41,12 @@ type Spec struct {
 	CostModel     sched.CostModel // StarPU dm policy cost model
 	GangPanels    int             // NumThreads for panel tasks (Section VII)
 	GangEff       float64         // gang parallel efficiency (default 1)
+
+	// Robustness knobs (all zero values = pre-fault behavior).
+	MaxRetries    int           // retry budget for failed task attempts
+	RetryBackoff  time.Duration // base wall-clock backoff between attempts
+	StallDeadline time.Duration // watchdog no-progress deadline (0 = off)
+	Fault         *fault.Config // deterministic fault plan (nil = off)
 }
 
 // N returns the dense matrix order.
@@ -50,25 +57,62 @@ var Schedulers = []string{"ompss", "starpu", "quark"}
 
 // NewRuntime constructs the scheduler described by the spec.
 func NewRuntime(s Spec) (sched.Runtime, error) {
+	var rt sched.Runtime
+	var err error
 	switch s.Scheduler {
 	case "quark":
 		opts := []quark.Option{}
 		if s.Window > 0 {
 			opts = append(opts, quark.WithWindow(s.Window))
 		}
-		return quark.New(s.Workers, opts...), nil
+		rt, err = quark.New(s.Workers, opts...)
 	case "starpu":
-		return starpu.New(starpu.Conf{
+		rt, err = starpu.New(starpu.Conf{
 			NCPUs:         s.Workers,
 			NAccelerators: s.NAccelerators,
 			Policy:        s.Policy,
 			CostModel:     s.CostModel,
 		})
 	case "ompss":
-		return ompss.New(s.Workers), nil
+		rt, err = ompss.New(s.Workers)
 	default:
 		return nil, fmt.Errorf("bench: unknown scheduler %q", s.Scheduler)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if s.MaxRetries > 0 || s.RetryBackoff > 0 {
+		// All three runtimes share sched.Engine, which exposes the
+		// retry policy setter.
+		if rp, ok := rt.(interface {
+			SetRetryPolicy(int, time.Duration)
+		}); ok {
+			rp.SetRetryPolicy(s.MaxRetries, s.RetryBackoff)
+		}
+	}
+	return rt, nil
+}
+
+// armFaults attaches the spec's fault plan and watchdog to a constructed
+// run. It returns the (possibly decorated) runtime to insert through, the
+// injector (nil when disabled) and the watchdog (nil when disabled).
+func armFaults(spec Spec, rt sched.Runtime, sim *core.Simulator) (sched.Runtime, *fault.Injector, *fault.Watchdog, error) {
+	var inj *fault.Injector
+	if spec.Fault != nil {
+		inj = fault.New(*spec.Fault)
+	}
+	frt, err := inj.Attach(rt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var wd *fault.Watchdog
+	if spec.StallDeadline > 0 {
+		wd, err = fault.Watch(frt, sim, fault.WatchdogConfig{Deadline: spec.StallDeadline})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return frt, inj, wd, nil
 }
 
 // Result captures one run (measured or simulated).
@@ -79,6 +123,12 @@ type Result struct {
 	Wall     time.Duration
 	Stats    sched.Stats
 	NumTasks int
+	// Err accumulates the run's failures: permanently failed tasks
+	// (*sched.TaskError) and any abort reason such as a watchdog stall.
+	// nil for a clean run; resilience runs can degrade without aborting.
+	Err error
+	// Faults reports what the spec's injector planted (zero when off).
+	Faults fault.Stats
 }
 
 func resultFrom(spec Spec, tr *trace.Trace, wall time.Duration, st sched.Stats) Result {
@@ -134,16 +184,31 @@ func Measured(spec Spec) (Result, *perfmodel.Collector, error) {
 	sim := core.NewSimulator(rt, "real",
 		core.WithWaitPolicy(spec.Wait),
 		core.WithSampleHook(collector.Hook()))
+	frt, inj, wd, err := armFaults(spec, rt, sim)
+	if err != nil {
+		rt.Shutdown()
+		return Result{}, nil, err
+	}
 	t0 := time.Now()
-	sink := factor.InsertMeasured(rt, sim, ops)
-	rt.Barrier()
+	sink := factor.InsertMeasured(frt, sim, ops)
+	frt.Barrier()
 	wall := time.Since(t0)
 	st := rt.Stats()
 	rt.Shutdown()
-	if err := sink.Err(); err != nil {
+	if wd != nil {
+		wd.Stop()
+	}
+	res := resultFrom(spec, sim.Trace(), wall, st)
+	res.Err = rt.Err()
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
+	// Numerical validation only makes sense for clean runs: a run with
+	// injected faults skips poisoned kernels by design.
+	if err := sink.Err(); err != nil && res.Err == nil && inj == nil {
 		return Result{}, nil, fmt.Errorf("bench: measured run failed numerically: %w", err)
 	}
-	return resultFrom(spec, sim.Trace(), wall, st), collector, nil
+	return res, collector, nil
 }
 
 // Simulated performs the paper's simulation: the same scheduler runs the
@@ -162,14 +227,30 @@ func Simulated(spec Spec, model core.DurationModel) (Result, error) {
 		return Result{}, err
 	}
 	sim := core.NewSimulator(rt, "simulated", core.WithWaitPolicy(spec.Wait))
+	frt, inj, wd, err := armFaults(spec, rt, sim)
+	if err != nil {
+		rt.Shutdown()
+		return Result{}, err
+	}
 	tk := core.NewTasker(sim, model, spec.Seed+1)
 	t0 := time.Now()
-	factor.InsertSimulated(rt, tk, ops)
-	rt.Barrier()
+	insErr := factor.InsertSimulated(frt, tk, ops)
+	frt.Barrier()
 	wall := time.Since(t0)
 	st := rt.Stats()
 	rt.Shutdown()
-	return resultFrom(spec, sim.Trace(), wall, st), nil
+	if wd != nil {
+		wd.Stop()
+	}
+	res := resultFrom(spec, sim.Trace(), wall, st)
+	res.Err = rt.Err()
+	if res.Err == nil {
+		res.Err = insErr // abort reasons already surface through rt.Err
+	}
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
+	return res, nil
 }
 
 // simulatedGang is Simulated with panel kernels turned into multi-threaded
@@ -180,6 +261,11 @@ func simulatedGang(spec Spec, model core.DurationModel, ops []factor.Op) (Result
 		return Result{}, err
 	}
 	sim := core.NewSimulator(rt, "simulated-gang", core.WithWaitPolicy(spec.Wait))
+	frt, inj, wd, err := armFaults(spec, rt, sim)
+	if err != nil {
+		rt.Shutdown()
+		return Result{}, err
+	}
 	tk := core.NewTasker(sim, model, spec.Seed+1)
 	eff := spec.GangEff
 	if eff <= 0 {
@@ -200,13 +286,21 @@ func simulatedGang(spec Spec, model core.DurationModel, ops []factor.Op) (Result
 		} else {
 			task.Func = tk.SimTask(string(op.Class))
 		}
-		rt.Insert(task)
+		frt.Insert(task)
 	}
-	rt.Barrier()
+	frt.Barrier()
 	wall := time.Since(t0)
 	st := rt.Stats()
 	rt.Shutdown()
-	return resultFrom(spec, sim.Trace(), wall, st), nil
+	if wd != nil {
+		wd.Stop()
+	}
+	res := resultFrom(spec, sim.Trace(), wall, st)
+	res.Err = rt.Err()
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
+	return res, nil
 }
 
 // Calibrate runs a measured calibration problem and fits the paper's three

@@ -370,16 +370,29 @@ func raceScenario(spec Spec) (cStart, makespan float64, violations int, err erro
 		return 0, 0, 0, err
 	}
 	sim := core.NewSimulator(rt, "race", core.WithWaitPolicy(spec.Wait))
+	// The WaitNone variant can wedge outright (the race the experiment
+	// demonstrates); spec.StallDeadline bounds a trial with the watchdog.
+	frt, _, wd, err := armFaults(spec, rt, sim)
+	if err != nil {
+		rt.Shutdown()
+		return 0, 0, 0, err
+	}
 	tk := core.NewTasker(sim, core.ClassMap{"A": 1.0, "B": 1.5, "C": 1.0}, spec.Seed)
 	hA, hB := new(int), new(int)
-	rt.Insert(&sched.Task{Class: "A", Label: "A", Func: tk.SimTask("A"),
+	frt.Insert(&sched.Task{Class: "A", Label: "A", Func: tk.SimTask("A"),
 		Args: []sched.Arg{sched.W(hA)}})
-	rt.Insert(&sched.Task{Class: "B", Label: "B", Func: tk.SimTask("B"),
+	frt.Insert(&sched.Task{Class: "B", Label: "B", Func: tk.SimTask("B"),
 		Args: []sched.Arg{sched.W(hB)}})
-	rt.Insert(&sched.Task{Class: "C", Label: "C", Func: tk.SimTask("C"),
+	frt.Insert(&sched.Task{Class: "C", Label: "C", Func: tk.SimTask("C"),
 		Args: []sched.Arg{sched.R(hA)}})
-	rt.Barrier()
+	frt.Barrier()
 	rt.Shutdown()
+	if wd != nil {
+		wd.Stop()
+	}
+	if rerr := rt.Err(); rerr != nil {
+		return 0, 0, 0, rerr
+	}
 	tr := sim.Trace()
 	for _, e := range tr.Events {
 		if e.Label == "C" {

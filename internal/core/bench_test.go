@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"supersim/internal/sched"
-	"supersim/internal/sched/quark"
 )
 
 // Micro-benchmarks of the simulation library: the per-task cost of the
@@ -14,7 +13,7 @@ import (
 
 func benchmarkSimulatedChurn(b *testing.B, workers int, policy WaitPolicy) {
 	b.Helper()
-	rt := quark.New(workers)
+	rt := mustQuark(workers)
 	sim := NewSimulator(rt, "bench", WithWaitPolicy(policy))
 	tk := NewTasker(sim, FixedModel(1e-4), 1)
 	f := tk.SimTask("K")
@@ -44,7 +43,7 @@ func BenchmarkSimTaskNoMitigation4Workers(b *testing.B) {
 }
 
 func BenchmarkSimulatedDependentChain(b *testing.B) {
-	rt := quark.New(4)
+	rt := mustQuark(4)
 	sim := NewSimulator(rt, "bench")
 	tk := NewTasker(sim, FixedModel(1e-4), 1)
 	f := tk.SimTask("K")

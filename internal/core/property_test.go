@@ -7,7 +7,6 @@ import (
 	"supersim/internal/graph"
 	"supersim/internal/hazard"
 	"supersim/internal/sched"
-	"supersim/internal/sched/quark"
 	"supersim/internal/trace"
 )
 
@@ -62,7 +61,7 @@ func TestSimulationCausalityProperty(t *testing.T) {
 			}
 		}
 		// Run the simulation.
-		rt := quark.New(workers)
+		rt := mustQuark(workers)
 		sim := NewSimulator(rt, "prop")
 		for i := range specs {
 			i := i
@@ -124,7 +123,7 @@ func TestSimulationCausalityProperty(t *testing.T) {
 // simulation is fully deterministic: same seed, same trace.
 func TestSimulationDeterminismWithSingleWorker(t *testing.T) {
 	run := func() []trace.Event {
-		rt := quark.New(1)
+		rt := mustQuark(1)
 		sim := NewSimulator(rt, "det")
 		tk := NewTasker(sim, FixedModel(0.25), 99)
 		h := new(int)
@@ -157,7 +156,7 @@ func TestWorkConservationProperty(t *testing.T) {
 			durTenths = durTenths[:30]
 		}
 		workers := int(workersRaw%4) + 1
-		rt := quark.New(workers)
+		rt := mustQuark(workers)
 		sim := NewSimulator(rt, "wc")
 		var want float64
 		for _, d := range durTenths {

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -119,6 +120,7 @@ type Simulator struct {
 	policy       WaitPolicy
 	disableQueue bool
 	onSample     func(class string, worker int, duration float64)
+	aborted      error // abort reason; non-nil ends every wait in Execute
 
 	maxInFlight int // high-water mark of the queue (diagnostics)
 }
@@ -154,6 +156,11 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 		duration = 0
 	}
 	s.mu.Lock()
+	if s.aborted != nil {
+		s.mu.Unlock()
+		ctx.Launched()
+		return
+	}
 	start := s.clock
 	end := start + duration
 	me := queueEntry{end: end, seq: s.seq}
@@ -182,6 +189,14 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 	}
 	spins := 0
 	for {
+		if s.aborted != nil {
+			// A watchdog (or the caller) gave up on the run: abandon the
+			// queue protocol so no task body blocks forever. The trace is
+			// truncated, never corrupted silently — the abort reason is
+			// reported alongside it.
+			s.mu.Unlock()
+			return
+		}
 		front, _ := s.queue.Peek()
 		if front.seq != me.seq {
 			s.cond.Wait()
@@ -261,4 +276,74 @@ func (s *Simulator) MaxInFlight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.maxInFlight
+}
+
+// Abort ends the simulation with err (the first abort wins): every task
+// waiting in the Task Execution Queue returns immediately without logging
+// further events, and subsequent Execute calls are no-ops. The watchdog
+// uses it to convert a quiescence deadlock or a stuck queue into a
+// bounded-time failure.
+func (s *Simulator) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("core: simulation aborted")
+	}
+	s.mu.Lock()
+	if s.aborted == nil {
+		s.aborted = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Err returns the abort reason, or nil for a live/clean simulation.
+func (s *Simulator) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborted
+}
+
+// SimSnapshot is a point-in-time diagnostic view of the simulator for the
+// watchdog's stall dump.
+type SimSnapshot struct {
+	Label       string
+	Clock       float64 // virtual seconds
+	InFlight    int     // tasks currently in the Task Execution Queue
+	MaxInFlight int
+	Issued      uint64 // Execute calls so far (progress fingerprint)
+	Events      int    // trace events logged
+	Aborted     bool
+}
+
+// Snapshot captures the simulator's diagnostic state. Safe to call from a
+// watchdog goroutine at any time.
+func (s *Simulator) Snapshot() SimSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SimSnapshot{
+		Label:       s.trace.Label,
+		Clock:       s.clock,
+		InFlight:    s.queue.Len(),
+		MaxInFlight: s.maxInFlight,
+		Issued:      s.seq,
+		Events:      len(s.trace.Events),
+		Aborted:     s.aborted != nil,
+	}
+}
+
+// String renders the snapshot for the diagnostic dump.
+func (s SimSnapshot) String() string {
+	return fmt.Sprintf("simulator %q: clock=%.6fs queue=%d (max %d) issued=%d events=%d aborted=%v",
+		s.Label, s.Clock, s.InFlight, s.MaxInFlight, s.Issued, s.Events, s.Aborted)
+}
+
+// LastEvents returns (a copy of) the most recent n trace events — the tail
+// of the virtual timeline, which under a stall shows how far the run got.
+func (s *Simulator) LastEvents(n int) []trace.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := s.trace.Events
+	if n < len(ev) {
+		ev = ev[len(ev)-n:]
+	}
+	return append([]trace.Event(nil), ev...)
 }

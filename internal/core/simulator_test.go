@@ -10,13 +10,31 @@ import (
 	"supersim/internal/sched/starpu"
 )
 
+// mustQuark builds a QUARK scheduler for tests that construct runtimes
+// outside a *testing.T helper.
+func mustQuark(workers int, opts ...quark.Option) *quark.Scheduler {
+	q, err := quark.New(workers, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
 func newRuntime(t *testing.T, name string, workers int) sched.Runtime {
 	t.Helper()
 	switch name {
 	case "quark":
-		return quark.New(workers)
+		q, err := quark.New(workers)
+		if err != nil {
+			t.Fatalf("quark.New: %v", err)
+		}
+		return q
 	case "ompss":
-		return ompss.New(workers)
+		o, err := ompss.New(workers)
+		if err != nil {
+			t.Fatalf("ompss.New: %v", err)
+		}
+		return o
 	case "starpu":
 		s, err := starpu.New(starpu.Conf{NCPUs: workers})
 		if err != nil {
@@ -100,7 +118,7 @@ func TestForkJoinVirtualTime(t *testing.T) {
 }
 
 func TestClockMonotoneAndEventsOrdered(t *testing.T) {
-	rt := quark.New(4)
+	rt := mustQuark(4)
 	sim := NewSimulator(rt, "sim")
 	tk := NewTasker(sim, FixedModel(0.5), 3)
 	hs := make([]*int, 6)
@@ -139,7 +157,7 @@ func TestWaitPolicies(t *testing.T) {
 	// by design, so those two are only checked for completeness and a
 	// structurally valid trace.
 	for _, policy := range []WaitPolicy{WaitQuiescence, WaitSleepYield, WaitNone} {
-		rt := quark.New(3)
+		rt := mustQuark(3)
 		sim := NewSimulator(rt, "sim", WithWaitPolicy(policy))
 		tk := NewTasker(sim, FixedModel(1), 5)
 		for i := 0; i < 30; i++ {
@@ -161,7 +179,7 @@ func TestWaitPolicies(t *testing.T) {
 }
 
 func TestWithoutQueueStillCompletes(t *testing.T) {
-	rt := quark.New(3)
+	rt := mustQuark(3)
 	sim := NewSimulator(rt, "sim", WithoutQueue())
 	tk := NewTasker(sim, FixedModel(1), 5)
 	h := new(int)
@@ -175,7 +193,7 @@ func TestWithoutQueueStillCompletes(t *testing.T) {
 }
 
 func TestMeasuredTaskUsesWallTime(t *testing.T) {
-	rt := quark.New(2)
+	rt := mustQuark(2)
 	sim := NewSimulator(rt, "measured")
 	work := func(*sched.Ctx) {
 		// A small but measurable busy loop.
@@ -201,7 +219,7 @@ func TestMeasuredTaskUsesWallTime(t *testing.T) {
 }
 
 func TestSampleHookReceivesDurations(t *testing.T) {
-	rt := quark.New(2)
+	rt := mustQuark(2)
 	var got []float64
 	sim := NewSimulator(rt, "sim", WithSampleHook(func(class string, worker int, d float64) {
 		if class != "K" {
@@ -226,7 +244,7 @@ func TestSampleHookReceivesDurations(t *testing.T) {
 }
 
 func TestGangSimTask(t *testing.T) {
-	rt := quark.New(4)
+	rt := mustQuark(4)
 	sim := NewSimulator(rt, "sim")
 	tk := NewTasker(sim, FixedModel(4), 5)
 	// A 4-thread gang task with perfect efficiency: virtual duration 1.
@@ -243,7 +261,7 @@ func TestGangSimTask(t *testing.T) {
 }
 
 func TestMaxInFlightBounded(t *testing.T) {
-	rt := quark.New(4)
+	rt := mustQuark(4)
 	sim := NewSimulator(rt, "sim")
 	tk := NewTasker(sim, FixedModel(1), 5)
 	for i := 0; i < 40; i++ {
@@ -264,7 +282,7 @@ func TestWithoutQueueDistortsParallelOverlap(t *testing.T) {
 	// first advances the clock past the other's true start.
 	model := ClassMap{"A": 10, "B": 1}
 	run := func(opts ...Option) float64 {
-		rt := quark.New(2)
+		rt := mustQuark(2)
 		sim := NewSimulator(rt, "x", opts...)
 		tk := NewTasker(sim, model, 1)
 		rt.Insert(&sched.Task{Class: "A", Label: "A", Func: tk.SimTask("A")})

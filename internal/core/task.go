@@ -92,11 +92,21 @@ func NewTasker(sim *Simulator, model DurationModel, seed uint64) *Tasker {
 	return &Tasker{Sim: sim, Model: model, rngs: newRNGPool(seed)}
 }
 
+// slowdown applies the task's straggler inflation (fault injection) to a
+// virtual duration. Slowdown <= 1 (the zero value in particular) is a
+// no-op, so uninjected runs are bit-identical to pre-fault behavior.
+func slowdown(ctx *sched.Ctx, d float64) float64 {
+	if s := ctx.Task.Slowdown; s > 1 {
+		return d * s
+	}
+	return d
+}
+
 // SimTask returns a task function that simulates one execution of class:
 // the kernel body is skipped, its duration sampled from the model.
 func (tk *Tasker) SimTask(class string) sched.TaskFunc {
 	return func(ctx *sched.Ctx) {
-		d := tk.Model.Duration(class, ctx.Kind, tk.rngs.forWorker(ctx.Worker))
+		d := slowdown(ctx, tk.Model.Duration(class, ctx.Kind, tk.rngs.forWorker(ctx.Worker)))
 		tk.Sim.Execute(ctx, class, d)
 	}
 }
@@ -116,7 +126,7 @@ func (tk *Tasker) SimGangTask(class string, nthreads int, efficiency float64) sc
 		}
 		d := tk.Model.Duration(class, ctx.Kind, tk.rngs.forWorker(ctx.Worker))
 		d /= float64(nthreads) * efficiency
-		tk.Sim.Execute(ctx, class, d)
+		tk.Sim.Execute(ctx, class, slowdown(ctx, d))
 	}
 }
 
@@ -130,6 +140,6 @@ func MeasuredTask(sim *Simulator, class string, body func(*sched.Ctx)) sched.Tas
 		body(ctx)
 		dt := time.Since(t0).Seconds()
 		<-computeTokens
-		sim.Execute(ctx, class, dt)
+		sim.Execute(ctx, class, slowdown(ctx, dt))
 	}
 }

@@ -5,8 +5,6 @@ import (
 
 	"supersim/internal/core"
 	"supersim/internal/sched"
-	"supersim/internal/sched/ompss"
-	"supersim/internal/sched/quark"
 	"supersim/internal/sched/starpu"
 	"supersim/internal/tile"
 	"supersim/internal/workload"
@@ -40,7 +38,7 @@ func TestScheduledExecutionBitIdenticalToSequential(t *testing.T) {
 				var sinkErr error
 				switch rtName {
 				case "quark":
-					q := quark.New(4)
+					q := mustQuark(4)
 					sink := InsertReal(q, ops)
 					q.Shutdown()
 					sinkErr = sink.Err()
@@ -53,7 +51,7 @@ func TestScheduledExecutionBitIdenticalToSequential(t *testing.T) {
 					s.Shutdown()
 					sinkErr = sink.Err()
 				case "ompss":
-					o := ompss.New(4)
+					o := mustOmpSs(4)
 					sink := InsertReal(o, ops)
 					o.Shutdown()
 					sinkErr = sink.Err()
@@ -90,7 +88,7 @@ func TestMeasuredModePreservesNumerics(t *testing.T) {
 	}
 	a := workload.RandomGeneral(nt, nb, 99)
 	tm := tile.NewMatrix(nt, nb)
-	q := quark.New(3)
+	q := mustQuark(3)
 	sim := newTestSimulator(q)
 	sink := InsertMeasured(q, sim, QR(a, tm))
 	q.Shutdown()

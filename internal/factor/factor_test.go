@@ -15,6 +15,24 @@ import (
 
 const residualTol = 1e-10
 
+// mustQuark and mustOmpSs wrap the scheduler constructors for tests whose
+// worker counts are always valid.
+func mustQuark(workers int, opts ...quark.Option) *quark.Scheduler {
+	q, err := quark.New(workers, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func mustOmpSs(workers int, opts ...ompss.Option) *ompss.Scheduler {
+	o, err := ompss.New(workers, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
 func TestCholeskySequentialCorrect(t *testing.T) {
 	for _, shape := range []struct{ nt, nb int }{{1, 8}, {2, 5}, {3, 8}, {5, 12}} {
 		a := workload.RandomSPD(shape.nt, shape.nb, 42)
@@ -129,7 +147,7 @@ func TestScheduledFactorizationsCorrectOnAllRuntimes(t *testing.T) {
 			}
 			switch rtName {
 			case "quark":
-				q := quark.New(3)
+				q := mustQuark(3)
 				sink := InsertReal(q, ops)
 				q.Shutdown()
 				err = sink.Err()
@@ -142,7 +160,7 @@ func TestScheduledFactorizationsCorrectOnAllRuntimes(t *testing.T) {
 				s.Shutdown()
 				err = sink.Err()
 			case "ompss":
-				o := ompss.New(3)
+				o := mustOmpSs(3)
 				sink := InsertReal(o, ops)
 				o.Shutdown()
 				err = sink.Err()

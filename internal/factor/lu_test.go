@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"supersim/internal/kernels"
-	"supersim/internal/sched/quark"
 	"supersim/internal/tile"
 	"supersim/internal/workload"
 )
@@ -26,7 +25,7 @@ func TestLUSequentialCorrect(t *testing.T) {
 func TestLUScheduledCorrect(t *testing.T) {
 	a := workload.RandomDiagonallyDominant(4, 8, 22)
 	orig := a.Clone()
-	q := quark.New(3)
+	q := mustQuark(3)
 	sink := InsertReal(q, LU(a))
 	q.Shutdown()
 	if err := sink.Err(); err != nil {

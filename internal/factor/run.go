@@ -52,12 +52,14 @@ func (s *ErrorSink) Err() error {
 // InsertMeasured inserts the op stream into rt in measured mode: each task
 // executes its real kernel body, and the measured time is accounted on
 // sim's virtual timeline. This is the reproduction's "real run" (see
-// DESIGN.md). Call rt.Barrier() afterwards and check sink.Err.
+// DESIGN.md). Call rt.Barrier() afterwards and check sink.Err. Insertion
+// stops at the first rejected task (e.g. an aborted runtime); the error
+// is recorded in the sink.
 func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink {
 	sink := &ErrorSink{}
 	for i := range ops {
 		op := ops[i]
-		rt.Insert(&sched.Task{
+		err := rt.Insert(&sched.Task{
 			Class:    string(op.Class),
 			Label:    op.Label(),
 			Args:     op.SchedArgs(),
@@ -66,6 +68,10 @@ func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink 
 				sink.Record(op.Body())
 			}),
 		})
+		if err != nil {
+			sink.Record(err)
+			break
+		}
 	}
 	return sink
 }
@@ -74,35 +80,45 @@ func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink 
 // kernel bodies are skipped and durations are sampled from the tasker's
 // model — the paper's usage ("the programmer simply replaces each task
 // function with a call to the simulation library"). Call rt.Barrier()
-// afterwards.
-func InsertSimulated(rt sched.Runtime, tk *core.Tasker, ops []Op) {
+// afterwards. It returns the first insertion error (stopping there), or
+// nil when the full stream was accepted.
+func InsertSimulated(rt sched.Runtime, tk *core.Tasker, ops []Op) error {
 	for i := range ops {
 		op := ops[i]
-		rt.Insert(&sched.Task{
+		err := rt.Insert(&sched.Task{
 			Class:    string(op.Class),
 			Label:    op.Label(),
 			Args:     op.SchedArgs(),
 			Priority: op.Priority,
 			Func:     tk.SimTask(string(op.Class)),
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // InsertReal inserts the op stream for plain execution (no simulator, no
 // virtual timeline): tasks just run their bodies under the scheduler.
 // Used by tests that only care about numerical results and by wall-clock
-// reference timings.
+// reference timings. Insertion stops at the first rejected task; the
+// error is recorded in the sink.
 func InsertReal(rt sched.Runtime, ops []Op) *ErrorSink {
 	sink := &ErrorSink{}
 	for i := range ops {
 		op := ops[i]
-		rt.Insert(&sched.Task{
+		err := rt.Insert(&sched.Task{
 			Class:    string(op.Class),
 			Label:    op.Label(),
 			Args:     op.SchedArgs(),
 			Priority: op.Priority,
 			Func:     func(*sched.Ctx) { sink.Record(op.Body()) },
 		})
+		if err != nil {
+			sink.Record(err)
+			break
+		}
 	}
 	return sink
 }

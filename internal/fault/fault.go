@@ -1,0 +1,313 @@
+// Package fault is the deterministic fault-injection and resilience layer
+// of the simulator. The paper's central hazard is a scheduling race
+// (Fig. 5) in which a task returns before the scheduler quiesces; this
+// package generalizes that concern into a first-class fault model, the way
+// related simulators treat resilience (SST models node failures and job
+// re-queuing; PARSIR isolates per-thread event processing so one
+// misbehaving LP cannot wedge the run).
+//
+// Two tools live here:
+//
+//   - Injector: a seeded fault plan attached to any run. At (serial) task
+//     insertion it decides, per kernel class and with a reproducible RNG
+//     stream, which tasks panic, fail transiently, straggle (duration
+//     inflation) or stall, and which virtual cores are dead. The engine's
+//     panic recovery, retry policy and dead-core remapping turn those
+//     faults into graceful degradation instead of crashes.
+//   - Watchdog: a wall-clock stall detector that converts a quiescence
+//     deadlock, a WaitNone livelock or a stuck Task Execution Queue into a
+//     bounded-time failure with a diagnostic dump, instead of a hang.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+)
+
+// ErrInjected is the error value of injected transient task failures;
+// test for it with errors.Is against the run's Err.
+var ErrInjected = errors.New("fault: injected transient failure")
+
+// Rates holds the per-kernel-class injection probabilities of the four
+// task-level fault classes (all in [0, 1], independent draws per task).
+type Rates struct {
+	// Panic is the probability that a task's body panics on its first
+	// attempt(s) (Config.PanicFailures of them) before doing any work.
+	Panic float64
+	// Transient is the probability that a task completes its (simulated)
+	// execution and then reports a retryable failure — a kernel that ran
+	// but produced a result that must be recomputed. Failed attempts are
+	// visible in the virtual trace: each attempt logs its own event.
+	Transient float64
+	// Straggler is the probability that a task's virtual duration is
+	// inflated by Config.SlowFactor (a slow outlier execution).
+	Straggler float64
+	// Stall is the probability that the executing worker blocks for
+	// Config.StallWall of wall-clock time before running the body — host
+	// jitter that must not perturb virtual time.
+	Stall float64
+}
+
+func (r Rates) zero() bool {
+	return r.Panic == 0 && r.Transient == 0 && r.Straggler == 0 && r.Stall == 0
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed makes the fault plan reproducible: the injector consumes a
+	// fixed number of RNG draws per inserted task, and insertion is
+	// serial, so a given (seed, task stream) pair always yields the same
+	// plan.
+	Seed uint64
+	// Default is the rate set for kernel classes absent from PerClass.
+	Default Rates
+	// PerClass overrides the rates for specific kernel classes.
+	PerClass map[string]Rates
+	// PanicFailures is how many attempts of a panic-faulted task panic
+	// before one succeeds (default 1). Set above the engine's MaxRetries
+	// to make the fault permanent.
+	PanicFailures int
+	// TransientFailures is the analogous count for transient faults
+	// (default 1).
+	TransientFailures int
+	// SlowFactor is the straggler duration inflation (default 4).
+	SlowFactor float64
+	// StallWall is the wall-clock pause of a stalled worker (default
+	// 2ms). It consumes host time only; virtual time is unaffected.
+	StallWall time.Duration
+	// DeadCores kills this many virtual cores at attach time (chosen
+	// deterministically from Seed among workers 1..N-1; worker 0 never
+	// dies, so participating masters survive). Ready tasks bound to a
+	// dead core are remapped and the makespan degrades gracefully.
+	DeadCores int
+}
+
+// Stats counts the faults an injector actually planted.
+type Stats struct {
+	Tasks      int   // tasks instrumented
+	Panics     int   // tasks planned to panic
+	Transients int   // tasks planned to fail transiently
+	Stragglers int   // tasks with inflated duration
+	Stalls     int   // tasks with a wall-clock stall
+	DeadCores  []int // workers killed at attach
+}
+
+// String summarizes the planted faults.
+func (s Stats) String() string {
+	return fmt.Sprintf("faults over %d tasks: %d panic, %d transient, %d straggler, %d stall, dead cores %v",
+		s.Tasks, s.Panics, s.Transients, s.Stragglers, s.Stalls, s.DeadCores)
+}
+
+// Injector plants deterministic faults into a run. Create one per run
+// (its RNG stream is consumed by insertion order) and attach it with
+// Attach. A nil *Injector is inert: Attach returns the runtime unchanged,
+// guaranteeing byte-identical behavior with injection disabled.
+type Injector struct {
+	cfg Config
+	src *rng.Source
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates an injector from cfg, applying defaults.
+func New(cfg Config) *Injector {
+	if cfg.PanicFailures <= 0 {
+		cfg.PanicFailures = 1
+	}
+	if cfg.TransientFailures <= 0 {
+		cfg.TransientFailures = 1
+	}
+	if cfg.SlowFactor <= 1 {
+		cfg.SlowFactor = 4
+	}
+	if cfg.StallWall <= 0 {
+		cfg.StallWall = 2 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, src: rng.New(cfg.Seed ^ 0xfa017_1a7e5)}
+}
+
+// Stats returns the faults planted so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.stats
+	s.DeadCores = append([]int(nil), in.stats.DeadCores...)
+	return s
+}
+
+// coreKiller is the engine surface dead-core injection needs; all three
+// runtimes provide it through the embedded sched.Engine.
+type coreKiller interface {
+	NumWorkers() int
+	DisableWorker(w int) error
+}
+
+// Runtime decorates a sched.Runtime with fault instrumentation of every
+// inserted task. All other methods forward to the wrapped runtime.
+type Runtime struct {
+	sched.Runtime
+	in *Injector
+}
+
+// Insert instruments the task with the injector's planned faults, then
+// forwards to the wrapped runtime.
+func (r *Runtime) Insert(t *sched.Task) error {
+	r.in.Instrument(t)
+	return r.Runtime.Insert(t)
+}
+
+// Unwrap returns the undecorated runtime (the watchdog needs the concrete
+// engine surface, which interface embedding does not promote).
+func (r *Runtime) Unwrap() sched.Runtime { return r.Runtime }
+
+// Attach arms the injector on a runtime: dead cores are killed immediately
+// and the returned runtime instruments every Insert. A nil injector (or
+// one with all rates zero and no dead cores) returns rt unchanged — the
+// zero-overhead-off guarantee.
+func (in *Injector) Attach(rt sched.Runtime) (sched.Runtime, error) {
+	if in == nil {
+		return rt, nil
+	}
+	if in.cfg.DeadCores > 0 {
+		ck, ok := rt.(coreKiller)
+		if !ok {
+			return nil, fmt.Errorf("fault: runtime %q does not support dead-core injection", rt.Name())
+		}
+		n := ck.NumWorkers()
+		kill := in.cfg.DeadCores
+		if kill > n-1 {
+			kill = n - 1 // worker 0 always survives
+		}
+		// Deterministic choice without replacement among 1..n-1.
+		alive := make([]int, 0, n-1)
+		for w := 1; w < n; w++ {
+			alive = append(alive, w)
+		}
+		for i := 0; i < kill; i++ {
+			j := int(in.src.Uint64() % uint64(len(alive)))
+			w := alive[j]
+			alive = append(alive[:j], alive[j+1:]...)
+			if err := ck.DisableWorker(w); err != nil {
+				return nil, fmt.Errorf("fault: dead-core injection: %w", err)
+			}
+			in.mu.Lock()
+			in.stats.DeadCores = append(in.stats.DeadCores, w)
+			in.mu.Unlock()
+		}
+	}
+	if in.cfg.Default.zero() && len(in.cfg.PerClass) == 0 {
+		return rt, nil // nothing to instrument per task
+	}
+	return &Runtime{Runtime: rt, in: in}, nil
+}
+
+// rates resolves the injection rates for a kernel class.
+func (in *Injector) rates(class string) Rates {
+	if r, ok := in.cfg.PerClass[class]; ok {
+		return r
+	}
+	return in.cfg.Default
+}
+
+// Instrument decides this task's faults (consuming exactly four RNG draws,
+// keeping the stream aligned regardless of outcome) and rewrites its body
+// accordingly. Must be called from the inserting goroutine only, like
+// Insert itself — serial insertion is what makes the plan reproducible.
+func (in *Injector) Instrument(t *sched.Task) {
+	r := in.rates(t.Class)
+	uPanic := in.src.Float64()
+	uTransient := in.src.Float64()
+	uStraggler := in.src.Float64()
+	uStall := in.src.Float64()
+
+	panics, transients := 0, 0
+	var stall time.Duration
+	if uPanic < r.Panic {
+		panics = in.cfg.PanicFailures
+	}
+	if uTransient < r.Transient {
+		transients = in.cfg.TransientFailures
+	}
+	if uStraggler < r.Straggler {
+		t.Slowdown = in.cfg.SlowFactor
+	}
+	if uStall < r.Stall {
+		stall = in.cfg.StallWall
+	}
+
+	in.mu.Lock()
+	in.stats.Tasks++
+	if panics > 0 {
+		in.stats.Panics++
+	}
+	if transients > 0 {
+		in.stats.Transients++
+	}
+	if t.Slowdown > 1 {
+		in.stats.Stragglers++
+	}
+	if stall > 0 {
+		in.stats.Stalls++
+	}
+	in.mu.Unlock()
+
+	if panics == 0 && transients == 0 && stall == 0 {
+		return // straggler inflation needs no body rewrite
+	}
+	label := t.Label
+	if label == "" {
+		label = t.Class
+	}
+	orig := t.Func
+	t.Func = func(ctx *sched.Ctx) {
+		if stall > 0 && ctx.Attempt == 1 && ctx.GangRank == 0 {
+			time.Sleep(stall) // host jitter: wall clock only
+		}
+		if ctx.Attempt <= panics {
+			panic(fmt.Sprintf("fault: injected panic in %s (attempt %d)", label, ctx.Attempt))
+		}
+		// The body runs first so a transient failure is visible on the
+		// virtual timeline: the failed attempt logs its own trace event,
+		// and the retry's event starts no earlier than its completion.
+		orig(ctx)
+		if ctx.Attempt <= transients {
+			ctx.Fail(fmt.Errorf("%w in %s (attempt %d)", ErrInjected, label, ctx.Attempt))
+		}
+	}
+}
+
+// Describe renders the fault plan configuration on one line.
+func (in *Injector) Describe() string {
+	if in == nil {
+		return "fault injection disabled"
+	}
+	var parts []string
+	add := func(name string, r Rates) {
+		if r.zero() {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("%s{panic=%g transient=%g straggler=%g stall=%g}",
+			name, r.Panic, r.Transient, r.Straggler, r.Stall))
+	}
+	add("default", in.cfg.Default)
+	for class, r := range in.cfg.PerClass {
+		add(class, r)
+	}
+	if in.cfg.DeadCores > 0 {
+		parts = append(parts, fmt.Sprintf("deadcores=%d", in.cfg.DeadCores))
+	}
+	if len(parts) == 0 {
+		return "fault injection armed but inert (all rates zero)"
+	}
+	return "seed=" + fmt.Sprint(in.cfg.Seed) + " " + strings.Join(parts, " ")
+}

@@ -1,0 +1,270 @@
+package fault_test
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"supersim/internal/core"
+	"supersim/internal/fault"
+	"supersim/internal/sched"
+	"supersim/internal/sched/quark"
+)
+
+func mustQuark(t *testing.T, workers int) *quark.Scheduler {
+	t.Helper()
+	q, err := quark.New(workers)
+	if err != nil {
+		t.Fatalf("quark.New: %v", err)
+	}
+	return q
+}
+
+func noop(*sched.Ctx) {}
+
+// TestPlanDeterminism: two injectors with the same seed instrument the
+// same task stream identically — same stats, same per-task straggler
+// decisions.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := fault.Config{
+		Seed:    7,
+		Default: fault.Rates{Panic: 0.1, Transient: 0.2, Straggler: 0.3, Stall: 0.05},
+	}
+	plan := func() (fault.Stats, []float64) {
+		in := fault.New(cfg)
+		var slow []float64
+		for i := 0; i < 200; i++ {
+			task := &sched.Task{Class: "K", Label: "K", Func: noop}
+			in.Instrument(task)
+			slow = append(slow, task.Slowdown)
+		}
+		return in.Stats(), slow
+	}
+	s1, slow1 := plan()
+	s2, slow2 := plan()
+	if s1.String() != s2.String() {
+		t.Errorf("same seed, different plans:\n%v\n%v", s1, s2)
+	}
+	for i := range slow1 {
+		if slow1[i] != slow2[i] {
+			t.Fatalf("task %d: slowdown %g vs %g", i, slow1[i], slow2[i])
+		}
+	}
+	if s1.Panics == 0 || s1.Transients == 0 || s1.Stragglers == 0 || s1.Stalls == 0 {
+		t.Errorf("expected every fault class planted over 200 tasks at these rates: %v", s1)
+	}
+}
+
+// TestZeroRatesZeroOverhead: a nil injector and an all-zero config both
+// leave the runtime value untouched — the decorator is not even
+// interposed, so the off state cannot perturb a run.
+func TestZeroRatesZeroOverhead(t *testing.T) {
+	rt := mustQuark(t, 2)
+	defer rt.Shutdown()
+
+	var nilInj *fault.Injector
+	got, err := nilInj.Attach(rt)
+	if err != nil {
+		t.Fatalf("nil Attach: %v", err)
+	}
+	if got != sched.Runtime(rt) {
+		t.Errorf("nil injector: Attach returned a different runtime")
+	}
+
+	got, err = fault.New(fault.Config{Seed: 1}).Attach(rt)
+	if err != nil {
+		t.Fatalf("zero-rate Attach: %v", err)
+	}
+	if got != sched.Runtime(rt) {
+		t.Errorf("all-zero injector: Attach returned a different runtime")
+	}
+}
+
+// TestPanicOnceThenRetrySucceeds: a kernel that panics on its first
+// attempt completes on the second under the engine's retry policy, with
+// the original body observing Attempt == 2.
+func TestPanicOnceThenRetrySucceeds(t *testing.T) {
+	rt := mustQuark(t, 2)
+	rt.SetRetryPolicy(2, 0)
+	in := fault.New(fault.Config{
+		Seed:          3,
+		PerClass:      map[string]fault.Rates{"P": {Panic: 1}},
+		PanicFailures: 1,
+	})
+	frt, err := in.Attach(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempt atomic.Int32
+	if err := frt.Insert(&sched.Task{Class: "P", Label: "P(0)", Func: func(ctx *sched.Ctx) {
+		attempt.Store(int32(ctx.Attempt))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if err := rt.Err(); err != nil {
+		t.Fatalf("run failed despite retry budget: %v", err)
+	}
+	if got := attempt.Load(); got != 2 {
+		t.Errorf("body ran on attempt %d, want 2", got)
+	}
+	if st := rt.Stats(); st.TasksRetried != 1 || st.TasksFailed != 0 {
+		t.Errorf("stats = retried %d failed %d, want 1/0", st.TasksRetried, st.TasksFailed)
+	}
+}
+
+// TestAlwaysPanickingTaskFailsRunWithoutCrash: a permanently panicking
+// kernel exhausts its retries; the run reports a *sched.TaskError naming
+// the task and the process survives.
+func TestAlwaysPanickingTaskFailsRunWithoutCrash(t *testing.T) {
+	rt := mustQuark(t, 2)
+	rt.SetRetryPolicy(1, 0)
+	in := fault.New(fault.Config{
+		Seed:          3,
+		PerClass:      map[string]fault.Rates{"P": {Panic: 1}},
+		PanicFailures: 100, // far beyond the retry budget: permanent
+	})
+	frt, err := in.Attach(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frt.Insert(&sched.Task{Class: "P", Label: "doomed(0)", Func: noop}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	var terr *sched.TaskError
+	if !errors.As(rt.Err(), &terr) {
+		t.Fatalf("Err() = %v, want a *sched.TaskError", rt.Err())
+	}
+	if terr.Label != "doomed(0)" || terr.Panic == nil {
+		t.Errorf("TaskError = %+v, want label doomed(0) with a recovered panic", terr)
+	}
+	if terr.Attempts != 2 { // initial attempt + 1 retry
+		t.Errorf("Attempts = %d, want 2", terr.Attempts)
+	}
+}
+
+// TestTransientFailureRetriedAndRecovered: an injected transient failure
+// (reported after the body ran) is retried and the run completes clean;
+// without a retry budget the same fault is final and ErrInjected surfaces.
+func TestTransientFailureRetriedAndRecovered(t *testing.T) {
+	run := func(retries int) (error, sched.Stats) {
+		rt := mustQuark(t, 2)
+		if retries > 0 {
+			rt.SetRetryPolicy(retries, 0)
+		}
+		in := fault.New(fault.Config{
+			Seed:     3,
+			PerClass: map[string]fault.Rates{"T": {Transient: 1}},
+		})
+		frt, err := in.Attach(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := frt.Insert(&sched.Task{Class: "T", Label: "T(0)", Func: noop}); err != nil {
+			t.Fatal(err)
+		}
+		rt.Shutdown()
+		return rt.Err(), rt.Stats()
+	}
+
+	if err, st := run(2); err != nil {
+		t.Errorf("retried run failed: %v", err)
+	} else if st.TasksRetried != 1 {
+		t.Errorf("retried = %d, want 1", st.TasksRetried)
+	}
+
+	err, st := run(0)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("no-retry run: Err() = %v, want ErrInjected", err)
+	}
+	if st.TasksFailed != 1 {
+		t.Errorf("no-retry run: failed = %d, want 1", st.TasksFailed)
+	}
+}
+
+// TestStragglerInflatesVirtualTime: a straggler-faulted task's simulated
+// duration is multiplied by SlowFactor on the virtual timeline.
+func TestStragglerInflatesVirtualTime(t *testing.T) {
+	rt := mustQuark(t, 1)
+	sim := core.NewSimulator(rt, "straggler")
+	tk := core.NewTasker(sim, core.FixedModel(1.0), 1)
+	in := fault.New(fault.Config{
+		Seed:       3,
+		PerClass:   map[string]fault.Rates{"S": {Straggler: 1}},
+		SlowFactor: 3,
+	})
+	frt, err := in.Attach(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frt.Insert(&sched.Task{Class: "S", Label: "S(0)", Func: tk.SimTask("S")})
+	frt.Insert(&sched.Task{Class: "N", Label: "N(0)", Func: tk.SimTask("N")})
+	rt.Shutdown()
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sim.Trace().Makespan(); math.Abs(ms-4.0) > 1e-9 {
+		t.Errorf("makespan = %g, want 4.0 (3x straggler + 1 normal on one core)", ms)
+	}
+	if st := in.Stats(); st.Stragglers != 1 {
+		t.Errorf("planted stragglers = %d, want 1", st.Stragglers)
+	}
+}
+
+// TestDeadCoresRemapAndComplete: killing cores at attach leaves worker 0
+// alive, routes all work to the survivors, and the run still completes.
+func TestDeadCoresRemapAndComplete(t *testing.T) {
+	rt := mustQuark(t, 4)
+	sim := core.NewSimulator(rt, "deadcore")
+	tk := core.NewTasker(sim, core.FixedModel(1.0), 1)
+	in := fault.New(fault.Config{Seed: 9, DeadCores: 2})
+	frt, err := in.Attach(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := in.Stats().DeadCores
+	if len(dead) != 2 {
+		t.Fatalf("killed %v, want 2 cores", dead)
+	}
+	isDead := map[int]bool{}
+	for _, w := range dead {
+		if w == 0 {
+			t.Fatalf("worker 0 was killed; masters must survive (dead=%v)", dead)
+		}
+		isDead[w] = true
+	}
+	for i := 0; i < 12; i++ {
+		frt.Insert(&sched.Task{Class: "X", Label: "X", Func: tk.SimTask("X")})
+	}
+	rt.Shutdown()
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.Trace()
+	if len(tr.Events) != 12 {
+		t.Fatalf("%d events, want 12", len(tr.Events))
+	}
+	for _, ev := range tr.Events {
+		if isDead[ev.Worker] {
+			t.Errorf("event %q ran on dead worker %d", ev.Label, ev.Worker)
+		}
+	}
+	// 12 unit tasks on the 2 surviving cores: makespan 6.
+	if ms := tr.Makespan(); math.Abs(ms-6.0) > 1e-9 {
+		t.Errorf("makespan = %g, want 6.0 on 2 survivors", ms)
+	}
+}
+
+// stubRuntime implements sched.Runtime but not the dead-core surface.
+type stubRuntime struct{ sched.Runtime }
+
+func (stubRuntime) Name() string { return "stub" }
+
+func TestAttachDeadCoresNeedsEngineSurface(t *testing.T) {
+	in := fault.New(fault.Config{DeadCores: 1})
+	if _, err := in.Attach(stubRuntime{}); err == nil {
+		t.Error("Attach with DeadCores on a non-engine runtime: want error")
+	}
+}

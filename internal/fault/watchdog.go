@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"supersim/internal/core"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// WatchdogConfig parameterizes a stall watchdog.
+type WatchdogConfig struct {
+	// Deadline is how long the run may go without progress before the
+	// watchdog declares a stall (default 5s). Progress is any change in
+	// the engine's task counters or the simulator's issue count/clock, so
+	// a slow-but-advancing run never trips the watchdog.
+	Deadline time.Duration
+	// Poll is the progress sampling interval (default Deadline/8, at
+	// least 1ms).
+	Poll time.Duration
+	// LastEvents is how many tail trace events the diagnostic dump
+	// includes (default 8).
+	LastEvents int
+	// OnStall, if set, is invoked once with the stall error before the
+	// run is aborted (e.g. to log the dump as it happens).
+	OnStall func(*StallError)
+}
+
+// StallError reports a watchdog-detected stall: no scheduler or simulator
+// progress for at least After. Dump is the multi-line diagnostic snapshot
+// (per-worker state, ready-queue depth, quiescence accounting, live tasks
+// and the tail of the virtual trace) taken at detection time.
+type StallError struct {
+	After time.Duration
+	Dump  string
+}
+
+// Error implements error. The dump is included: by the time a stall fires
+// the process is usually about to exit, and the dump is the diagnosis.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("fault: no progress for %v (watchdog deadline exceeded)\n%s", e.After, e.Dump)
+}
+
+// engineSurface is what the watchdog needs from the runtime: diagnostic
+// snapshots and an abort lever. The shared sched.Engine provides both.
+type engineSurface interface {
+	Snapshot() sched.Snapshot
+	Abort(err error)
+}
+
+// Watchdog monitors a run for wall-clock stalls. Create with Watch; call
+// Stop (idempotent) after the run's Barrier/Shutdown; inspect Err.
+type Watchdog struct {
+	rt   engineSurface
+	sim  *core.Simulator
+	cfg  WatchdogConfig
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	serr *StallError
+}
+
+// Watch starts a watchdog over a runtime and (optionally nil) simulator.
+// The runtime may be wrapped by an Injector's Runtime decorator; the
+// watchdog unwraps it. It returns an error if the runtime exposes no
+// diagnostic surface (all three bundled runtimes do, via sched.Engine).
+func Watch(rt sched.Runtime, sim *core.Simulator, cfg WatchdogConfig) (*Watchdog, error) {
+	for {
+		u, ok := rt.(interface{ Unwrap() sched.Runtime })
+		if !ok {
+			break
+		}
+		rt = u.Unwrap()
+	}
+	es, ok := rt.(engineSurface)
+	if !ok {
+		return nil, fmt.Errorf("fault: runtime %q exposes no snapshot/abort surface for the watchdog", rt.Name())
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 5 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.Deadline / 8
+		if cfg.Poll < time.Millisecond {
+			cfg.Poll = time.Millisecond
+		}
+	}
+	if cfg.LastEvents <= 0 {
+		cfg.LastEvents = 8
+	}
+	w := &Watchdog{rt: es, sim: sim, cfg: cfg, done: make(chan struct{})}
+	w.wg.Add(1)
+	go w.run()
+	return w, nil
+}
+
+// fingerprint summarizes run progress: if any component changes between
+// polls, the run is advancing.
+type fingerprint struct {
+	completed, inserted, retried, failed, skipped int
+	issued                                        uint64
+	clock                                         float64
+}
+
+func (w *Watchdog) sample() fingerprint {
+	s := w.rt.Snapshot()
+	fp := fingerprint{
+		completed: s.Completed,
+		inserted:  s.Inserted,
+		retried:   s.Retried,
+		failed:    s.Failed,
+		skipped:   s.Skipped,
+	}
+	if w.sim != nil {
+		ss := w.sim.Snapshot()
+		fp.issued = ss.Issued
+		fp.clock = ss.Clock
+	}
+	return fp
+}
+
+func (w *Watchdog) run() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.Poll)
+	defer ticker.Stop()
+	last := w.sample()
+	stalled := time.Duration(0)
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+		}
+		cur := w.sample()
+		if cur != last {
+			last = cur
+			stalled = 0
+			continue
+		}
+		snap := w.rt.Snapshot()
+		if snap.Shutdown && snap.Outstanding == 0 {
+			return // run is over, nothing left to guard
+		}
+		stalled += w.cfg.Poll
+		if stalled < w.cfg.Deadline {
+			continue
+		}
+		serr := &StallError{After: stalled, Dump: w.dump(snap)}
+		w.mu.Lock()
+		w.serr = serr
+		w.mu.Unlock()
+		if w.cfg.OnStall != nil {
+			w.cfg.OnStall(serr)
+		}
+		// Abort the simulator first so task bodies blocked in the Task
+		// Execution Queue unwind, then the engine so Barrier/Insert
+		// return and workers stop claiming tasks.
+		if w.sim != nil {
+			w.sim.Abort(serr)
+		}
+		w.rt.Abort(serr)
+		return
+	}
+}
+
+// dump renders the diagnostic stall report.
+func (w *Watchdog) dump(snap sched.Snapshot) string {
+	var b strings.Builder
+	b.WriteString(snap.String())
+	if w.sim != nil {
+		b.WriteString("\n")
+		b.WriteString(w.sim.Snapshot().String())
+		if evs := w.sim.LastEvents(w.cfg.LastEvents); len(evs) > 0 {
+			fmt.Fprintf(&b, "\nlast %d trace events:", len(evs))
+			for _, ev := range evs {
+				b.WriteString("\n  ")
+				b.WriteString(formatEvent(ev))
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatEvent(ev trace.Event) string {
+	name := ev.Label
+	if name == "" {
+		name = ev.Class
+	}
+	return fmt.Sprintf("[%9.6f, %9.6f] w%-2d #%-4d %s", ev.Start, ev.End, ev.Worker, ev.TaskID, name)
+}
+
+// Stop ends the watchdog goroutine. Idempotent; safe to call after a
+// stall fired. It does not clear a recorded stall.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	select {
+	case <-w.done:
+	default:
+		close(w.done)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+// Err returns the detected stall, or nil. Call after Stop (or after the
+// run's Barrier returned) for a settled answer.
+func (w *Watchdog) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.serr == nil {
+		return nil // typed-nil guard: never wrap a nil *StallError in error
+	}
+	return w.serr
+}

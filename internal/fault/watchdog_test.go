@@ -1,0 +1,114 @@
+package fault_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"supersim/internal/core"
+	"supersim/internal/fault"
+	"supersim/internal/sched"
+)
+
+// TestWatchdogDetectsWedgedRun: a task that never completes (a stand-in
+// for the quiescence deadlock a WaitNone race can produce) trips the
+// watchdog within the deadline; the run aborts with a StallError whose
+// dump names the stuck task, and Barrier returns instead of hanging.
+func TestWatchdogDetectsWedgedRun(t *testing.T) {
+	rt := mustQuark(t, 2)
+	sim := core.NewSimulator(rt, "wedge", core.WithWaitPolicy(core.WaitNone))
+
+	// The wedged body blocks until the watchdog fires, so the worker can
+	// be joined cleanly after the abort; a real deadlock would hold the
+	// worker forever, which is exactly what the watchdog exists to report.
+	unblock := make(chan struct{})
+	var once sync.Once
+	wd, err := fault.Watch(rt, sim, fault.WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		OnStall:  func(*fault.StallError) { once.Do(func() { close(unblock) }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Stop()
+
+	if err := rt.Insert(&sched.Task{Class: "W", Label: "WEDGE(0)", Func: func(*sched.Ctx) {
+		<-unblock
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		rt.Barrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Barrier did not return after the watchdog fired")
+	}
+	rt.Shutdown()
+
+	var stall *fault.StallError
+	if !errors.As(rt.Err(), &stall) {
+		t.Fatalf("Err() = %v, want a *fault.StallError", rt.Err())
+	}
+	if stall.After < 50*time.Millisecond {
+		t.Errorf("stall reported after %v, before the deadline", stall.After)
+	}
+	if !strings.Contains(stall.Dump, "WEDGE(0)") {
+		t.Errorf("dump does not name the stuck task:\n%s", stall.Dump)
+	}
+	if werr := wd.Err(); werr == nil {
+		t.Error("watchdog Err() = nil after firing")
+	}
+}
+
+// TestWatchdogPiercesFaultDecorator: Watch accepts the injector-wrapped
+// runtime and still reaches the engine surface underneath.
+func TestWatchdogPiercesFaultDecorator(t *testing.T) {
+	rt := mustQuark(t, 2)
+	in := fault.New(fault.Config{Seed: 1, Default: fault.Rates{Straggler: 0.5}})
+	frt, err := in.Attach(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := frt.(*fault.Runtime); !ok {
+		t.Fatalf("expected the decorated runtime, got %T", frt)
+	}
+	wd, err := fault.Watch(frt, nil, fault.WatchdogConfig{Deadline: time.Minute})
+	if err != nil {
+		t.Fatalf("Watch through the decorator: %v", err)
+	}
+	wd.Stop()
+	rt.Shutdown()
+}
+
+// TestWatchdogQuietOnHealthyRun: a run that makes steady progress — and
+// then completes — never trips a short-deadline watchdog.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	rt := mustQuark(t, 4)
+	sim := core.NewSimulator(rt, "healthy")
+	tk := core.NewTasker(sim, core.FixedModel(0.001), 1)
+	wd, err := fault.Watch(rt, sim, fault.WatchdogConfig{Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := new(int)
+	for i := 0; i < 50; i++ {
+		rt.Insert(&sched.Task{Class: "C", Label: "C", Func: tk.SimTask("C"), Args: []sched.Arg{sched.RW(h)}})
+	}
+	rt.Barrier()
+	rt.Shutdown()
+	// Give the poller a chance to observe the completed run, then stop.
+	wd.Stop()
+	if err := wd.Err(); err != nil {
+		t.Errorf("watchdog fired on a healthy run: %v", err)
+	}
+	if err := rt.Err(); err != nil {
+		t.Errorf("healthy run Err() = %v", err)
+	}
+}

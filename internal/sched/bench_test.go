@@ -14,7 +14,7 @@ import (
 const benchWindow = 4096
 
 func BenchmarkInsertIndependentTasks(b *testing.B) {
-	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -25,7 +25,7 @@ func BenchmarkInsertIndependentTasks(b *testing.B) {
 }
 
 func BenchmarkInsertDependentChain(b *testing.B) {
-	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
 	h := new(int)
 	b.ResetTimer()
@@ -39,7 +39,7 @@ func BenchmarkInsertDependentChain(b *testing.B) {
 func BenchmarkInsertGemmLikeTasks(b *testing.B) {
 	// Three-operand tasks over a pool of handles: the realistic hazard
 	// analysis load of a tile factorization.
-	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
+	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
 	handles := make([]*int, 64)
 	for i := range handles {
@@ -60,7 +60,7 @@ func BenchmarkInsertGemmLikeTasks(b *testing.B) {
 func BenchmarkEndToEndTaskChurn(b *testing.B) {
 	// Insert + schedule + execute + complete for b.N no-op tasks across
 	// 4 workers: the runtime's per-task overhead floor.
-	e := NewEngine(Config{Workers: 4, Policy: NewFIFOPolicy(), Window: benchWindow})
+	e := mustEngine(Config{Workers: 4, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"supersim/internal/hazard"
 )
@@ -24,7 +27,21 @@ type Config struct {
 	Kinds []WorkerKind
 	// Name labels the runtime in traces and stats.
 	Name string
+	// MaxRetries bounds re-execution of a task whose body panicked or
+	// reported a transient failure via Ctx.Fail: a task is attempted at
+	// most MaxRetries+1 times. 0 (the default) disables retries; every
+	// failure is final and surfaces as a *TaskError at the barrier.
+	MaxRetries int
+	// RetryBackoff is the wall-clock base delay before retry attempt k:
+	// RetryBackoff << (k-1), capped at maxRetryBackoff. 0 disables the
+	// delay — the right setting for simulated runs, where each attempt
+	// is visible on the virtual timeline instead (the failed attempt's
+	// trace event precedes the retry's).
+	RetryBackoff time.Duration
 }
+
+// maxRetryBackoff caps the exponential retry delay.
+const maxRetryBackoff = time.Second
 
 // gang coordinates a multi-threaded task (Section VII extension).
 type gang struct {
@@ -32,6 +49,7 @@ type gang struct {
 	needed int
 	joined int
 	done   int
+	skip   bool // the task is poisoned: members hold but skip the body
 }
 
 // Engine is the shared superscalar runtime: serial insertion with hazard
@@ -57,21 +75,31 @@ type Engine struct {
 	completing    int // announced Completing() but successors not yet released
 	transition    int // workers between finishing a task and their next decision
 	inserting     bool
-	masterServing bool   // master is inside a participating Barrier
-	activeW       []bool // worker currently occupied by a task
+	masterServing bool    // master is inside a participating Barrier
+	activeW       []bool  // worker currently occupied by a task
+	current       []*Task // in-flight task per worker (diagnostics)
+	deadW         []bool  // worker disabled by DisableWorker
 	idle          int
 	seq           int
 	shutdown      bool
+	aborted       bool
+	abortErr      error
+	errs          []*TaskError
 	pendingGang   *gang
 	stats         Stats
 	wg            sync.WaitGroup
 }
 
+// maxRecordedErrors bounds the TaskError list kept for Err/Errs; failures
+// beyond the cap still count in Stats.TasksFailed.
+const maxRecordedErrors = 64
+
 // NewEngine creates and starts an engine. The returned engine is ready for
-// Insert calls; call Shutdown when done.
-func NewEngine(cfg Config) *Engine {
+// Insert calls; call Shutdown when done. Invalid configurations return an
+// error (the engine never panics on misuse).
+func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 1 {
-		panic(fmt.Sprintf("sched: NewEngine with %d workers", cfg.Workers))
+		return nil, fmt.Errorf("sched: NewEngine with %d workers (need >= 1)", cfg.Workers)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = NewFIFOPolicy()
@@ -83,7 +111,10 @@ func NewEngine(cfg Config) *Engine {
 		}
 	}
 	if len(cfg.Kinds) != cfg.Workers {
-		panic("sched: len(Kinds) != Workers")
+		return nil, fmt.Errorf("sched: len(Kinds) = %d does not match Workers = %d", len(cfg.Kinds), cfg.Workers)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("sched: negative MaxRetries %d", cfg.MaxRetries)
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -98,6 +129,8 @@ func NewEngine(cfg Config) *Engine {
 	e.gangCond = sync.NewCond(&e.mu)
 	e.stats.TasksPerWorker = make([]int, cfg.Workers)
 	e.activeW = make([]bool, cfg.Workers)
+	e.current = make([]*Task, cfg.Workers)
+	e.deadW = make([]bool, cfg.Workers)
 	first := 0
 	if cfg.MasterParticipates {
 		first = 1 // worker 0 is the master goroutine, joining at Barrier
@@ -106,7 +139,18 @@ func NewEngine(cfg Config) *Engine {
 		e.wg.Add(1)
 		go e.workerLoop(w)
 	}
-	return e
+	return e, nil
+}
+
+// SetRetryPolicy adjusts the retry budget and backoff after construction.
+// Call before inserting tasks; it is not synchronized with execution.
+func (e *Engine) SetRetryPolicy(maxRetries int, backoff time.Duration) {
+	e.mu.Lock()
+	if maxRetries >= 0 {
+		e.cfg.MaxRetries = maxRetries
+	}
+	e.cfg.RetryBackoff = backoff
+	e.mu.Unlock()
 }
 
 // SetSelf installs the wrapping Runtime exposed to tasks via Ctx.Runtime
@@ -123,15 +167,20 @@ func (e *Engine) NumWorkers() int { return e.cfg.Workers }
 func (e *Engine) WorkerKind(w int) WorkerKind { return e.cfg.Kinds[w] }
 
 // Insert implements Runtime: serial superscalar task insertion with hazard
-// analysis. Blocks while the task window is full.
-func (e *Engine) Insert(t *Task) {
+// analysis. Blocks while the task window is full. Misuse (nil Func,
+// insertion after Shutdown or Abort) returns an error instead of
+// panicking, so a driver loop can stop cleanly.
+func (e *Engine) Insert(t *Task) error {
 	if t.Func == nil {
-		panic("sched: Insert of task with nil Func")
+		return ErrNilFunc
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.shutdown {
-		panic("sched: Insert after Shutdown")
+		return ErrShutdown
+	}
+	if e.aborted {
+		return ErrAborted
 	}
 	// While the master streams insertions, simulated completions are held
 	// back (see Quiescent): on the paper's hardware insertion is orders
@@ -140,7 +189,7 @@ func (e *Engine) Insert(t *Task) {
 	// not hold physically. The flag is dropped while the insertion blocks
 	// on a full window, letting tasks complete and free window space.
 	e.inserting = true
-	for e.cfg.Window > 0 && e.outstanding >= e.cfg.Window {
+	for e.cfg.Window > 0 && e.outstanding >= e.cfg.Window && !e.aborted {
 		e.inserting = false
 		if e.cfg.MasterParticipates {
 			// QUARK behavior: the master executes tasks while its
@@ -156,6 +205,10 @@ func (e *Engine) Insert(t *Task) {
 			e.spaceCond.Wait()
 		}
 		e.inserting = true
+	}
+	if e.aborted {
+		e.inserting = false
+		return ErrAborted
 	}
 	if t.NumThreads > e.cfg.Workers {
 		t.NumThreads = e.cfg.Workers
@@ -178,6 +231,7 @@ func (e *Engine) Insert(t *Task) {
 	if t.waitCount == 0 {
 		e.pushReady(t, -1)
 	}
+	return nil
 }
 
 // pushReady makes t available to workers. Caller holds e.mu. by is the
@@ -221,6 +275,12 @@ func (e *Engine) complete(t *Task, w int, ctx *Ctx) {
 		}
 	}
 	for _, s := range t.succs {
+		if t.poisoned {
+			// Graceful degradation after a permanent failure: dependents
+			// cannot trust their inputs, so they are skipped (dependences
+			// still resolve, as with a canceled QUARK sequence).
+			s.poisoned = true
+		}
 		s.waitCount--
 		if s.waitCount == 0 {
 			e.pushReady(s, w)
@@ -241,21 +301,149 @@ func (e *Engine) complete(t *Task, w int, ctx *Ctx) {
 	e.mu.Unlock()
 }
 
-// runTask executes a (non-gang) task on worker w.
-func (e *Engine) runTask(t *Task, w int) {
-	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e}
+// invoke runs one attempt of t's body on ctx, converting a kernel panic
+// into a *TaskError instead of crashing the process. A transient failure
+// reported via Ctx.Fail also yields a *TaskError.
+func (e *Engine) invoke(ctx *Ctx, t *Task) (terr *TaskError) {
+	defer func() {
+		if r := recover(); r != nil {
+			terr = &TaskError{
+				TaskID:   t.id,
+				Label:    t.Label,
+				Class:    t.Class,
+				Worker:   ctx.Worker,
+				Attempts: ctx.Attempt,
+				Panic:    r,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
 	t.Func(ctx)
-	ctx.Launched() // idempotent: covers real (non-simulated) task bodies
-	e.complete(t, w, ctx)
+	if ctx.failErr != nil {
+		return &TaskError{
+			TaskID:   t.id,
+			Label:    t.Label,
+			Class:    t.Class,
+			Worker:   ctx.Worker,
+			Attempts: ctx.Attempt,
+			Err:      ctx.failErr,
+		}
+	}
+	return nil
+}
+
+// failedAttempt unwinds the quiescence bookkeeping of a failed attempt and
+// decides whether to retry. Called without e.mu held. When it returns
+// true the caller must re-run the body; e.launching has been re-armed so
+// the virtual clock holds still until the retry registers itself.
+func (e *Engine) failedAttempt(ctx *Ctx, t *Task) (retry bool) {
+	e.mu.Lock()
+	if ctx.completing {
+		// The body got as far as the completion window (for example a
+		// transient failure injected after the simulated execution):
+		// close it again, the attempt will not release successors.
+		e.completing--
+		ctx.completing = false
+	}
+	retry = t.attempts <= e.cfg.MaxRetries && !e.aborted
+	backoff := e.cfg.RetryBackoff
+	if retry {
+		e.stats.TasksRetried++
+		e.launching++ // the retry is again between ready queue and sim entry
+	}
+	e.mu.Unlock()
+	if retry && backoff > 0 {
+		d := backoff << uint(minInt(t.attempts-1, 20))
+		if d > maxRetryBackoff || d <= 0 {
+			d = maxRetryBackoff
+		}
+		time.Sleep(d)
+	}
+	return retry
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// recordFailure stores the final TaskError of a task that exhausted its
+// retry budget and poisons its dependent subtree. Called without e.mu.
+func (e *Engine) recordFailure(t *Task, terr *TaskError) {
+	e.mu.Lock()
+	t.poisoned = true
+	e.stats.TasksFailed++
+	if len(e.errs) < maxRecordedErrors {
+		e.errs = append(e.errs, terr)
+	}
+	e.mu.Unlock()
+}
+
+// runTask executes a (non-gang) task on worker w: panic-safe invocation,
+// bounded retries for recovered failures, and skip-through for tasks whose
+// ancestors failed permanently. skip is the task's poison state observed
+// under e.mu at pop time (all predecessors have completed by then, so it
+// is final).
+func (e *Engine) runTask(t *Task, w int, skip bool) {
+	if skip {
+		ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e, Attempt: 1}
+		ctx.Launched()
+		e.mu.Lock()
+		e.stats.TasksSkipped++
+		e.mu.Unlock()
+		e.complete(t, w, ctx)
+		return
+	}
+	for {
+		t.attempts++
+		ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e, Attempt: t.attempts}
+		terr := e.invoke(ctx, t)
+		ctx.Launched() // idempotent: covers real (non-simulated) and panicked bodies
+		if terr == nil {
+			e.complete(t, w, ctx)
+			return
+		}
+		if e.failedAttempt(ctx, t) {
+			continue
+		}
+		terr.Attempts = t.attempts
+		e.recordFailure(t, terr)
+		e.complete(t, w, ctx)
+		return
+	}
 }
 
 // runGang executes a multi-threaded task body as one of its gang members
 // and performs the completion barrier. Only rank 0 completes the task.
 // Every member leaves with e.transition incremented (decremented by
-// serveOne at its next decision).
+// serveOne at its next decision). Gang bodies are panic-safe but not
+// retried: a recovered panic records a *TaskError and poisons the
+// dependent subtree, and the gang barrier still completes so no member
+// wedges.
 func (e *Engine) runGang(g *gang, w, rank int) {
-	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: g.task, Runtime: e.self, engine: e, GangRank: rank}
-	g.task.Func(ctx)
+	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: g.task, Runtime: e.self, engine: e, GangRank: rank, Attempt: 1}
+	e.mu.Lock()
+	skip := g.skip
+	e.mu.Unlock()
+	if !skip {
+		if terr := e.invoke(ctx, g.task); terr != nil {
+			e.mu.Lock()
+			if ctx.completing {
+				e.completing--
+				ctx.completing = false
+			}
+			if !g.task.poisoned {
+				g.task.poisoned = true
+				e.stats.TasksFailed++
+				if len(e.errs) < maxRecordedErrors {
+					e.errs = append(e.errs, terr)
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
 	if rank == 0 {
 		ctx.Launched()
 	}
@@ -264,7 +452,7 @@ func (e *Engine) runGang(g *gang, w, rank int) {
 	if g.done == g.needed {
 		e.gangCond.Broadcast()
 	} else {
-		for g.done < g.needed {
+		for g.done < g.needed && !e.aborted {
 			e.gangCond.Wait()
 		}
 	}
@@ -288,11 +476,12 @@ func (e *Engine) serveOne(w int) bool {
 		rank := g.joined
 		g.joined++
 		e.activeW[w] = true
+		e.current[w] = g.task
 		if g.joined == g.needed {
 			e.pendingGang = nil
 			e.gangCond.Broadcast()
 		} else {
-			for g.joined < g.needed {
+			for g.joined < g.needed && !e.aborted {
 				e.gangCond.Wait()
 			}
 		}
@@ -301,6 +490,7 @@ func (e *Engine) serveOne(w int) bool {
 		e.mu.Lock()
 		e.transition--
 		e.activeW[w] = false
+		e.current[w] = nil
 		return true
 	}
 	t := e.cfg.Policy.Pop(w, e.cfg.Kinds[w])
@@ -309,36 +499,62 @@ func (e *Engine) serveOne(w int) bool {
 	}
 	e.launching++
 	e.activeW[w] = true
+	e.current[w] = t
+	// Poison (an ancestor failed) and abort are both decided under e.mu
+	// here: all predecessors completed before t became ready, so the
+	// flag is final, and an aborted engine only drains bookkeeping.
+	skip := t.poisoned || e.aborted
 	if t.NumThreads > 1 {
-		g := &gang{task: t, needed: t.NumThreads, joined: 1}
+		g := &gang{task: t, needed: t.NumThreads, joined: 1, skip: skip}
+		if skip {
+			e.stats.TasksSkipped++
+		}
 		e.pendingGang = g
 		e.readyCond.Broadcast() // wake idle workers to join the gang
-		for g.joined < g.needed {
+		for g.joined < g.needed && !e.aborted {
 			e.gangCond.Wait()
+		}
+		if e.aborted && g.joined < g.needed {
+			// Abort while starved for members (for example after a
+			// dead-core fault left fewer live workers than the gang
+			// needs): run degraded so the task still completes.
+			g.skip = true
+			g.needed = g.joined
+			if e.pendingGang == g {
+				e.pendingGang = nil
+			}
 		}
 		e.mu.Unlock()
 		e.runGang(g, w, 0)
 		e.mu.Lock()
 		e.transition--
 		e.activeW[w] = false
+		e.current[w] = nil
 		return true
 	}
 	e.mu.Unlock()
-	e.runTask(t, w)
+	e.runTask(t, w, skip)
 	e.mu.Lock()
 	e.transition--
 	e.activeW[w] = false
+	e.current[w] = nil
 	return true
 }
 
-// workerLoop is the body of a dedicated worker goroutine.
+// workerLoop is the body of a dedicated worker goroutine. A worker marked
+// dead by DisableWorker stops serving tasks but keeps parking on the
+// condition variable so Shutdown can still join it.
 func (e *Engine) workerLoop(w int) {
 	defer e.wg.Done()
 	e.mu.Lock()
 	for {
-		if e.shutdown && e.outstanding == 0 {
+		if e.shutdown && (e.outstanding == 0 || e.aborted) {
 			e.mu.Unlock()
 			return
+		}
+		if e.deadW[w] {
+			e.readyCond.Wait()
+			continue
 		}
 		if !e.serveOne(w) {
 			e.idle++
@@ -349,14 +565,15 @@ func (e *Engine) workerLoop(w int) {
 }
 
 // Barrier implements Runtime. With MasterParticipates the caller serves
-// tasks as worker 0 until everything has drained.
+// tasks as worker 0 until everything has drained. An Abort (for example
+// from a stall watchdog) releases the barrier early; check Err afterwards.
 func (e *Engine) Barrier() {
 	e.mu.Lock()
 	e.inserting = false
 	e.readyCond.Broadcast() // quiescence state changed; re-evaluate
 	if e.cfg.MasterParticipates {
 		e.masterServing = true
-		for e.outstanding > 0 {
+		for e.outstanding > 0 && !e.aborted {
 			if !e.serveOne(0) {
 				e.idle++
 				e.readyCond.Wait()
@@ -365,7 +582,7 @@ func (e *Engine) Barrier() {
 		}
 		e.masterServing = false
 	} else {
-		for e.outstanding > 0 {
+		for e.outstanding > 0 && !e.aborted {
 			e.doneCond.Wait()
 		}
 	}
@@ -373,13 +590,114 @@ func (e *Engine) Barrier() {
 }
 
 // Shutdown implements Runtime: drains remaining work and stops workers.
+// After an Abort the drain is skipped and worker goroutines are not
+// joined — a wedged task body (the very thing the abort recovered from)
+// would otherwise hang Shutdown itself; unwedged workers still exit on
+// their own when they observe the shutdown flag.
 func (e *Engine) Shutdown() {
 	e.Barrier()
 	e.mu.Lock()
 	e.shutdown = true
+	aborted := e.aborted
 	e.readyCond.Broadcast()
+	e.spaceCond.Broadcast()
+	e.gangCond.Broadcast()
 	e.mu.Unlock()
-	e.wg.Wait()
+	if !aborted {
+		e.wg.Wait()
+	}
+}
+
+// Abort wrenches a stalled run loose: it records err (the first abort
+// wins), wakes every blocked wait in the engine, releases Barrier early,
+// and makes workers drain remaining bookkeeping without running task
+// bodies. Subsequent Inserts fail with ErrAborted; err surfaces through
+// Err. Safe to call from any goroutine — this is the watchdog's lever.
+func (e *Engine) Abort(err error) {
+	e.mu.Lock()
+	if !e.aborted {
+		e.aborted = true
+		e.abortErr = err
+	}
+	e.readyCond.Broadcast()
+	e.spaceCond.Broadcast()
+	e.doneCond.Broadcast()
+	e.gangCond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Aborted reports whether Abort was called.
+func (e *Engine) Aborted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.aborted
+}
+
+// Err implements Runtime: the combined failure state of the run — the
+// abort reason (if any) joined with every recorded *TaskError. Call after
+// Barrier or Shutdown; nil means a clean run.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	errs := make([]error, 0, len(e.errs)+1)
+	if e.abortErr != nil {
+		errs = append(errs, e.abortErr)
+	}
+	for _, te := range e.errs {
+		errs = append(errs, te)
+	}
+	return errors.Join(errs...)
+}
+
+// Errs returns the recorded per-task failures (capped at
+// maxRecordedErrors; Stats().TasksFailed has the full count).
+func (e *Engine) Errs() []*TaskError {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*TaskError(nil), e.errs...)
+}
+
+// DisableWorker simulates a dead virtual core: worker w stops serving
+// tasks, ready tasks bound to it are remapped to surviving workers, and
+// its cache-affinity history is forgotten so no future task prefers it.
+// The makespan degrades gracefully instead of the run wedging. The master
+// slot of a participating engine and the last live worker cannot die.
+func (e *Engine) DisableWorker(w int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w < 0 || w >= e.cfg.Workers {
+		return fmt.Errorf("sched: DisableWorker(%d) out of range [0,%d)", w, e.cfg.Workers)
+	}
+	if w == 0 && e.cfg.MasterParticipates {
+		return fmt.Errorf("sched: cannot disable worker 0 (master participates in execution)")
+	}
+	if e.deadW[w] {
+		return nil
+	}
+	live := 0
+	for i := range e.deadW {
+		if !e.deadW[i] {
+			live++
+		}
+	}
+	if live <= 1 {
+		return fmt.Errorf("sched: cannot disable worker %d: it is the last live worker", w)
+	}
+	e.deadW[w] = true
+	// Remap: policies that bind tasks to a specific worker must make the
+	// dead worker's queue reachable again.
+	if da, ok := e.cfg.Policy.(deadAware); ok {
+		e.stats.TasksRemapped += da.SetWorkerDead(w)
+	}
+	// Forget data-locality ownership so pushReady stops binding affinity
+	// to the dead core.
+	for h, ow := range e.owner {
+		if ow == w {
+			delete(e.owner, h)
+		}
+	}
+	e.readyCond.Broadcast()
+	return nil
 }
 
 // Quiescent implements Runtime (the paper's Section V-E fix): true when
@@ -422,7 +740,7 @@ func (e *Engine) Quiescent() bool {
 func (e *Engine) freeWorkers() []int {
 	free := make([]int, 0, e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
-		if e.activeW[w] {
+		if e.activeW[w] || e.deadW[w] {
 			continue
 		}
 		if w == 0 && e.cfg.MasterParticipates && !e.masterServing {

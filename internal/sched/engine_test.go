@@ -12,8 +12,18 @@ func runAll(t *testing.T, rt Runtime, insert func()) {
 	rt.Shutdown()
 }
 
+// mustEngine builds an engine from cfg, failing loudly on a config the
+// test did not expect to be invalid.
+func mustEngine(cfg Config) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 func newTestEngine(workers int, pol Policy, master bool) *Engine {
-	return NewEngine(Config{
+	return mustEngine(Config{
 		Name:               "test",
 		Workers:            workers,
 		Policy:             pol,
@@ -148,7 +158,7 @@ func TestEngineMasterParticipationExecutesOnWorkerZero(t *testing.T) {
 func TestEngineWindowThrottlesInsertion(t *testing.T) {
 	// Window of 4: a fifth insert must block until a task completes.
 	block := make(chan struct{})
-	e := NewEngine(Config{Workers: 2, Policy: NewFIFOPolicy(), Window: 4})
+	e := mustEngine(Config{Workers: 2, Policy: NewFIFOPolicy(), Window: 4})
 	for i := 0; i < 4; i++ {
 		e.Insert(&Task{Class: "B", Func: func(*Ctx) { <-block }})
 	}
@@ -170,7 +180,7 @@ func TestEngineWindowThrottlesInsertion(t *testing.T) {
 func TestEnginePriorityPolicyOrdersReadyTasks(t *testing.T) {
 	// Single worker; tasks inserted while the worker is blocked, so the
 	// priority order is fully observable.
-	e := NewEngine(Config{Workers: 1, Policy: NewPriorityPolicy()})
+	e := mustEngine(Config{Workers: 1, Policy: NewPriorityPolicy()})
 	release := make(chan struct{})
 	started := make(chan struct{})
 	e.Insert(&Task{Class: "GATE", Func: func(*Ctx) { close(started); <-release }})
@@ -200,7 +210,7 @@ func TestEngineAffinityAssigned(t *testing.T) {
 	// to w first under the locality policy. We can't control worker
 	// identity deterministically with multiple workers, so just verify
 	// the affinity field is set to the writer's worker.
-	e := NewEngine(Config{Workers: 1, Policy: NewLocalityPolicy(1)})
+	e := mustEngine(Config{Workers: 1, Policy: NewLocalityPolicy(1)})
 	h := new(int)
 	e.Insert(&Task{Class: "W", Func: func(*Ctx) {}, Args: []Arg{W(h)}})
 	e.Barrier()
@@ -281,7 +291,7 @@ func TestMasterServesWhileWindowFull(t *testing.T) {
 	// QUARK semantics: with a single worker (the master) and a tiny
 	// window, insertion must make progress by executing tasks inline
 	// instead of deadlocking.
-	e := NewEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: 2, MasterParticipates: true})
+	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: 2, MasterParticipates: true})
 	var ran int
 	for i := 0; i < 50; i++ {
 		e.Insert(&Task{Class: "K", Func: func(*Ctx) { ran++ }})

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Misuse errors returned by the engine instead of panicking (the engine
+// must never take the whole process down: a scheduler reproduction that
+// crashes on bad input cannot report what went wrong at the barrier).
+var (
+	// ErrNilFunc is returned by Insert for a task without a body.
+	ErrNilFunc = errors.New("sched: Insert of task with nil Func")
+	// ErrShutdown is returned by Insert after Shutdown.
+	ErrShutdown = errors.New("sched: Insert after Shutdown")
+	// ErrAborted is returned by Insert after the engine was aborted (for
+	// example by a watchdog that detected a stall).
+	ErrAborted = errors.New("sched: Insert after Abort")
+)
+
+// TaskError is the structured failure record of one task: a recovered
+// kernel panic or a transient failure reported via Ctx.Fail that survived
+// the retry policy. TaskErrors are collected by the engine and surfaced at
+// Barrier/Shutdown through Err/Errs instead of crashing the process.
+type TaskError struct {
+	// TaskID is the serial insertion index of the failed task.
+	TaskID int
+	// Label and Class identify the task instance and kernel class.
+	Label string
+	Class string
+	// Worker is the virtual core the final attempt ran on.
+	Worker int
+	// Attempts is how many times the task body was invoked.
+	Attempts int
+	// Panic holds the recovered panic value, if the failure was a panic.
+	Panic any
+	// Stack is the goroutine stack captured at the recovery point of the
+	// final panicking attempt (nil for non-panic failures).
+	Stack []byte
+	// Err is the underlying error for transient failures (Ctx.Fail).
+	Err error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	cause := "failed"
+	switch {
+	case e.Panic != nil:
+		cause = fmt.Sprintf("panicked: %v", e.Panic)
+	case e.Err != nil:
+		cause = fmt.Sprintf("failed: %v", e.Err)
+	}
+	return fmt.Sprintf("sched: task #%d %q (%s) on worker %d %s after %d attempt(s)",
+		e.TaskID, e.Label, e.Class, e.Worker, cause, e.Attempts)
+}
+
+// Unwrap exposes the underlying transient error to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }

@@ -40,7 +40,7 @@ var _ sched.Runtime = (*Scheduler)(nil)
 
 // New starts an OmpSs scheduler with a team of nthreads threads (the master
 // included, joining execution during TaskWait).
-func New(nthreads int, opts ...Option) *Scheduler {
+func New(nthreads int, opts ...Option) (*Scheduler, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
@@ -49,28 +49,31 @@ func New(nthreads int, opts ...Option) *Scheduler {
 	if cfg.priorities {
 		pol = sched.NewPriorityPolicy()
 	}
-	e := sched.NewEngine(sched.Config{
+	e, err := sched.NewEngine(sched.Config{
 		Name:               "ompss",
 		Workers:            nthreads,
 		Policy:             pol,
 		MasterParticipates: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Scheduler{Engine: e}
 	e.SetSelf(s)
-	return s
+	return s, nil
 }
 
 // Task submits a task with the given dependence clauses, the analog of
 //
 //	#pragma omp task depend(...)
 //	f();
-func (s *Scheduler) Task(class string, f sched.TaskFunc, deps ...sched.Arg) {
-	s.TaskPriority(class, 0, f, deps...)
+func (s *Scheduler) Task(class string, f sched.TaskFunc, deps ...sched.Arg) error {
+	return s.TaskPriority(class, 0, f, deps...)
 }
 
 // TaskPriority submits a task with an explicit priority clause.
-func (s *Scheduler) TaskPriority(class string, priority int, f sched.TaskFunc, deps ...sched.Arg) {
-	s.Insert(&sched.Task{
+func (s *Scheduler) TaskPriority(class string, priority int, f sched.TaskFunc, deps ...sched.Arg) error {
+	return s.Insert(&sched.Task{
 		Class:    class,
 		Label:    class,
 		Func:     f,

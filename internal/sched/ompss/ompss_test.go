@@ -9,7 +9,7 @@ import (
 )
 
 func TestTaskWithDependClauses(t *testing.T) {
-	o := New(3)
+	o := mustNew(3)
 	h := new(int)
 	var order []string
 	var mu sync.Mutex
@@ -36,7 +36,7 @@ func TestTaskWithDependClauses(t *testing.T) {
 
 func TestTaskWaitJoinsTeam(t *testing.T) {
 	// With one thread the master must execute everything during TaskWait.
-	o := New(1)
+	o := mustNew(1)
 	var count int64
 	for i := 0; i < 10; i++ {
 		o.Task("X", func(*sched.Ctx) { atomic.AddInt64(&count, 1) })
@@ -52,7 +52,7 @@ func TestPriorityClause(t *testing.T) {
 	// With MasterParticipates the only worker is the master, which joins
 	// at TaskWait, so all priorities are queued before execution starts
 	// and the order is fully deterministic.
-	o := New(1, WithPriorities())
+	o := mustNew(1, WithPriorities())
 	var mu sync.Mutex
 	var order []int
 	for _, p := range []int{1, 9, 5} {
@@ -74,9 +74,18 @@ func TestPriorityClause(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	o := New(1)
+	o := mustNew(1)
 	if o.Name() != "ompss" {
 		t.Errorf("name %q", o.Name())
 	}
 	o.Shutdown()
+}
+
+// mustNew builds a scheduler for tests whose configuration is always valid.
+func mustNew(workers int, opts ...Option) *Scheduler {
+	o, err := New(workers, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return o
 }

@@ -25,6 +25,14 @@ type Policy interface {
 // stealCounter is implemented by policies that steal work.
 type stealCounter interface{ Steals() int }
 
+// deadAware is implemented by policies that bind tasks to a specific
+// worker and therefore must react when a core dies (DisableWorker): the
+// policy stops placing tasks on w and re-places tasks already bound to
+// it, returning how many were remapped. Policies whose queues are
+// reachable from any worker (central queues, work stealing) need no
+// special handling: the engine never Pops on behalf of a dead worker.
+type deadAware interface{ SetWorkerDead(w int) int }
+
 // ------------------------------------------------------------------- FIFO
 
 // FIFOPolicy is a single global first-in-first-out ready queue (StarPU's
@@ -297,6 +305,7 @@ type DMPolicy struct {
 	load   []float64
 	model  CostModel
 	total  int
+	dead   []bool
 }
 
 // NewDMPolicy returns a dm policy for workers of the given kinds.
@@ -310,15 +319,17 @@ func NewDMPolicy(kinds []WorkerKind, model CostModel) *DMPolicy {
 		kinds:  append([]WorkerKind(nil), kinds...),
 		load:   make([]float64, len(kinds)),
 		model:  model,
+		dead:   make([]bool, len(kinds)),
 	}
 }
 
-// Push implements Policy: earliest-expected-finish placement.
+// Push implements Policy: earliest-expected-finish placement across the
+// live workers (dead cores are never assigned new tasks).
 func (p *DMPolicy) Push(t *Task, _ int) {
 	best := -1
 	var bestFinish float64
 	for w, kind := range p.kinds {
-		if !t.Where.Allows(kind) {
+		if p.dead[w] || !t.Where.Allows(kind) {
 			continue
 		}
 		finish := p.load[w] + p.model(t.Class, kind)
@@ -329,6 +340,12 @@ func (p *DMPolicy) Push(t *Task, _ int) {
 	}
 	if best < 0 {
 		best = 0 // no eligible worker: park on worker 0 (caller bug)
+		for w := range p.kinds {
+			if !p.dead[w] {
+				best = w
+				break
+			}
+		}
 	}
 	p.queues[best] = append(p.queues[best], t)
 	p.load[best] += p.model(t.Class, p.kinds[best])
@@ -352,6 +369,23 @@ func (p *DMPolicy) Pop(w int, kind WorkerKind) *Task {
 
 // Len implements Policy.
 func (p *DMPolicy) Len() int { return p.total }
+
+// SetWorkerDead implements deadAware: re-places every task queued on the
+// dead worker onto the surviving ones and clears its load account.
+func (p *DMPolicy) SetWorkerDead(w int) int {
+	if w < 0 || w >= len(p.queues) || p.dead[w] {
+		return 0
+	}
+	p.dead[w] = true
+	orphans := p.queues[w]
+	p.queues[w] = nil
+	p.load[w] = 0
+	p.total -= len(orphans)
+	for _, t := range orphans {
+		p.Push(t, -1)
+	}
+	return len(orphans)
+}
 
 // ------------------------------------------------------------- Claimable
 

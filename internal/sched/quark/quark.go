@@ -70,26 +70,29 @@ var _ sched.Runtime = (*Scheduler)(nil)
 
 // New starts a QUARK scheduler with nthreads workers (including the master,
 // which executes tasks while waiting in Barrier, as QUARK's does).
-func New(nthreads int, opts ...Option) *Scheduler {
+func New(nthreads int, opts ...Option) (*Scheduler, error) {
 	cfg := config{window: DefaultWindowPerWorker * nthreads}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := sched.NewEngine(sched.Config{
+	e, err := sched.NewEngine(sched.Config{
 		Name:               "quark",
 		Workers:            nthreads,
 		Policy:             sched.NewLocalityPolicy(nthreads),
 		Window:             cfg.window,
 		MasterParticipates: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Scheduler{Engine: e}
 	e.SetSelf(s)
-	return s
+	return s, nil
 }
 
 // InsertTask submits one task with QUARK-style flags. class names the
 // kernel ("DGEMM", ...); args declare the data accesses.
-func (s *Scheduler) InsertTask(class string, f sched.TaskFunc, flags *TaskFlags, args ...sched.Arg) {
+func (s *Scheduler) InsertTask(class string, f sched.TaskFunc, flags *TaskFlags, args ...sched.Arg) error {
 	t := &sched.Task{Class: class, Label: class, Func: f, Args: args}
 	if flags != nil {
 		t.Priority = flags.Priority
@@ -103,7 +106,7 @@ func (s *Scheduler) InsertTask(class string, f sched.TaskFunc, flags *TaskFlags,
 			t.Func = func(*sched.Ctx) {}
 		}
 	}
-	s.Insert(t)
+	return s.Insert(t)
 }
 
 // SchedulerBookkeepingDone is the function the paper describes as "recently

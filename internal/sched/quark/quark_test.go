@@ -8,7 +8,7 @@ import (
 )
 
 func TestInsertTaskRunsWithFlags(t *testing.T) {
-	q := New(2)
+	q := mustNew(2)
 	var ran int64
 	q.InsertTask("DGEMM", func(ctx *sched.Ctx) {
 		atomic.AddInt64(&ran, 1)
@@ -24,7 +24,7 @@ func TestInsertTaskRunsWithFlags(t *testing.T) {
 }
 
 func TestSequenceCancellationSkipsBodies(t *testing.T) {
-	q := New(2)
+	q := mustNew(2)
 	seq := NewSequence()
 	var ran int64
 	h := new(int)
@@ -50,7 +50,7 @@ func TestSequenceCancellationSkipsBodies(t *testing.T) {
 }
 
 func TestSchedulerBookkeepingDone(t *testing.T) {
-	q := New(2)
+	q := mustNew(2)
 	q.InsertTask("X", func(*sched.Ctx) {}, nil)
 	q.Barrier()
 	if !q.SchedulerBookkeepingDone() {
@@ -60,7 +60,7 @@ func TestSchedulerBookkeepingDone(t *testing.T) {
 }
 
 func TestWindowOptionThrottles(t *testing.T) {
-	q := New(2, WithWindow(2))
+	q := mustNew(2, WithWindow(2))
 	block := make(chan struct{})
 	q.InsertTask("B", func(*sched.Ctx) { <-block }, nil)
 	q.InsertTask("B", func(*sched.Ctx) { <-block }, nil)
@@ -80,7 +80,7 @@ func TestWindowOptionThrottles(t *testing.T) {
 }
 
 func TestMultiThreadedFlag(t *testing.T) {
-	q := New(3)
+	q := mustNew(3)
 	var peak, cur int64
 	q.InsertTask("PANEL", func(ctx *sched.Ctx) {
 		n := atomic.AddInt64(&cur, 1)
@@ -101,9 +101,18 @@ func TestMultiThreadedFlag(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	q := New(1)
+	q := mustNew(1)
 	if q.Name() != "quark" {
 		t.Errorf("name %q", q.Name())
 	}
 	q.Shutdown()
+}
+
+// mustNew builds a scheduler for tests whose configuration is always valid.
+func mustNew(workers int, opts ...Option) *Scheduler {
+	q, err := New(workers, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
 }

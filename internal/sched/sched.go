@@ -100,6 +100,11 @@ type Task struct {
 	// NumThreads > 1 requests a multi-threaded (gang) task, the
 	// Section VII extension. The engine co-schedules that many workers.
 	NumThreads int
+	// Slowdown multiplicatively inflates the task's virtual duration
+	// (straggler fault injection, set by internal/fault before Insert).
+	// Values <= 1 mean no inflation; simulated and measured task bodies
+	// consult it when accounting virtual time.
+	Slowdown float64
 
 	// Fields below are owned by the engine.
 	id        int
@@ -107,6 +112,8 @@ type Task struct {
 	succs     []*Task
 	affinity  int // preferred worker (data locality), -1 if none
 	seq       int // ready-queue FIFO tiebreak
+	attempts  int // body invocations so far (retry accounting)
+	poisoned  bool // an ancestor failed permanently: skip the body
 	gang      *gang
 }
 
@@ -130,11 +137,23 @@ type Ctx struct {
 	// GangRank is this worker's rank within a multi-threaded task
 	// (0 for ordinary tasks; 0..NumThreads-1 for gang members).
 	GangRank int
+	// Attempt is the 1-based invocation count of this task's body: 1 for
+	// the first execution, 2 for the first retry after a recovered panic
+	// or transient failure, and so on.
+	Attempt int
 
 	engine     *Engine
 	launched   bool
 	completing bool
+	failErr    error
 }
+
+// Fail reports a transient failure of the executing task body. The engine
+// treats the attempt as failed when the body returns: the task is retried
+// with bounded backoff while attempts remain (Config.MaxRetries), and
+// otherwise recorded as a *TaskError surfaced at Barrier/Shutdown via Err.
+// Calling Fail(nil) clears a previously reported failure.
+func (c *Ctx) Fail(err error) { c.failErr = err }
 
 // Launched tells the runtime that this task has finished handing itself to
 // the simulation library (it is registered in the Task Execution Queue).
@@ -177,8 +196,9 @@ func (c *Ctx) Completing() {
 // superscalar insertion).
 type Runtime interface {
 	// Insert submits a task; it may block if the runtime throttles its
-	// task window (QUARK-style).
-	Insert(t *Task)
+	// task window (QUARK-style). It returns an error for misuse (nil
+	// Func, insertion after Shutdown) or when the runtime was aborted.
+	Insert(t *Task) error
 	// Barrier blocks until every inserted task has completed. Runtimes
 	// whose master thread participates in execution (QUARK, OmpSs) run
 	// tasks on the calling goroutine as worker 0 during the barrier.
@@ -199,6 +219,11 @@ type Runtime interface {
 	Name() string
 	// Stats returns execution counters.
 	Stats() Stats
+	// Err reports the run's accumulated failures after Barrier/Shutdown:
+	// recovered kernel panics and transient failures that exhausted the
+	// retry policy (as *TaskError values), plus any abort reason (for
+	// example a watchdog stall). nil when every task completed cleanly.
+	Err() error
 }
 
 // Stats aggregates runtime counters.
@@ -209,4 +234,8 @@ type Stats struct {
 	EdgesResolved  int // dependence edges derived by hazard analysis
 	MaxReadyLen    int // high-water mark of the ready queue
 	Steals         int // work-stealing policy only
+	TasksFailed    int // tasks whose failures exhausted the retry policy
+	TasksRetried   int // retry attempts after recovered failures
+	TasksSkipped   int // tasks skipped because an ancestor failed
+	TasksRemapped  int // ready tasks migrated off a disabled (dead) core
 }

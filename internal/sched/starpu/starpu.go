@@ -98,13 +98,16 @@ func New(conf Conf) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("starpu: unknown scheduling policy %q", conf.Policy)
 	}
-	e := sched.NewEngine(sched.Config{
+	e, err := sched.NewEngine(sched.Config{
 		Name:               "starpu",
 		Workers:            workers,
 		Policy:             pol,
 		Kinds:              kinds,
 		MasterParticipates: false,
 	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Scheduler{Engine: e, policy: conf.Policy}
 	e.SetSelf(s)
 	return s, nil
@@ -150,6 +153,5 @@ func (s *Scheduler) TaskSubmit(cl *Codelet, args []sched.Arg, opts ...SubmitOpti
 	for _, o := range opts {
 		o(t)
 	}
-	s.Insert(t)
-	return nil
+	return s.Insert(t)
 }

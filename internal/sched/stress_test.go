@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestEngineStressRandomDAG(t *testing.T) {
 	const tasks = 3000
 	for name, mk := range policies {
 		t.Run(name, func(t *testing.T) {
-			e := NewEngine(Config{Workers: 4, Policy: mk(), Window: 500})
+			e := mustEngine(Config{Workers: 4, Policy: mk(), Window: 500})
 			src := rng.New(99)
 			// Shared counters: each handle holds a running value only its
 			// serialized writers may update.
@@ -66,46 +67,37 @@ func TestEngineStressRandomDAG(t *testing.T) {
 	}
 }
 
-func TestInsertNilFuncPanics(t *testing.T) {
+func TestInsertNilFuncErrors(t *testing.T) {
 	e := newTestEngine(1, NewFIFOPolicy(), false)
 	defer e.Shutdown()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil Func accepted")
-		}
-	}()
-	e.Insert(&Task{Class: "X"})
+	if err := e.Insert(&Task{Class: "X"}); !errors.Is(err, ErrNilFunc) {
+		t.Fatalf("Insert with nil Func: err = %v, want ErrNilFunc", err)
+	}
 }
 
-func TestInsertAfterShutdownPanics(t *testing.T) {
+func TestInsertAfterShutdownErrors(t *testing.T) {
 	e := newTestEngine(1, NewFIFOPolicy(), false)
 	e.Shutdown()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Insert after Shutdown accepted")
-		}
-	}()
-	e.Insert(&Task{Class: "X", Func: func(*Ctx) {}})
+	if err := e.Insert(&Task{Class: "X", Func: func(*Ctx) {}}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Insert after Shutdown: err = %v, want ErrShutdown", err)
+	}
 }
 
 func TestNewEngineValidation(t *testing.T) {
-	for _, bad := range []func(){
-		func() { NewEngine(Config{Workers: 0}) },
-		func() { NewEngine(Config{Workers: 2, Kinds: []WorkerKind{KindCPU}}) },
+	for name, cfg := range map[string]Config{
+		"no workers":       {Workers: 0},
+		"kinds mismatch":   {Workers: 2, Kinds: []WorkerKind{KindCPU}},
+		"negative retries": {Workers: 1, MaxRetries: -1},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("invalid config accepted")
-				}
-			}()
-			bad()
-		}()
+		if e, err := NewEngine(cfg); err == nil {
+			e.Shutdown()
+			t.Errorf("%s: invalid config accepted", name)
+		}
 	}
 }
 
 func TestWorkerKindAccessor(t *testing.T) {
-	e := NewEngine(Config{Workers: 2, Kinds: []WorkerKind{KindCPU, KindAccelerator}})
+	e := mustEngine(Config{Workers: 2, Kinds: []WorkerKind{KindCPU, KindAccelerator}})
 	defer e.Shutdown()
 	if e.WorkerKind(0) != KindCPU || e.WorkerKind(1) != KindAccelerator {
 		t.Error("WorkerKind wrong")
