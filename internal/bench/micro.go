@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"regexp"
+	"testing"
+
+	"supersim/internal/core"
+	"supersim/internal/perf"
+	"supersim/internal/sched"
+	"supersim/internal/sched/quark"
+)
+
+// Hot-path micro-benchmarks, exported so cmd/simbench can run the exact
+// same measurements as `go test -bench` without the testing harness's
+// process-level setup. Each entry mirrors a benchmark in the core or sched
+// package test files (Insert*, SimTask*, *Churn): one source of truth for
+// what "the hot path" means, two ways to run it.
+
+// MicroBench is one registered micro-benchmark.
+type MicroBench struct {
+	// Name matches the `go test -bench` name without the Benchmark prefix.
+	Name string
+	// Bench is the standard benchmark body.
+	Bench func(b *testing.B)
+}
+
+// MicroResult is one finished measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// microWindow mirrors benchWindow in the sched package benchmarks.
+const microWindow = 4096
+
+// MicroSuite returns the registered micro-benchmarks. counters (may be
+// nil) is attached to every engine and simulator in the suite, so a run
+// accumulates the contention profile alongside the timings.
+func MicroSuite(counters *perf.Counters) []MicroBench {
+	return []MicroBench{
+		{Name: "InsertIndependentTasks", Bench: func(b *testing.B) {
+			benchEngineInsert(b, counters, func(i int) *sched.Task {
+				return &sched.Task{Class: "K", Func: noopTask}
+			})
+		}},
+		{Name: "InsertGemmLikeTasks", Bench: func(b *testing.B) {
+			handles := make([]*int, 64)
+			for i := range handles {
+				handles[i] = new(int)
+			}
+			benchEngineInsert(b, counters, func(i int) *sched.Task {
+				return &sched.Task{Class: "GEMM", Func: noopTask, Args: []sched.Arg{
+					sched.RW(handles[i%64]),
+					sched.R(handles[(i+7)%64]),
+					sched.R(handles[(i+13)%64]),
+				}}
+			})
+		}},
+		{Name: "EndToEndTaskChurn", Bench: func(b *testing.B) {
+			e, err := sched.NewEngine(sched.Config{
+				Workers: 4, Policy: sched.NewFIFOPolicy(), Window: microWindow, Perf: counters,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Insert(&sched.Task{Class: "K", Func: noopTask})
+			}
+			e.Barrier()
+			b.StopTimer()
+			e.Shutdown()
+		}},
+		{Name: "SimTaskQuiescence8Workers", Bench: func(b *testing.B) {
+			benchSimulatedChurn(b, 8, counters, nil)
+		}},
+		{Name: "SimulatedDependentChain", Bench: func(b *testing.B) {
+			h := new(int)
+			benchSimulatedChurn(b, 4, counters, []sched.Arg{sched.RW(h)})
+		}},
+	}
+}
+
+func noopTask(*sched.Ctx) {}
+
+func benchEngineInsert(b *testing.B, counters *perf.Counters, mk func(i int) *sched.Task) {
+	e, err := sched.NewEngine(sched.Config{
+		Workers: 1, Policy: sched.NewFIFOPolicy(), Window: microWindow, Perf: counters,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Insert(mk(i))
+	}
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func benchSimulatedChurn(b *testing.B, workers int, counters *perf.Counters, args []sched.Arg) {
+	rt, err := quark.New(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.SetPerf(counters)
+	sim := core.NewSimulator(rt, "bench", core.WithPerfCounters(counters))
+	tk := core.NewTasker(sim, core.FixedModel(1e-4), 1)
+	f := tk.SimTask("K")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Insert(&sched.Task{Class: "K", Label: "K", Func: f, Args: args})
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}
+
+// RunMicro executes the micro-benchmarks whose names match filter (all of
+// them when filter is nil) and returns the measurements. Iteration counts
+// follow the standard -test.benchtime setting (callers can adjust it via
+// flag.Set after testing.Init).
+func RunMicro(filter *regexp.Regexp, counters *perf.Counters) []MicroResult {
+	var out []MicroResult
+	for _, mb := range MicroSuite(counters) {
+		if filter != nil && !filter.MatchString(mb.Name) {
+			continue
+		}
+		r := testing.Benchmark(mb.Bench)
+		out = append(out, MicroResult{
+			Name:        mb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"supersim/internal/sched"
+)
+
+// simTaskAllocCeiling bounds the steady-state heap allocations of one
+// simulated task (insert + queue protocol + trace deposit). The caller's
+// Task allocation is included; the wake channel and the task context are
+// pooled, and the trace buffers are pre-sized via Reserve, so little else
+// may allocate per op.
+const simTaskAllocCeiling = 3
+
+func TestSimTaskExecuteAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation calibration is slow")
+	}
+	rt := mustQuark(4)
+	sim := NewSimulator(rt, "allocs")
+	tk := NewTasker(sim, FixedModel(1e-5), 1)
+	f := tk.SimTask("K")
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sim.Reserve(b.N)
+		for i := 0; i < b.N; i++ {
+			rt.Insert(&sched.Task{Class: "K", Func: f})
+		}
+		rt.Barrier()
+	})
+	rt.Shutdown()
+	if a := res.AllocsPerOp(); a > simTaskAllocCeiling {
+		t.Errorf("simulated task churn allocates %d objects/op, ceiling %d (%s)",
+			a, simTaskAllocCeiling, res.MemString())
+	}
+}

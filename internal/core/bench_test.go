@@ -17,6 +17,7 @@ func benchmarkSimulatedChurn(b *testing.B, workers int, policy WaitPolicy) {
 	sim := NewSimulator(rt, "bench", WithWaitPolicy(policy))
 	tk := NewTasker(sim, FixedModel(1e-4), 1)
 	f := tk.SimTask("K")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt.Insert(&sched.Task{Class: "K", Label: "K", Func: f})
@@ -48,6 +49,7 @@ func BenchmarkSimulatedDependentChain(b *testing.B) {
 	tk := NewTasker(sim, FixedModel(1e-4), 1)
 	f := tk.SimTask("K")
 	h := new(int)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt.Insert(&sched.Task{Class: "K", Label: "K", Func: f,

@@ -19,14 +19,23 @@
 // sched.Runtime contract, and in particular the Quiescent query for the
 // Fig. 5 race fix (WaitQuiescence), with the portable sleep/yield fix
 // (WaitSleepYield) available for runtimes without such a query.
+//
+// Hot-path design: the Task Execution Queue wakes only the task that can
+// make progress (the new queue front) through a per-entry wake channel —
+// completing a task never broadcasts to the whole queue — and trace events
+// are recorded in per-worker append buffers outside the global lock, then
+// merged deterministically by completion order at Trace() time. See
+// DESIGN.md §7 for why both are safe.
 package core
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"supersim/internal/perf"
 	"supersim/internal/pq"
 	"supersim/internal/sched"
 	"supersim/internal/trace"
@@ -68,10 +77,30 @@ func (p WaitPolicy) String() string {
 // sleepQuantum is the "fraction of a second" the portable fix sleeps.
 const sleepQuantum = 50 * time.Microsecond
 
+// quiescenceParker is implemented by runtimes (the shared sched.Engine)
+// that can park a caller until scheduling bookkeeping changes, instead of
+// the caller re-polling Quiescent in a spin loop. QuiescentWait returns
+// the current quiescence state, blocking first — until a bookkeeping
+// transition or an abort — whenever the runtime is not quiescent.
+type quiescenceParker interface {
+	QuiescentWait() bool
+}
+
+// quiescenceKicker is the abort-side counterpart: it wakes every waiter
+// parked in QuiescentWait so a simulator abort cannot strand a front task
+// inside the runtime.
+type quiescenceKicker interface {
+	KickQuiescence()
+}
+
 // queueEntry is one in-flight simulated task in the Task Execution Queue.
 type queueEntry struct {
 	end float64
 	seq uint64
+	// wake is this entry's private wakeup: buffered (capacity 1) and
+	// signaled at most once per parking by the task that pops ahead of it
+	// (front handoff) or by Abort. Only the entry's own task receives.
+	wake chan struct{}
 }
 
 func entryLess(a, b queueEntry) bool {
@@ -79,6 +108,50 @@ func entryLess(a, b queueEntry) bool {
 		return a.end < b.end
 	}
 	return a.seq < b.seq
+}
+
+// wakeChanPool recycles the per-entry wake channels; steady-state Execute
+// performs no channel allocation.
+var wakeChanPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+func getWakeChan() chan struct{} { return wakeChanPool.Get().(chan struct{}) }
+
+// putWakeChan returns a channel to the pool, draining any stale signal
+// (e.g. a front handoff that raced with the entry popping on its own).
+func putWakeChan(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+	wakeChanPool.Put(ch)
+}
+
+// signalWake delivers one wakeup without blocking (the buffer makes a
+// signal sent before the receiver parks stick).
+func signalWake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// stampedEvent is a trace event plus its completion stamp: the dense
+// serial number assigned under the simulator lock when the task popped
+// from the Task Execution Queue. Merging lanes by stamp reproduces the
+// exact single-lock append order byte for byte.
+type stampedEvent struct {
+	order uint64
+	ev    trace.Event
+}
+
+// laneBuf is one worker's private trace buffer. The owning worker appends
+// without taking the simulator lock; the tiny per-lane mutex exists for
+// mid-run diagnostic readers (watchdog dumps) and is uncontended on the
+// hot path. The pad keeps adjacent lanes off one cache line.
+type laneBuf struct {
+	mu     sync.Mutex
+	events []stampedEvent
+	_      [24]byte
 }
 
 // Option configures a Simulator.
@@ -101,43 +174,87 @@ func WithoutQueue() Option {
 
 // WithSampleHook installs a callback invoked for every executed task with
 // its class, worker and virtual duration. The perfmodel collector uses it
-// to gather calibration samples during measured runs.
+// to gather calibration samples during measured runs. The hook must be
+// safe for concurrent use: it is called outside the simulator lock.
 func WithSampleHook(hook func(class string, worker int, duration float64)) Option {
 	return func(s *Simulator) { s.onSample = hook }
+}
+
+// WithPerfCounters attaches contention counters to the simulator's hot
+// path (front handoffs, parks, quiescence waits). nil disables collection.
+func WithPerfCounters(c *perf.Counters) Option {
+	return func(s *Simulator) { s.perf = c }
 }
 
 // Simulator is one simulation instance: a virtual clock, a Task Execution
 // Queue and a trace. Create one per algorithm run (the paper's "few lines
 // of initialization ... before and after the execution").
 type Simulator struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
 	clock        float64
 	queue        *pq.Heap[queueEntry]
 	seq          uint64
+	done         uint64 // completion stamps issued (tasks through the queue)
 	trace        *trace.Trace
 	policy       WaitPolicy
 	disableQueue bool
 	onSample     func(class string, worker int, duration float64)
 	aborted      error // abort reason; non-nil ends every wait in Execute
+	rt           sched.Runtime
+	perf         *perf.Counters
 
 	maxInFlight int // high-water mark of the queue (diagnostics)
+
+	// Per-worker trace buffers and their deterministic merge state.
+	lanes   []laneBuf
+	staging []stampedEvent // drained from lanes, waiting for a contiguous prefix
+	merged  uint64         // stamps already appended to trace.Events
 }
 
 // NewSimulator creates a simulator producing a trace with the given label
 // over the runtime's workers.
 func NewSimulator(rt sched.Runtime, label string, opts ...Option) *Simulator {
+	workers := rt.NumWorkers()
+	if workers < 1 {
+		workers = 1
+	}
 	s := &Simulator{
 		queue:  pq.New(entryLess),
 		trace:  trace.New(label, rt.NumWorkers()),
 		policy: WaitQuiescence,
+		rt:     rt,
+		lanes:  make([]laneBuf, workers),
 	}
-	s.cond = sync.NewCond(&s.mu)
 	for _, o := range opts {
 		o(s)
 	}
 	return s
+}
+
+// Reserve pre-sizes the trace storage and the per-worker buffers for n
+// upcoming tasks, so a run with a known op count appends without repeated
+// slice growth. Call before inserting tasks.
+func (s *Simulator) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace.Reserve(n)
+	// Lanes are sized for a balanced split plus slack; imbalanced runs
+	// still grow organically past the reservation.
+	per := n/len(s.lanes) + n/8 + 8
+	for i := range s.lanes {
+		ln := &s.lanes[i]
+		ln.mu.Lock()
+		if cap(ln.events)-len(ln.events) < per {
+			grown := make([]stampedEvent, len(ln.events), len(ln.events)+per)
+			copy(grown, ln.events)
+			ln.events = grown
+		}
+		ln.mu.Unlock()
+	}
 }
 
 // Execute simulates one kernel execution of the given class and virtual
@@ -151,13 +268,20 @@ func NewSimulator(rt sched.Runtime, label string, opts ...Option) *Simulator {
 //     policy, until the scheduler is quiescent);
 //  5. log the trace event, advance the clock to the completion time, and
 //     return, letting the scheduler release dependent tasks.
+//
+// Waiting is targeted: a task that is not at the front parks on its queue
+// entry's private channel and is woken exactly when it becomes the front
+// (or on abort); a front task blocked on scheduler quiescence parks inside
+// the runtime (when supported) and is woken by bookkeeping transitions.
 func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 	if duration < 0 {
 		duration = 0
 	}
+	timer := s.perf.ExecuteTimer()
 	s.mu.Lock()
 	if s.aborted != nil {
 		s.mu.Unlock()
+		timer()
 		ctx.Launched()
 		return
 	}
@@ -166,48 +290,80 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 	me := queueEntry{end: end, seq: s.seq}
 	s.seq++
 	if !s.disableQueue {
+		me.wake = getWakeChan()
 		s.queue.Push(me)
 		if l := s.queue.Len(); l > s.maxInFlight {
 			s.maxInFlight = l
 		}
 	}
 	s.mu.Unlock()
+	timer()
 
 	// The task is now accounted for in virtual time: scheduler-side
 	// launch bookkeeping is complete.
 	ctx.Launched()
 
-	s.mu.Lock()
 	if s.disableQueue {
+		s.mu.Lock()
 		if end > s.clock {
 			s.clock = end
 		}
-		s.record(ctx, class, start, end)
+		order := s.done
+		s.done++
 		s.mu.Unlock()
 		ctx.Completing()
+		s.deposit(ctx, class, start, end, order)
 		return
 	}
+
+	s.mu.Lock()
 	spins := 0
 	for {
 		if s.aborted != nil {
 			// A watchdog (or the caller) gave up on the run: abandon the
 			// queue protocol so no task body blocks forever. The trace is
 			// truncated, never corrupted silently — the abort reason is
-			// reported alongside it.
+			// reported alongside it. The entry stays queued, so its wake
+			// channel is abandoned rather than pooled.
 			s.mu.Unlock()
 			return
 		}
 		front, _ := s.queue.Peek()
 		if front.seq != me.seq {
-			s.cond.Wait()
+			// Not at the front: park on this entry's private channel. The
+			// task ahead of us signals it on handoff (and Abort signals
+			// every queued entry), so no completion wakes the whole queue.
+			ch := me.wake
+			s.mu.Unlock()
+			if s.perf != nil {
+				s.perf.FrontParks.Add(1)
+			}
+			<-ch
+			s.mu.Lock()
 			continue
 		}
 		// At the front: apply the race mitigation before completing.
 		if s.policy == WaitQuiescence && !ctx.Runtime.Quiescent() {
-			// Release the queue lock so launching tasks can insert
-			// themselves, then re-check front status: a newly
-			// inserted task may have an earlier completion time.
+			if parker, ok := ctx.Runtime.(quiescenceParker); ok {
+				// Park inside the runtime until a Launched()/Completing()
+				// (or other bookkeeping) transition, then re-check the
+				// front: a newly inserted task may have an earlier
+				// completion time.
+				s.mu.Unlock()
+				if s.perf != nil {
+					s.perf.QuiescenceParks.Add(1)
+				}
+				parker.QuiescentWait()
+				s.mu.Lock()
+				continue
+			}
+			// Fallback for runtimes without a parking facility: release
+			// the queue lock so launching tasks can insert themselves,
+			// yield, then re-check.
 			s.mu.Unlock()
+			if s.perf != nil {
+				s.perf.QuiescenceSpins.Add(1)
+			}
 			spins++
 			if spins > 64 {
 				time.Sleep(sleepQuantum)
@@ -230,32 +386,94 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 		}
 		break
 	}
+	timer = s.perf.ExecuteTimer()
 	s.queue.Pop()
 	if end > s.clock {
 		s.clock = end
 	}
-	s.record(ctx, class, start, end)
+	order := s.done
+	s.done++
 	// Mark the completion window before releasing the queue lock: from
 	// here until the scheduler has pushed this task's successors, the
 	// runtime reports non-quiescent, so no other queued task can advance
 	// the clock past the successors' correct start time.
 	ctx.Completing()
-	s.cond.Broadcast()
+	// Targeted handoff: wake only the new front — the one entry that can
+	// make progress — instead of broadcasting to every queued task.
+	if next, ok := s.queue.Peek(); ok {
+		signalWake(next.wake)
+		if s.perf != nil {
+			s.perf.FrontHandoffs.Add(1)
+		}
+	}
 	s.mu.Unlock()
+	timer()
+	// Record the trace event outside the global critical section, in this
+	// worker's private lane.
+	s.deposit(ctx, class, start, end, order)
+	putWakeChan(me.wake)
+	if s.perf != nil {
+		s.perf.TasksExecuted.Add(1)
+	}
 }
 
-// record appends the trace event. Caller holds s.mu.
-func (s *Simulator) record(ctx *sched.Ctx, class string, start, end float64) {
-	s.trace.Append(trace.Event{
+// deposit appends the stamped trace event to the executing worker's lane
+// buffer and feeds the sample hook. Called without s.mu; the per-lane
+// mutex only synchronizes with mid-run diagnostic merges.
+func (s *Simulator) deposit(ctx *sched.Ctx, class string, start, end float64, order uint64) {
+	w := ctx.Worker
+	if w < 0 || w >= len(s.lanes) {
+		w = 0
+	}
+	ln := &s.lanes[w]
+	ln.mu.Lock()
+	ln.events = append(ln.events, stampedEvent{order: order, ev: trace.Event{
 		Worker: ctx.Worker,
 		Class:  class,
 		Label:  ctx.Task.Label,
 		TaskID: ctx.Task.ID(),
 		Start:  start,
 		End:    end,
-	})
+	}})
+	ln.mu.Unlock()
 	if s.onSample != nil {
 		s.onSample(class, ctx.Worker, end-start)
+	}
+}
+
+// mergeLocked drains the per-worker lanes into the trace in completion
+// order. Caller holds s.mu. The merge is deterministic: events are placed
+// strictly by their completion stamp, which is assigned under s.mu at
+// queue-pop time, so the merged trace is byte-identical to what a single
+// append-under-lock implementation would have produced. Mid-run calls
+// (watchdog diagnostics) merge the contiguous prefix and keep stragglers
+// staged until their predecessors arrive.
+func (s *Simulator) mergeLocked() {
+	for i := range s.lanes {
+		ln := &s.lanes[i]
+		ln.mu.Lock()
+		if len(ln.events) > 0 {
+			s.staging = append(s.staging, ln.events...)
+			ln.events = ln.events[:0]
+		}
+		ln.mu.Unlock()
+	}
+	if len(s.staging) == 0 {
+		return
+	}
+	sort.Slice(s.staging, func(i, j int) bool { return s.staging[i].order < s.staging[j].order })
+	k := 0
+	for k < len(s.staging) && s.staging[k].order == s.merged {
+		s.trace.Append(s.staging[k].ev)
+		s.merged++
+		k++
+	}
+	if k > 0 {
+		n := copy(s.staging, s.staging[k:])
+		s.staging = s.staging[:n]
+	}
+	if s.perf != nil {
+		s.perf.TraceMerges.Add(1)
 	}
 }
 
@@ -266,9 +484,15 @@ func (s *Simulator) Now() float64 {
 	return s.clock
 }
 
-// Trace returns the simulated execution trace. Call after the scheduler
-// barrier; the trace must not be read while tasks are executing.
-func (s *Simulator) Trace() *trace.Trace { return s.trace }
+// Trace returns the simulated execution trace, merging the per-worker
+// buffers in completion order. Call after the scheduler barrier; the
+// trace must not be read while tasks are executing.
+func (s *Simulator) Trace() *trace.Trace {
+	s.mu.Lock()
+	s.mergeLocked()
+	s.mu.Unlock()
+	return s.trace
+}
 
 // MaxInFlight returns the high-water mark of concurrently executing
 // simulated tasks (bounded by the worker count).
@@ -291,8 +515,18 @@ func (s *Simulator) Abort(err error) {
 	if s.aborted == nil {
 		s.aborted = err
 	}
-	s.cond.Broadcast()
+	// Wake every queued entry: each parked task re-checks the abort flag.
+	for _, entry := range s.queue.Items() {
+		if entry.wake != nil {
+			signalWake(entry.wake)
+		}
+	}
 	s.mu.Unlock()
+	// A front task may be parked inside the runtime waiting for
+	// bookkeeping quiescence; kick it loose too.
+	if kicker, ok := s.rt.(quiescenceKicker); ok {
+		kicker.KickQuiescence()
+	}
 }
 
 // Err returns the abort reason, or nil for a live/clean simulation.
@@ -319,13 +553,14 @@ type SimSnapshot struct {
 func (s *Simulator) Snapshot() SimSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mergeLocked()
 	return SimSnapshot{
 		Label:       s.trace.Label,
 		Clock:       s.clock,
 		InFlight:    s.queue.Len(),
 		MaxInFlight: s.maxInFlight,
 		Issued:      s.seq,
-		Events:      len(s.trace.Events),
+		Events:      len(s.trace.Events) + len(s.staging),
 		Aborted:     s.aborted != nil,
 	}
 }
@@ -336,11 +571,13 @@ func (s SimSnapshot) String() string {
 		s.Label, s.Clock, s.InFlight, s.MaxInFlight, s.Issued, s.Events, s.Aborted)
 }
 
-// LastEvents returns (a copy of) the most recent n trace events — the tail
-// of the virtual timeline, which under a stall shows how far the run got.
+// LastEvents returns (a copy of) the most recent n merged trace events —
+// the tail of the virtual timeline, which under a stall shows how far the
+// run got.
 func (s *Simulator) LastEvents(n int) []trace.Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mergeLocked()
 	ev := s.trace.Events
 	if n < len(ev) {
 		ev = ev[len(ev)-n:]

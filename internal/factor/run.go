@@ -57,6 +57,7 @@ func (s *ErrorSink) Err() error {
 // is recorded in the sink.
 func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink {
 	sink := &ErrorSink{}
+	sim.Reserve(len(ops)) // one trace event per op: pre-size the buffers
 	for i := range ops {
 		op := ops[i]
 		err := rt.Insert(&sched.Task{
@@ -83,6 +84,7 @@ func InsertMeasured(rt sched.Runtime, sim *core.Simulator, ops []Op) *ErrorSink 
 // afterwards. It returns the first insertion error (stopping there), or
 // nil when the full stream was accepted.
 func InsertSimulated(rt sched.Runtime, tk *core.Tasker, ops []Op) error {
+	tk.Sim.Reserve(len(ops)) // one trace event per op: pre-size the buffers
 	for i := range ops {
 		op := ops[i]
 		err := rt.Insert(&sched.Task{

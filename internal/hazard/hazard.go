@@ -56,6 +56,12 @@ type state struct {
 type Tracker struct {
 	states map[any]*state
 	next   int
+	// deps is the reusable result buffer handed out by Insert; preds
+	// mirrors the predecessor ids for the linear dedup scan. A task's
+	// predecessor count is small (bounded by its argument count plus the
+	// readers of its written handles), so linear scan beats a map.
+	deps  []Dep
+	preds []int
 }
 
 // NewTracker returns an empty tracker.
@@ -69,24 +75,55 @@ type Arg struct {
 	Mode   Access
 }
 
+// hazardRank orders hazard kinds by strength for dedup: RaW over WaW over
+// WaR.
+func hazardRank(k graph.EdgeKind) int {
+	switch k {
+	case graph.EdgeRaW:
+		return 3
+	case graph.EdgeWaW:
+		return 2
+	case graph.EdgeWaR:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// record merges one hazard into the dedup buffer, keeping the strongest
+// kind per predecessor.
+func (t *Tracker) record(id, pred int, kind graph.EdgeKind) {
+	if pred < 0 || pred == id {
+		return
+	}
+	for i, p := range t.preds {
+		if p == pred {
+			if hazardRank(kind) > hazardRank(t.deps[i].Kind) {
+				t.deps[i].Kind = kind
+			}
+			return
+		}
+	}
+	t.preds = append(t.preds, pred)
+	t.deps = append(t.deps, Dep{Pred: pred, Kind: kind})
+}
+
 // Insert registers the next task in the serial stream with its argument
 // list and returns its task index along with the dependences it must wait
 // for. Multiple hazards against the same predecessor are deduplicated with
 // RaW preferred over WaW over WaR (the strongest reported kind), matching
 // how runtime systems count a predecessor only once.
+//
+// The returned slice is owned by the tracker and valid only until the next
+// Insert call; callers that keep dependences must copy them.
 func (t *Tracker) Insert(args []Arg) (id int, deps []Dep) {
 	id = t.next
 	t.next++
-	best := make(map[int]graph.EdgeKind)
-	rank := map[graph.EdgeKind]int{graph.EdgeRaW: 3, graph.EdgeWaW: 2, graph.EdgeWaR: 1}
-	record := func(pred int, kind graph.EdgeKind) {
-		if pred < 0 || pred == id {
-			return
-		}
-		if prev, ok := best[pred]; !ok || rank[kind] > rank[prev] {
-			best[pred] = kind
-		}
+	if len(args) == 0 {
+		return id, nil
 	}
+	t.deps = t.deps[:0]
+	t.preds = t.preds[:0]
 	for _, a := range args {
 		st := t.states[a.Handle]
 		if st == nil {
@@ -94,12 +131,12 @@ func (t *Tracker) Insert(args []Arg) (id int, deps []Dep) {
 			t.states[a.Handle] = st
 		}
 		if a.Mode&Read != 0 {
-			record(st.lastWriter, graph.EdgeRaW)
+			t.record(id, st.lastWriter, graph.EdgeRaW)
 		}
 		if a.Mode&Write != 0 {
-			record(st.lastWriter, graph.EdgeWaW)
+			t.record(id, st.lastWriter, graph.EdgeWaW)
 			for _, r := range st.readersSinceLast {
-				record(r, graph.EdgeWaR)
+				t.record(id, r, graph.EdgeWaR)
 			}
 		}
 		// Update the handle's state after deriving hazards. A task that
@@ -112,11 +149,7 @@ func (t *Tracker) Insert(args []Arg) (id int, deps []Dep) {
 			st.readersSinceLast = append(st.readersSinceLast, id)
 		}
 	}
-	deps = make([]Dep, 0, len(best))
-	for pred, kind := range best {
-		deps = append(deps, Dep{Pred: pred, Kind: kind})
-	}
-	return id, deps
+	return id, t.deps
 }
 
 // NumTasks returns how many tasks have been inserted.

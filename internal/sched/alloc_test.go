@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"testing"
+)
+
+// insertAllocCeiling bounds the average heap allocations of one
+// Engine.Insert with a single read argument: the Task and its Args slice
+// (both built by the caller, both escaping), plus amortized growth of the
+// engine's bookkeeping. The hazard tracker itself must not allocate per
+// call (scratch buffers are reused).
+const insertAllocCeiling = 4
+
+// churnAllocCeiling bounds the full insert+execute+complete cycle of a
+// no-arg task: the caller's Task plus amortized bookkeeping. Task contexts
+// are pooled, so execution itself must not add a per-task allocation.
+const churnAllocCeiling = 2
+
+func TestInsertAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := mustEngine(Config{Workers: 2, Policy: NewFIFOPolicy()})
+	// Park one writer task in a worker so the measured inserts only pay
+	// for insertion (their RaW hazard on the gate keeps them unreleased,
+	// and the idle worker allocates nothing while the loop runs).
+	gate := make(chan struct{})
+	h := new(int)
+	if err := e.Insert(&Task{Class: "gate", Func: func(*Ctx) { <-gate }, Args: []Arg{W(h)}}); err != nil {
+		t.Fatalf("gate insert: %v", err)
+	}
+	f := func(*Ctx) {}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := e.Insert(&Task{Class: "K", Func: f, Args: []Arg{R(h)}}); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	close(gate)
+	e.Shutdown()
+	if avg > insertAllocCeiling {
+		t.Errorf("Engine.Insert allocates %.1f objects/op, ceiling %d", avg, insertAllocCeiling)
+	}
+}
+
+func TestTaskChurnAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation calibration is slow")
+	}
+	e := mustEngine(Config{Workers: 4, Policy: NewFIFOPolicy(), Window: benchWindow})
+	noop := func(*Ctx) {}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Insert(&Task{Class: "K", Func: noop})
+		}
+		e.Barrier()
+	})
+	e.Shutdown()
+	if a := res.AllocsPerOp(); a > churnAllocCeiling {
+		t.Errorf("task churn allocates %d objects/op, ceiling %d (%s)",
+			a, churnAllocCeiling, res.MemString())
+	}
+}

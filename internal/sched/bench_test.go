@@ -16,6 +16,7 @@ const benchWindow = 4096
 func BenchmarkInsertIndependentTasks(b *testing.B) {
 	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Insert(&Task{Class: "K", Func: noop})
@@ -28,6 +29,7 @@ func BenchmarkInsertDependentChain(b *testing.B) {
 	e := mustEngine(Config{Workers: 1, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
 	h := new(int)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Insert(&Task{Class: "K", Func: noop, Args: []Arg{RW(h)}})
@@ -45,6 +47,7 @@ func BenchmarkInsertGemmLikeTasks(b *testing.B) {
 	for i := range handles {
 		handles[i] = new(int)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Insert(&Task{Class: "GEMM", Func: noop, Args: []Arg{
@@ -62,6 +65,7 @@ func BenchmarkEndToEndTaskChurn(b *testing.B) {
 	// 4 workers: the runtime's per-task overhead floor.
 	e := mustEngine(Config{Workers: 4, Policy: NewFIFOPolicy(), Window: benchWindow})
 	noop := func(*Ctx) {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Insert(&Task{Class: "K", Func: noop})
@@ -75,6 +79,7 @@ func benchmarkPolicy(b *testing.B, mk func() Policy) {
 	b.Helper()
 	p := mk()
 	kinds := cpuKinds(4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Push(&Task{Class: "K", seq: i, Priority: i % 7}, i%4)

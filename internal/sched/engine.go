@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"supersim/internal/hazard"
+	"supersim/internal/perf"
 )
 
 // Config parameterizes the shared runtime engine.
@@ -38,6 +39,9 @@ type Config struct {
 	// is visible on the virtual timeline instead (the failed attempt's
 	// trace event precedes the retry's).
 	RetryBackoff time.Duration
+	// Perf, when non-nil, collects hot-path contention counters
+	// (targeted/spurious wakeups, quiescence kicks, lock-hold times).
+	Perf *perf.Counters
 }
 
 // maxRetryBackoff caps the exponential retry delay.
@@ -52,20 +56,39 @@ type gang struct {
 	skip   bool // the task is poisoned: members hold but skip the body
 }
 
+// ctxPool recycles the per-attempt task contexts: steady-state execution
+// allocates no Ctx. A *Ctx is valid only until the task function returns
+// (plus the engine's own completion bookkeeping); task bodies must not
+// retain it.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
 // Engine is the shared superscalar runtime: serial insertion with hazard
 // analysis, a pluggable ready-task policy, worker goroutines, window
 // throttling, barrier, and the quiescence query the simulator's race fix
 // depends on. The scheduler packages (quark, starpu, ompss) wrap it with
 // their distinctive APIs and policies.
+//
+// Wakeups are targeted: each worker parks on its own condition variable,
+// and a newly ready task wakes at most one parked worker able to claim it
+// (the bound worker for per-worker-queue policies). Collective wakeups
+// remain only where they are semantically required — gang formation,
+// barrier entry, shutdown, abort, dead-core remaps.
 type Engine struct {
 	cfg  Config
 	self Runtime // the wrapping runtime exposed in Ctx; defaults to e
+	perf *perf.Counters
 
-	mu        sync.Mutex
-	readyCond *sync.Cond // workers: ready work or state change
-	spaceCond *sync.Cond // Insert: window space
-	doneCond  *sync.Cond // Barrier (non-participating): outstanding == 0
-	gangCond  *sync.Cond // gang fill / drain
+	mu         sync.Mutex
+	workerCond []*sync.Cond // per-worker parking (all on e.mu)
+	spaceCond  *sync.Cond   // Insert: window space
+	doneCond   *sync.Cond   // Barrier (non-participating): outstanding == 0
+	gangCond   *sync.Cond   // gang fill / drain
+	qCond      *sync.Cond   // quiescence parkers (simulator front tasks)
+
+	parked      []bool // worker currently parked on its workerCond
+	parkedCount int
+	qGen        uint64 // bumped on quiescence-relevant transitions
+	qWaiters    int
 
 	tracker       *hazard.Tracker
 	live          map[int]*Task // unfinished tasks by id
@@ -88,6 +111,8 @@ type Engine struct {
 	pendingGang   *gang
 	stats         Stats
 	wg            sync.WaitGroup
+	freeScratch   []int // reusable buffer for freeWorkersLocked
+	wakeHint      wakeHinter
 }
 
 // maxRecordedErrors bounds the TaskError list kept for Err/Errs; failures
@@ -118,19 +143,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:     cfg,
+		perf:    cfg.Perf,
 		tracker: hazard.NewTracker(),
 		live:    make(map[int]*Task),
 		owner:   make(map[any]int),
 	}
 	e.self = e
-	e.readyCond = sync.NewCond(&e.mu)
+	e.workerCond = make([]*sync.Cond, cfg.Workers)
+	for w := range e.workerCond {
+		e.workerCond[w] = sync.NewCond(&e.mu)
+	}
 	e.spaceCond = sync.NewCond(&e.mu)
 	e.doneCond = sync.NewCond(&e.mu)
 	e.gangCond = sync.NewCond(&e.mu)
+	e.qCond = sync.NewCond(&e.mu)
 	e.stats.TasksPerWorker = make([]int, cfg.Workers)
 	e.activeW = make([]bool, cfg.Workers)
 	e.current = make([]*Task, cfg.Workers)
 	e.deadW = make([]bool, cfg.Workers)
+	e.parked = make([]bool, cfg.Workers)
+	e.freeScratch = make([]int, 0, cfg.Workers)
+	e.wakeHint, _ = cfg.Policy.(wakeHinter)
 	first := 0
 	if cfg.MasterParticipates {
 		first = 1 // worker 0 is the master goroutine, joining at Barrier
@@ -157,6 +190,10 @@ func (e *Engine) SetRetryPolicy(maxRetries int, backoff time.Duration) {
 // and used by the simulation library's quiescence check.
 func (e *Engine) SetSelf(r Runtime) { e.self = r }
 
+// SetPerf attaches contention counters to the engine's hot paths. Call
+// before inserting tasks; it is not synchronized with execution.
+func (e *Engine) SetPerf(c *perf.Counters) { e.perf = c }
+
 // Name implements Runtime.
 func (e *Engine) Name() string { return e.cfg.Name }
 
@@ -166,20 +203,155 @@ func (e *Engine) NumWorkers() int { return e.cfg.Workers }
 // WorkerKind implements Runtime.
 func (e *Engine) WorkerKind(w int) WorkerKind { return e.cfg.Kinds[w] }
 
+// park blocks worker w on its own condition variable until a wakeup is
+// directed at it. Caller holds e.mu; the parked flag is set before waiting
+// under the same lock acquisition, so a push that happens after this
+// worker's last failed Pop is guaranteed to see it as parked (no lost
+// wakeup window).
+func (e *Engine) park(w int) {
+	e.parked[w] = true
+	e.parkedCount++
+	e.workerCond[w].Wait()
+	if e.parked[w] { // not cleared by a targeted wake (defensive)
+		e.parked[w] = false
+		e.parkedCount--
+	}
+}
+
+// wakeWorker unparks worker w. Caller holds e.mu. The parked flag is
+// cleared here — before the worker actually runs — so subsequent wake
+// decisions target other parked workers instead of piling signals on one.
+func (e *Engine) wakeWorker(w int) {
+	if !e.parked[w] {
+		return
+	}
+	e.parked[w] = false
+	e.parkedCount--
+	e.workerCond[w].Signal()
+}
+
+// wakeAllWorkers unparks every parked worker: the collective paths (gang
+// formation, barrier, shutdown, abort, dead-core remap) where more than
+// one worker may need to react. Caller holds e.mu.
+func (e *Engine) wakeAllWorkers() {
+	if e.parkedCount == 0 {
+		return
+	}
+	for w := 0; w < e.cfg.Workers; w++ {
+		if e.parked[w] {
+			e.wakeWorker(w)
+		}
+	}
+	if e.perf != nil {
+		e.perf.CollectiveWakeups.Add(1)
+	}
+}
+
+// wakeForReady wakes at most one parked worker able to claim the freshly
+// pushed task t. Caller holds e.mu. Policies that bind tasks to a worker
+// steer the wakeup (see wakeHinter); with no parked eligible worker the
+// wakeup is skipped entirely — every busy worker re-polls the policy
+// before parking, so the task cannot be lost.
+func (e *Engine) wakeForReady(t *Task) {
+	if e.parkedCount == 0 {
+		return
+	}
+	target, exclusive := -1, false
+	if e.wakeHint != nil {
+		target, exclusive = e.wakeHint.WakeTarget(t)
+	}
+	if target >= 0 && target < e.cfg.Workers && e.parked[target] &&
+		!e.deadW[target] && t.Where.Allows(e.cfg.Kinds[target]) {
+		e.wakeWorker(target)
+		if e.perf != nil {
+			e.perf.TargetedWakeups.Add(1)
+		}
+		return
+	}
+	if exclusive {
+		// Only the bound worker's Pop can return t; it is busy and will
+		// drain its own queue at its next scheduling decision.
+		return
+	}
+	for w := 0; w < e.cfg.Workers; w++ {
+		if e.parked[w] && !e.deadW[w] && t.Where.Allows(e.cfg.Kinds[w]) {
+			e.wakeWorker(w)
+			if e.perf != nil {
+				e.perf.TargetedWakeups.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// kickQuiescence wakes parked quiescence waiters (simulator front tasks in
+// QuiescentWait) after a bookkeeping transition that may have made the
+// engine quiescent. Caller holds e.mu. Cheap when nobody waits.
+func (e *Engine) kickQuiescence() {
+	if e.qWaiters == 0 {
+		return
+	}
+	e.qGen++
+	e.qCond.Broadcast()
+	if e.perf != nil {
+		e.perf.QuiescenceKicks.Add(1)
+	}
+}
+
+// QuiescentWait reports quiescence like Quiescent, but when the engine is
+// not quiescent it first parks until a bookkeeping transition (a task's
+// Launched/Completing settling, a worker finishing its scheduling
+// decision, insertion pausing) or an abort — the simulation library's
+// alternative to spinning on Quiescent. The returned value is the state
+// observed after waking; callers re-check their own conditions anyway.
+func (e *Engine) QuiescentWait() bool {
+	e.mu.Lock()
+	if e.aborted || e.quiescentLocked() {
+		q := !e.aborted
+		e.mu.Unlock()
+		return q
+	}
+	gen := e.qGen
+	e.qWaiters++
+	for gen == e.qGen && !e.aborted {
+		e.qCond.Wait()
+	}
+	e.qWaiters--
+	q := !e.aborted && e.quiescentLocked()
+	e.mu.Unlock()
+	return q
+}
+
+// KickQuiescence wakes every waiter parked in QuiescentWait regardless of
+// engine state. The simulation library calls it on abort so no front task
+// stays parked inside the runtime.
+func (e *Engine) KickQuiescence() {
+	e.mu.Lock()
+	e.qGen++
+	e.qCond.Broadcast()
+	e.mu.Unlock()
+}
+
 // Insert implements Runtime: serial superscalar task insertion with hazard
 // analysis. Blocks while the task window is full. Misuse (nil Func,
 // insertion after Shutdown or Abort) returns an error instead of
 // panicking, so a driver loop can stop cleanly.
+//
+// The hazard analysis itself runs outside the engine lock: insertion is
+// serial (single-goroutine contract), so the dependence scan needs no
+// protection, and workers completing tasks are not serialized behind it.
 func (e *Engine) Insert(t *Task) error {
 	if t.Func == nil {
 		return ErrNilFunc
 	}
+	timer := e.perf.InsertTimer()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.shutdown {
+		e.mu.Unlock()
 		return ErrShutdown
 	}
 	if e.aborted {
+		e.mu.Unlock()
 		return ErrAborted
 	}
 	// While the master streams insertions, simulated completions are held
@@ -191,6 +363,7 @@ func (e *Engine) Insert(t *Task) error {
 	e.inserting = true
 	for e.cfg.Window > 0 && e.outstanding >= e.cfg.Window && !e.aborted {
 		e.inserting = false
+		e.kickQuiescence()
 		if e.cfg.MasterParticipates {
 			// QUARK behavior: the master executes tasks while its
 			// unrolling window is full. Without this, a one-worker
@@ -208,14 +381,34 @@ func (e *Engine) Insert(t *Task) error {
 	}
 	if e.aborted {
 		e.inserting = false
+		e.mu.Unlock()
 		return ErrAborted
 	}
+
 	if t.NumThreads > e.cfg.Workers {
 		t.NumThreads = e.cfg.Workers
 	}
-	hargs := make([]hazard.Arg, len(t.Args))
-	copy(hargs, t.Args)
-	id, deps := e.tracker.Insert(hargs)
+	var id int
+	var deps []hazard.Dep
+	if len(t.Args) > 0 {
+		// Drop the lock for the dependence scan: insertion is serial
+		// (single-goroutine contract), so the tracker needs no protection,
+		// and workers completing tasks are not serialized behind it.
+		e.mu.Unlock()
+		id, deps = e.tracker.Insert(t.Args)
+		e.mu.Lock()
+		if e.aborted {
+			// Aborted while the dependence scan ran: the task is not
+			// registered (its hazard id is simply skipped).
+			e.inserting = false
+			e.mu.Unlock()
+			return ErrAborted
+		}
+	} else {
+		// No arguments, no hazards: the scan degenerates to an id grab,
+		// not worth a lock round-trip.
+		id, deps = e.tracker.Insert(nil)
+	}
 	t.id = id
 	t.affinity = -1
 	e.live[id] = t
@@ -231,6 +424,8 @@ func (e *Engine) Insert(t *Task) error {
 	if t.waitCount == 0 {
 		e.pushReady(t, -1)
 	}
+	e.mu.Unlock()
+	timer()
 	return nil
 }
 
@@ -253,11 +448,10 @@ func (e *Engine) pushReady(t *Task, by int) {
 	if l := e.cfg.Policy.Len(); l > e.stats.MaxReadyLen {
 		e.stats.MaxReadyLen = l
 	}
-	// Broadcast, not Signal: policies with per-worker queues (dm, ws,
-	// locality) bind the task to a specific worker, and a single wakeup
-	// could land on a worker whose Pop returns nil, losing the task
-	// until the next unrelated wakeup.
-	e.readyCond.Broadcast()
+	// Targeted wakeup: at most one parked worker able to claim t. The old
+	// broadcast woke every idle worker per pushed task; all but one found
+	// nothing and parked again (thundering herd).
+	e.wakeForReady(t)
 }
 
 // complete finishes bookkeeping after t's function returned on worker w.
@@ -296,7 +490,7 @@ func (e *Engine) complete(t *Task, w int, ctx *Ctx) {
 	}
 	if e.outstanding == 0 {
 		e.doneCond.Broadcast()
-		e.readyCond.Broadcast()
+		e.wakeAllWorkers()
 	}
 	e.mu.Unlock()
 }
@@ -344,6 +538,7 @@ func (e *Engine) failedAttempt(ctx *Ctx, t *Task) (retry bool) {
 		// close it again, the attempt will not release successors.
 		e.completing--
 		ctx.completing = false
+		e.kickQuiescence()
 	}
 	retry = t.attempts <= e.cfg.MaxRetries && !e.aborted
 	backoff := e.cfg.RetryBackoff
@@ -381,6 +576,20 @@ func (e *Engine) recordFailure(t *Task, terr *TaskError) {
 	e.mu.Unlock()
 }
 
+// getCtx takes a pooled task context. The context is recycled after the
+// engine's completion bookkeeping; task bodies must not retain it.
+func (e *Engine) getCtx(w int, t *Task, attempt int) *Ctx {
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e, Attempt: attempt}
+	return ctx
+}
+
+// putCtx returns a context to the pool.
+func (e *Engine) putCtx(ctx *Ctx) {
+	*ctx = Ctx{}
+	ctxPool.Put(ctx)
+}
+
 // runTask executes a (non-gang) task on worker w: panic-safe invocation,
 // bounded retries for recovered failures, and skip-through for tasks whose
 // ancestors failed permanently. skip is the task's poison state observed
@@ -388,29 +597,33 @@ func (e *Engine) recordFailure(t *Task, terr *TaskError) {
 // is final).
 func (e *Engine) runTask(t *Task, w int, skip bool) {
 	if skip {
-		ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e, Attempt: 1}
+		ctx := e.getCtx(w, t, 1)
 		ctx.Launched()
 		e.mu.Lock()
 		e.stats.TasksSkipped++
 		e.mu.Unlock()
 		e.complete(t, w, ctx)
+		e.putCtx(ctx)
 		return
 	}
 	for {
 		t.attempts++
-		ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: t, Runtime: e.self, engine: e, Attempt: t.attempts}
+		ctx := e.getCtx(w, t, t.attempts)
 		terr := e.invoke(ctx, t)
 		ctx.Launched() // idempotent: covers real (non-simulated) and panicked bodies
 		if terr == nil {
 			e.complete(t, w, ctx)
+			e.putCtx(ctx)
 			return
 		}
 		if e.failedAttempt(ctx, t) {
+			e.putCtx(ctx)
 			continue
 		}
 		terr.Attempts = t.attempts
 		e.recordFailure(t, terr)
 		e.complete(t, w, ctx)
+		e.putCtx(ctx)
 		return
 	}
 }
@@ -421,7 +634,8 @@ func (e *Engine) runTask(t *Task, w int, skip bool) {
 // serveOne at its next decision). Gang bodies are panic-safe but not
 // retried: a recovered panic records a *TaskError and poisons the
 // dependent subtree, and the gang barrier still completes so no member
-// wedges.
+// wedges. Gang contexts are not pooled (members may observe them while
+// the barrier drains).
 func (e *Engine) runGang(g *gang, w, rank int) {
 	ctx := &Ctx{Worker: w, Kind: e.cfg.Kinds[w], Task: g.task, Runtime: e.self, engine: e, GangRank: rank, Attempt: 1}
 	e.mu.Lock()
@@ -433,6 +647,7 @@ func (e *Engine) runGang(g *gang, w, rank int) {
 			if ctx.completing {
 				e.completing--
 				ctx.completing = false
+				e.kickQuiescence()
 			}
 			if !g.task.poisoned {
 				g.task.poisoned = true
@@ -465,6 +680,16 @@ func (e *Engine) runGang(g *gang, w, rank int) {
 	}
 }
 
+// finishServe clears worker w's in-flight state after one unit of work and
+// wakes quiescence waiters: the transition window just closed, so the
+// engine may now be quiescent. Caller holds e.mu.
+func (e *Engine) finishServe(w int) {
+	e.transition--
+	e.activeW[w] = false
+	e.current[w] = nil
+	e.kickQuiescence()
+}
+
 // serveOne attempts to execute one unit of work on worker w.
 // Caller holds e.mu; serveOne returns with e.mu held and reports whether it
 // executed anything (false means the caller should wait). After executing,
@@ -488,9 +713,7 @@ func (e *Engine) serveOne(w int) bool {
 		e.mu.Unlock()
 		e.runGang(g, w, rank)
 		e.mu.Lock()
-		e.transition--
-		e.activeW[w] = false
-		e.current[w] = nil
+		e.finishServe(w)
 		return true
 	}
 	t := e.cfg.Policy.Pop(w, e.cfg.Kinds[w])
@@ -510,7 +733,7 @@ func (e *Engine) serveOne(w int) bool {
 			e.stats.TasksSkipped++
 		}
 		e.pendingGang = g
-		e.readyCond.Broadcast() // wake idle workers to join the gang
+		e.wakeAllWorkers() // wake idle workers to join the gang
 		for g.joined < g.needed && !e.aborted {
 			e.gangCond.Wait()
 		}
@@ -527,40 +750,43 @@ func (e *Engine) serveOne(w int) bool {
 		e.mu.Unlock()
 		e.runGang(g, w, 0)
 		e.mu.Lock()
-		e.transition--
-		e.activeW[w] = false
-		e.current[w] = nil
+		e.finishServe(w)
 		return true
 	}
 	e.mu.Unlock()
 	e.runTask(t, w, skip)
 	e.mu.Lock()
-	e.transition--
-	e.activeW[w] = false
-	e.current[w] = nil
+	e.finishServe(w)
 	return true
 }
 
 // workerLoop is the body of a dedicated worker goroutine. A worker marked
-// dead by DisableWorker stops serving tasks but keeps parking on the
+// dead by DisableWorker stops serving tasks but keeps parking on its
 // condition variable so Shutdown can still join it.
 func (e *Engine) workerLoop(w int) {
 	defer e.wg.Done()
 	e.mu.Lock()
+	woken := false
 	for {
 		if e.shutdown && (e.outstanding == 0 || e.aborted) {
 			e.mu.Unlock()
 			return
 		}
 		if e.deadW[w] {
-			e.readyCond.Wait()
+			e.park(w)
 			continue
 		}
-		if !e.serveOne(w) {
-			e.idle++
-			e.readyCond.Wait()
-			e.idle--
+		if e.serveOne(w) {
+			woken = false
+			continue
 		}
+		if woken && e.perf != nil {
+			e.perf.SpuriousWakeups.Add(1)
+		}
+		e.idle++
+		e.park(w)
+		e.idle--
+		woken = true
 	}
 }
 
@@ -570,13 +796,14 @@ func (e *Engine) workerLoop(w int) {
 func (e *Engine) Barrier() {
 	e.mu.Lock()
 	e.inserting = false
-	e.readyCond.Broadcast() // quiescence state changed; re-evaluate
+	e.kickQuiescence() // insertion paused: quiescence state changed
+	e.wakeAllWorkers()
 	if e.cfg.MasterParticipates {
 		e.masterServing = true
 		for e.outstanding > 0 && !e.aborted {
 			if !e.serveOne(0) {
 				e.idle++
-				e.readyCond.Wait()
+				e.park(0)
 				e.idle--
 			}
 		}
@@ -599,7 +826,7 @@ func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	e.shutdown = true
 	aborted := e.aborted
-	e.readyCond.Broadcast()
+	e.wakeAllWorkers()
 	e.spaceCond.Broadcast()
 	e.gangCond.Broadcast()
 	e.mu.Unlock()
@@ -619,10 +846,12 @@ func (e *Engine) Abort(err error) {
 		e.aborted = true
 		e.abortErr = err
 	}
-	e.readyCond.Broadcast()
+	e.wakeAllWorkers()
 	e.spaceCond.Broadcast()
 	e.doneCond.Broadcast()
 	e.gangCond.Broadcast()
+	e.qGen++
+	e.qCond.Broadcast()
 	e.mu.Unlock()
 }
 
@@ -696,7 +925,8 @@ func (e *Engine) DisableWorker(w int) error {
 			delete(e.owner, h)
 		}
 	}
-	e.readyCond.Broadcast()
+	e.wakeAllWorkers()
+	e.kickQuiescence() // the free-worker set changed
 	return nil
 }
 
@@ -715,7 +945,14 @@ func (e *Engine) DisableWorker(w int) error {
 //   - no ready task is waiting for a currently idle worker.
 func (e *Engine) Quiescent() bool {
 	e.mu.Lock()
-	free := e.freeWorkers()
+	q := e.quiescentLocked()
+	e.mu.Unlock()
+	return q
+}
+
+// quiescentLocked is Quiescent's body. Caller holds e.mu.
+func (e *Engine) quiescentLocked() bool {
+	free := e.freeWorkersLocked()
 	launching := e.launching
 	if e.pendingGang != nil && len(free) == 0 {
 		// A gang waiting for members it cannot get until some task
@@ -723,22 +960,21 @@ func (e *Engine) Quiescent() bool {
 		// otherwise the simulation queue's front task would deadlock.
 		launching--
 	}
-	q := !e.inserting &&
+	return !e.inserting &&
 		e.completing == 0 &&
 		e.transition == 0 &&
 		launching == 0 &&
 		!e.cfg.Policy.Claimable(free, e.cfg.Kinds)
-	e.mu.Unlock()
-	return q
 }
 
-// freeWorkers lists the worker slots not currently occupied by a task and
-// able to serve (the master slot only counts while it is inside Barrier).
-// Caller holds e.mu. Note the list deliberately includes workers whose
-// goroutines have not yet been scheduled by the Go runtime: a free virtual
-// core is free regardless of host scheduling.
-func (e *Engine) freeWorkers() []int {
-	free := make([]int, 0, e.cfg.Workers)
+// freeWorkersLocked lists the worker slots not currently occupied by a
+// task and able to serve (the master slot only counts while it is inside
+// Barrier). Caller holds e.mu; the returned slice is engine-owned scratch,
+// valid until the lock is released. Note the list deliberately includes
+// workers whose goroutines have not yet been scheduled by the Go runtime:
+// a free virtual core is free regardless of host scheduling.
+func (e *Engine) freeWorkersLocked() []int {
+	free := e.freeScratch[:0]
 	for w := 0; w < e.cfg.Workers; w++ {
 		if e.activeW[w] || e.deadW[w] {
 			continue
@@ -748,6 +984,7 @@ func (e *Engine) freeWorkers() []int {
 		}
 		free = append(free, w)
 	}
+	e.freeScratch = free
 	return free
 }
 

@@ -25,6 +25,17 @@ type Policy interface {
 // stealCounter is implemented by policies that steal work.
 type stealCounter interface{ Steals() int }
 
+// wakeHinter is implemented by policies that bind or prefer a specific
+// worker for a pushed task, letting the engine target its wakeup instead
+// of probing every parked worker. WakeTarget is called under the engine
+// mutex immediately after Push(t), and reports the preferred worker to
+// wake (-1 for no preference) plus whether the binding is exclusive —
+// only that worker's Pop can ever return t, so waking anyone else for it
+// would be useless.
+type wakeHinter interface {
+	WakeTarget(t *Task) (worker int, exclusive bool)
+}
+
 // deadAware is implemented by policies that bind tasks to a specific
 // worker and therefore must react when a core dies (DisableWorker): the
 // policy stops placing tasks on w and re-places tasks already bound to
@@ -191,6 +202,16 @@ func (p *LocalityPolicy) Len() int { return p.total }
 // Steals returns how many tasks were stolen from peers.
 func (p *LocalityPolicy) Steals() int { return p.steals }
 
+// WakeTarget implements wakeHinter: prefer the affinity worker's wakeup
+// (cache reuse), but the task is not bound to it — stealing makes it
+// reachable from anywhere, so the binding is not exclusive.
+func (p *LocalityPolicy) WakeTarget(t *Task) (int, bool) {
+	if t.affinity >= 0 && t.affinity < len(p.local) {
+		return t.affinity, false
+	}
+	return -1, false
+}
+
 func popAllowed(h *pq.Heap[*Task], kind WorkerKind) *Task {
 	var stash []*Task
 	var found *Task
@@ -217,10 +238,11 @@ func popAllowed(h *pq.Heap[*Task], kind WorkerKind) *Task {
 // tasks pushed onto the releasing worker's deque (LIFO for cache reuse),
 // idle workers steal the oldest task from the longest peer deque.
 type WorkStealingPolicy struct {
-	deques [][]*Task
-	global []*Task // tasks released by the master (no worker context)
-	total  int
-	steals int
+	deques     [][]*Task
+	global     []*Task // tasks released by the master (no worker context)
+	total      int
+	steals     int
+	lastPlaced int // deque the most recent Push landed on (-1: global)
 }
 
 // NewWorkStealingPolicy returns a work-stealing policy for n workers.
@@ -233,9 +255,11 @@ func (p *WorkStealingPolicy) Push(t *Task, by int) {
 	p.total++
 	if by >= 0 && by < len(p.deques) {
 		p.deques[by] = append(p.deques[by], t)
+		p.lastPlaced = by
 		return
 	}
 	p.global = append(p.global, t)
+	p.lastPlaced = -1
 }
 
 // Pop implements Policy: own deque bottom (LIFO), then the global queue
@@ -287,6 +311,13 @@ func (p *WorkStealingPolicy) Len() int { return p.total }
 // Steals returns how many tasks were stolen from peers.
 func (p *WorkStealingPolicy) Steals() int { return p.steals }
 
+// WakeTarget implements wakeHinter: prefer the deque the task landed on
+// (the releasing worker's — LIFO cache reuse), non-exclusive since idle
+// peers can steal it.
+func (p *WorkStealingPolicy) WakeTarget(t *Task) (int, bool) {
+	return p.lastPlaced, false
+}
+
 // --------------------------------------------------------------------- DM
 
 // CostModel estimates the expected duration of a task on a worker kind.
@@ -300,12 +331,13 @@ type CostModel func(class string, kind WorkerKind) float64
 // Workers only execute their own queue; the placement decision is the
 // scheduling decision.
 type DMPolicy struct {
-	queues [][]*Task
-	kinds  []WorkerKind
-	load   []float64
-	model  CostModel
-	total  int
-	dead   []bool
+	queues     [][]*Task
+	kinds      []WorkerKind
+	load       []float64
+	model      CostModel
+	total      int
+	dead       []bool
+	lastPlaced int // worker the most recent Push dispatched to
 }
 
 // NewDMPolicy returns a dm policy for workers of the given kinds.
@@ -349,6 +381,7 @@ func (p *DMPolicy) Push(t *Task, _ int) {
 	}
 	p.queues[best] = append(p.queues[best], t)
 	p.load[best] += p.model(t.Class, p.kinds[best])
+	p.lastPlaced = best
 	p.total++
 }
 
@@ -369,6 +402,13 @@ func (p *DMPolicy) Pop(w int, kind WorkerKind) *Task {
 
 // Len implements Policy.
 func (p *DMPolicy) Len() int { return p.total }
+
+// WakeTarget implements wakeHinter: a dm task is bound to the worker the
+// placement decision dispatched it to — only that worker's Pop returns it,
+// so the binding is exclusive and no other worker is worth waking.
+func (p *DMPolicy) WakeTarget(t *Task) (int, bool) {
+	return p.lastPlaced, true
+}
 
 // SetWorkerDead implements deadAware: re-places every task queued on the
 // dead worker onto the surviving ones and clears its load account.

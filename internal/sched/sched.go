@@ -110,9 +110,9 @@ type Task struct {
 	id        int
 	waitCount int
 	succs     []*Task
-	affinity  int // preferred worker (data locality), -1 if none
-	seq       int // ready-queue FIFO tiebreak
-	attempts  int // body invocations so far (retry accounting)
+	affinity  int  // preferred worker (data locality), -1 if none
+	seq       int  // ready-queue FIFO tiebreak
+	attempts  int  // body invocations so far (retry accounting)
 	poisoned  bool // an ancestor failed permanently: skip the body
 	gang      *gang
 }
@@ -169,6 +169,7 @@ func (c *Ctx) Launched() {
 	c.launched = true
 	c.engine.mu.Lock()
 	c.engine.launching--
+	c.engine.kickQuiescence() // launching hit zero? parked front tasks re-check
 	c.engine.mu.Unlock()
 }
 

@@ -49,6 +49,18 @@ func New(label string, workers int) *Trace {
 // Append logs one event.
 func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
 
+// Reserve pre-sizes the event storage for n additional events, so a run
+// with a known task count (for example a tile factorization's op stream)
+// appends without repeated slice growth. It never shrinks.
+func (t *Trace) Reserve(n int) {
+	if n <= 0 || cap(t.Events)-len(t.Events) >= n {
+		return
+	}
+	grown := make([]Event, len(t.Events), len(t.Events)+n)
+	copy(grown, t.Events)
+	t.Events = grown
+}
+
 // Makespan returns the maximum End over all events (0 for empty traces).
 func (t *Trace) Makespan() float64 {
 	var m float64
