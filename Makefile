@@ -1,0 +1,24 @@
+# Developer entry points. `make lint` runs exactly what CI's static job
+# runs; `make check` is the full pre-push gauntlet.
+
+GO ?= go
+
+.PHONY: build test race lint bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
+
+bench:
+	$(GO) run ./cmd/simbench -benchtime 200ms
+
+check: lint build test race

@@ -1,0 +1,212 @@
+// Package analysis implements simlint, a suite of static analyzers that
+// enforce the simulator's correctness invariants — the rules the Go
+// compiler cannot see but the paper's virtual-time protocol depends on:
+//
+//   - vclock: virtual-time packages must not consume the wall clock;
+//   - lockorder: nested mutex acquisitions must follow the checked-in
+//     lock hierarchy (lockorder.conf, DESIGN.md §7);
+//   - guarded: fields annotated "guarded-by: mu" are only touched with
+//     their mutex held;
+//   - wakeup: no Cond.Broadcast or channel send under a hot-path lock
+//     outside the sanctioned collective-wakeup sites;
+//   - detrand: no global math/rand — randomness comes from the seeded
+//     internal/rng streams so simulations stay reproducible.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic and an
+// analysistest-style fixture harness) so the suite can be ported to the
+// real multichecker verbatim once the dependency is available; this
+// module is kept dependency-free, so the scaffolding is implemented here
+// on the standard library's go/ast and go/types alone.
+//
+// Escape hatch: a source line (or its enclosing function's doc comment)
+// may carry
+//
+//	//simlint:allow <analyzer>[,<analyzer>...] [— reason]
+//
+// to suppress a diagnostic at that site. Policy (DESIGN.md §8): every
+// allow must name the analyzer it silences and should state why the
+// invariant is intentionally broken there.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by `simlint -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  []Diagnostic
+	allows []allowRange
+}
+
+// allowRange marks a span of source suppressing the named analyzers.
+type allowRange struct {
+	file       *token.File
+	start, end int // line range, inclusive
+	names      map[string]bool
+}
+
+// NewPass assembles a pass for one package. Analyzers are run via Run.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	p.collectAllows()
+	return p
+}
+
+// Run executes the pass and returns the surviving diagnostics sorted by
+// position.
+func (p *Pass) Run() ([]Diagnostic, error) {
+	if err := p.Analyzer.Run(p); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Analyzer.Name, err)
+	}
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags, nil
+}
+
+// Reportf records a diagnostic at pos unless an //simlint:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether an //simlint:allow directive for this analyzer
+// covers pos: on the same line, on the line immediately above, or in the
+// enclosing function's doc comment (which covers the whole function).
+func (p *Pass) Allowed(pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, ar := range p.allows {
+		if ar.file == tf && line >= ar.start && line <= ar.end && ar.names[p.Analyzer.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans every comment for //simlint:allow directives.
+func (p *Pass) collectAllows() {
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		// Function-doc directives cover the whole function body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if names := parseAllow(c.Text); names != nil {
+					p.allows = append(p.allows, allowRange{
+						file:  tf,
+						start: tf.Line(fd.Pos()),
+						end:   tf.Line(fd.End()),
+						names: names,
+					})
+				}
+			}
+		}
+		// Line directives cover their own line and the next one (so a
+		// standalone comment line shields the statement below it).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if names := parseAllow(c.Text); names != nil {
+					line := tf.Line(c.Pos())
+					p.allows = append(p.allows, allowRange{
+						file:  tf,
+						start: line,
+						end:   line + 1,
+						names: names,
+					})
+				}
+			}
+		}
+	}
+}
+
+// parseAllow extracts the analyzer names from one comment line, or nil if
+// the line is not an //simlint:allow directive. Grammar:
+//
+//	//simlint:allow name1[,name2...] [free-form justification]
+func parseAllow(text string) map[string]bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	const prefix = "simlint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	names := make(map[string]bool)
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names[name] = true
+		}
+	}
+	return names
+}
+
+// funcDocMatches reports whether fn's doc comment contains the given
+// substring pattern check via match. Helper for convention-based seeds.
+func funcDoc(fn *ast.FuncDecl) string {
+	if fn.Doc == nil {
+		return ""
+	}
+	return fn.Doc.Text()
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixture files annotate the lines where diagnostics are expected:
+//
+//	time.Sleep(d) // want `wall-clock time\.Sleep`
+//
+// Each backquoted (or double-quoted) string is a regular expression that
+// must match a distinct diagnostic reported on that line; diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"supersim/internal/analysis"
+)
+
+// sharedLoader caches type-checked standard-library packages across test
+// runs in one process.
+var (
+	loaderOnce sync.Once
+	loaderMu   sync.Mutex
+	loader     *analysis.Loader
+)
+
+func getLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader("") })
+	return loader
+}
+
+// Run analyzes the fixture package in dir under the fabricated import
+// path pkgPath and compares diagnostics against the fixtures' // want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	diags := Diagnostics(t, a, dir, pkgPath)
+	wants, fset := parseWants(t, dir)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	_ = fset
+}
+
+// Diagnostics loads and type-checks the fixture package in dir under
+// pkgPath and returns the analyzer's raw diagnostics.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l := getLoader()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset(), filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		if err := l.LoadDeps(imports...); err != nil {
+			t.Fatalf("loading fixture dependencies: %v", err)
+		}
+	}
+	info := analysis.NewTypesInfo()
+	tp, err := l.CheckFiles(pkgPath, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pass := analysis.NewPass(a, l.Fset(), files, tp, info)
+	diags, err := pass.Run()
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// parseWants extracts // want expectations from every fixture file.
+func parseWants(t *testing.T, dir string) ([]want, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var wants []want
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				expr := arg[1]
+				if expr == "" {
+					expr = arg[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, expr, err)
+				}
+				wants = append(wants, want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, fset
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// DefaultAnalyzers returns the production simlint suite, configured with
+// the checked-in lockorder.conf and the default virtual-time package set.
+func DefaultAnalyzers() []*Analyzer {
+	cfg := DefaultLockConfig()
+	return []*Analyzer{
+		NewVClock(DefaultVirtualTimePackages),
+		NewLockOrder(cfg),
+		NewGuarded(),
+		NewWakeup(cfg),
+		NewDetRand(),
+	}
+}

@@ -1,0 +1,135 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"supersim/internal/analysis"
+	"supersim/internal/analysis/analysistest"
+)
+
+// lockfixConf orders Outer before Inner, mirroring the fixture package.
+const lockfixConf = `
+# fixture hierarchy: outermost first
+lockfix.Outer.mu
+lockfix.Inner.mu
+`
+
+// wakefixConf marks the fixture queue lock hot.
+const wakefixConf = `wakefix.Q.mu hot`
+
+func fixtureLockConfig(t *testing.T, text string) *analysis.LockConfig {
+	t.Helper()
+	cfg, err := analysis.ParseLockConfig(text)
+	if err != nil {
+		t.Fatalf("parsing fixture lock config: %v", err)
+	}
+	return cfg
+}
+
+func TestVClockBadFixture(t *testing.T) {
+	a := analysis.NewVClock(analysis.DefaultVirtualTimePackages)
+	analysistest.Run(t, a, "testdata/src/vclock/bad", "supersim/internal/core/fixture")
+}
+
+func TestVClockGoodFixture(t *testing.T) {
+	a := analysis.NewVClock(analysis.DefaultVirtualTimePackages)
+	analysistest.Run(t, a, "testdata/src/vclock/good", "supersim/internal/core/fixture")
+}
+
+// TestVClockUnrestrictedPackage checks the restriction is scoped: the
+// same wall-clock-ridden fixture is clean outside the virtual-time tree.
+func TestVClockUnrestrictedPackage(t *testing.T) {
+	a := analysis.NewVClock(analysis.DefaultVirtualTimePackages)
+	diags := analysistest.Diagnostics(t, a, "testdata/src/vclock/bad", "example.com/wallclocked")
+	if len(diags) != 0 {
+		t.Fatalf("vclock fired outside the restricted packages: %v", diags)
+	}
+}
+
+func TestLockOrderBadFixture(t *testing.T) {
+	a := analysis.NewLockOrder(fixtureLockConfig(t, lockfixConf))
+	analysistest.Run(t, a, "testdata/src/lockorder/bad", "lockfix")
+}
+
+func TestLockOrderGoodFixture(t *testing.T) {
+	a := analysis.NewLockOrder(fixtureLockConfig(t, lockfixConf))
+	analysistest.Run(t, a, "testdata/src/lockorder/good", "lockfix")
+}
+
+func TestGuardedBadFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewGuarded(), "testdata/src/guarded/bad", "guardfix")
+}
+
+func TestGuardedGoodFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewGuarded(), "testdata/src/guarded/good", "guardfix")
+}
+
+func TestWakeupBadFixture(t *testing.T) {
+	a := analysis.NewWakeup(fixtureLockConfig(t, wakefixConf))
+	analysistest.Run(t, a, "testdata/src/wakeup/bad", "wakefix")
+}
+
+func TestWakeupGoodFixture(t *testing.T) {
+	a := analysis.NewWakeup(fixtureLockConfig(t, wakefixConf))
+	analysistest.Run(t, a, "testdata/src/wakeup/good", "wakefix")
+}
+
+func TestDetRandBadFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewDetRand(), "testdata/src/detrand/bad", "randfix")
+}
+
+func TestDetRandGoodFixture(t *testing.T) {
+	analysistest.Run(t, analysis.NewDetRand(), "testdata/src/detrand/good", "randfix")
+}
+
+func TestParseLockConfig(t *testing.T) {
+	cfg, err := analysis.ParseLockConfig("a.B.mu hot\n# comment\n\na.C.mu\n")
+	if err != nil {
+		t.Fatalf("ParseLockConfig: %v", err)
+	}
+	if got := cfg.Keys(); len(got) != 2 || got[0] != "a.B.mu" || got[1] != "a.C.mu" {
+		t.Fatalf("Keys() = %v", got)
+	}
+	if r, ok := cfg.Rank("a.B.mu"); !ok || r != 0 {
+		t.Fatalf("Rank(a.B.mu) = %d, %v", r, ok)
+	}
+	if r, ok := cfg.Rank("a.C.mu"); !ok || r != 1 {
+		t.Fatalf("Rank(a.C.mu) = %d, %v", r, ok)
+	}
+	if _, ok := cfg.Rank("a.D.mu"); ok {
+		t.Fatalf("Rank(a.D.mu) unexpectedly configured")
+	}
+	if !cfg.Hot("a.B.mu") || cfg.Hot("a.C.mu") {
+		t.Fatalf("Hot flags wrong: B=%v C=%v", cfg.Hot("a.B.mu"), cfg.Hot("a.C.mu"))
+	}
+}
+
+func TestParseLockConfigErrors(t *testing.T) {
+	if _, err := analysis.ParseLockConfig("a.B.mu\na.B.mu\n"); err == nil {
+		t.Fatalf("duplicate lock not rejected")
+	}
+	if _, err := analysis.ParseLockConfig("a.B.mu sizzling\n"); err == nil {
+		t.Fatalf("unknown attribute not rejected")
+	}
+}
+
+// TestDefaultLockConfig pins the checked-in hierarchy: simulator lock
+// outermost, then engine lock, then trace-lane lock; the two fast-path
+// locks are hot.
+func TestDefaultLockConfig(t *testing.T) {
+	cfg := analysis.DefaultLockConfig()
+	simRank, ok := cfg.Rank("supersim/internal/core.Simulator.mu")
+	if !ok {
+		t.Fatalf("Simulator.mu missing from lockorder.conf")
+	}
+	engRank, ok := cfg.Rank("supersim/internal/sched.Engine.mu")
+	if !ok {
+		t.Fatalf("Engine.mu missing from lockorder.conf")
+	}
+	if simRank >= engRank {
+		t.Fatalf("lockorder.conf must order Simulator.mu (rank %d) before Engine.mu (rank %d)", simRank, engRank)
+	}
+	if !cfg.Hot("supersim/internal/core.Simulator.mu") || !cfg.Hot("supersim/internal/sched.Engine.mu") {
+		t.Fatalf("fast-path locks must be marked hot")
+	}
+}

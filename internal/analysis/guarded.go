@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var guardedByRE = regexp.MustCompile(`guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)`)
+
+// NewGuarded returns the guarded analyzer (checklocks-lite): a struct
+// field whose declaration carries a "// guarded-by: mu" comment may only
+// be read or written while that struct's mu is held. The lock state is
+// tracked flow-sensitively per function (lockstate.go); helpers using the
+// "Caller holds x.mu" doc convention are analyzed with the lock pre-held,
+// and construction-before-publication code carries an explicit
+// //simlint:allow guarded.
+func NewGuarded() *Analyzer {
+	a := &Analyzer{
+		Name: "guarded",
+		Doc: "verify that every access to a field annotated '// guarded-by: mu' happens " +
+			"with the mutex held (flow-sensitive, intraprocedural)",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuardedFields(pass)
+		if len(guarded) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+					node: func(n ast.Node, held *heldSet) {
+						sel, ok := n.(*ast.SelectorExpr)
+						if !ok {
+							return
+						}
+						fsel := pass.TypesInfo.Selections[sel]
+						if fsel == nil || fsel.Kind() != types.FieldVal {
+							return
+						}
+						lockField, ok := guarded[fsel.Obj()]
+						if !ok {
+							return
+						}
+						named := namedOf(fsel.Recv())
+						if named == nil || named.Obj().Pkg() == nil {
+							return
+						}
+						need := fieldLockKey(named, lockField)
+						if held.holds(need) {
+							return
+						}
+						pass.Reportf(sel.Sel.Pos(),
+							"%s.%s accessed without holding %s (field is guarded-by: %s)",
+							named.Obj().Name(), fsel.Obj().Name(), need, lockField)
+					},
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuardedFields scans struct declarations for fields annotated
+// "// guarded-by: <lockfield>" (doc comment above the field or trailing
+// line comment) and returns field object -> lock field name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				lock := guardedAnnotation(field)
+				if lock == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = lock
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardedAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath  string
+	Dir      string
+	Standard bool // part of the Go standard library (dependency only)
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Loader parses and type-checks packages from source, resolving imports
+// through `go list`. It exists because this module vendors no external
+// dependencies: it stands in for golang.org/x/tools/go/packages, using
+// only the standard library. Dependencies (including the standard
+// library) are type-checked from source without building symbol info;
+// only the requested packages get full types.Info.
+type Loader struct {
+	// Dir is the working directory for `go list` (the module root, or
+	// any directory inside the module). Empty means the process cwd.
+	Dir string
+
+	fset  *token.FileSet
+	typed map[string]*types.Package // completed type-checks by import path
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, fset: token.NewFileSet(), typed: make(map[string]*types.Package)}
+}
+
+// Fset exposes the loader's file set (shared across all loaded packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load loads the packages matching patterns (e.g. "./...") plus their
+// dependencies, returning fully analyzed Packages for the non-standard
+// (module-local) matches only. Test files are not loaded: the invariants
+// govern library code, and wall-clock use in tests is legitimate.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := l.goList(append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	// -deps lists dependencies before dependents, so a single in-order
+	// sweep type-checks everything; module-local packages keep full info.
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Error != nil && lp.Standard {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := l.check(lp, !lp.Standard)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.Standard {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDeps type-checks the packages matching patterns (import paths) and
+// their dependencies for use as imports, without building Packages. The
+// fixture harness uses it to satisfy standard-library imports.
+func (l *Loader) LoadDeps(patterns ...string) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	listed, err := l.goList(append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return err
+	}
+	for _, lp := range listed {
+		if _, err := l.check(lp, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goList runs `go list -json` with the given arguments and decodes the
+// package stream.
+func (l *Loader) goList(args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	// Force a cgo-free file set so every listed file type-checks from
+	// pure Go source.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one listed package (once; repeats are
+// served from cache unless full info is requested for a cached dep-only
+// check).
+func (l *Loader) check(lp *listedPackage, fullInfo bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.typed["unsafe"] = types.Unsafe
+		return &Package{PkgPath: "unsafe", Standard: true, Types: types.Unsafe, Fset: l.fset}, nil
+	}
+	if !fullInfo {
+		if tp := l.typed[lp.ImportPath]; tp != nil {
+			return &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Standard: lp.Standard, Types: tp, Fset: l.fset}, nil
+		}
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if fullInfo {
+		info = NewTypesInfo()
+	}
+	tp, err := l.typeCheck(lp.ImportPath, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[lp.ImportPath] = tp
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Standard:  lp.Standard,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tp,
+		TypesInfo: info,
+	}, nil
+}
+
+// CheckFiles type-checks a set of already parsed files as one package
+// under the given import path, resolving imports from the loader's cache
+// (populate it first via LoadDeps). The fixture harness uses it to check
+// testdata packages under fabricated import paths.
+func (l *Loader) CheckFiles(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	return l.typeCheck(path, files, info)
+}
+
+func (l *Loader) typeCheck(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	cfg := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if tp := l.typed[p]; tp != nil {
+				return tp, nil
+			}
+			// Fallback for stragglers `go list -deps` did not surface
+			// (it should not happen for well-formed inputs).
+			return importer.Default().Import(p)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, err := cfg.Check(path, l.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+	}
+	return tp, nil
+}
+
+// NewTypesInfo allocates the full types.Info an analyzer pass needs.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics in deterministic order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			diags, err := pass.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, diags...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+// LockKey names a mutex in the hierarchy: "<pkgpath>.<Type>.<field>" for
+// struct-field mutexes (the only kind this codebase uses) or
+// "<pkgpath>.<var>" for package-level mutexes.
+type LockKey string
+
+// LockConfig is the parsed lock hierarchy from lockorder.conf: an
+// acquired-before total order over the named locks, plus the subset
+// marked hot (held on the simulator/engine fast paths, where the wakeup
+// analyzer forbids broadcasts and channel sends).
+type LockConfig struct {
+	rank map[LockKey]int
+	hot  map[LockKey]bool
+	keys []LockKey
+}
+
+//go:embed lockorder.conf
+var defaultLockConf string
+
+// DefaultLockConfig parses the checked-in lockorder.conf.
+func DefaultLockConfig() *LockConfig {
+	cfg, err := ParseLockConfig(defaultLockConf)
+	if err != nil {
+		// The embedded file is validated by the package tests; reaching
+		// this is a build bug, not a user error.
+		panic(err)
+	}
+	return cfg
+}
+
+// ParseLockConfig parses a lockorder.conf document. Syntax, one lock per
+// line, outermost (acquired first) at the top:
+//
+//	# comment
+//	<pkgpath>.<Type>.<field> [hot]
+func ParseLockConfig(text string) (*LockConfig, error) {
+	cfg := &LockConfig{rank: make(map[LockKey]int), hot: make(map[LockKey]bool)}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := LockKey(fields[0])
+		if _, dup := cfg.rank[key]; dup {
+			return nil, fmt.Errorf("lockorder.conf line %d: duplicate lock %q", i+1, key)
+		}
+		cfg.rank[key] = len(cfg.keys)
+		cfg.keys = append(cfg.keys, key)
+		for _, attr := range fields[1:] {
+			switch attr {
+			case "hot":
+				cfg.hot[key] = true
+			default:
+				return nil, fmt.Errorf("lockorder.conf line %d: unknown attribute %q", i+1, attr)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// Rank returns the acquisition rank of key (lower = acquired first) and
+// whether the key is part of the configured hierarchy.
+func (c *LockConfig) Rank(key LockKey) (int, bool) {
+	r, ok := c.rank[key]
+	return r, ok
+}
+
+// Hot reports whether key is a hot-path lock.
+func (c *LockConfig) Hot(key LockKey) bool { return c.hot[key] }
+
+// Keys returns the configured locks in acquired-first order.
+func (c *LockConfig) Keys() []LockKey { return c.keys }

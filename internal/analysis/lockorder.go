@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NewLockOrder returns the lockorder analyzer: nested mutex acquisitions
+// must follow the acquired-before order in lockorder.conf. The analysis
+// is intraprocedural and flow-sensitive (see lockstate.go); functions
+// documented with the "Caller holds x.mu" convention are analyzed with
+// that lock pre-held, so helper bodies are checked against the hierarchy
+// too.
+func NewLockOrder(cfg *LockConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc: "flag nested Mutex.Lock acquisitions that invert the checked-in lock " +
+			"hierarchy (internal/analysis/lockorder.conf; see DESIGN.md §7)",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+					acquire: func(call *ast.CallExpr, key LockKey, held *heldSet) {
+						rank, ok := cfg.Rank(key)
+						if !ok {
+							return
+						}
+						for _, hk := range held.locks {
+							hrank, ok := cfg.Rank(hk)
+							if !ok || hrank <= rank {
+								continue
+							}
+							pass.Reportf(call.Pos(),
+								"lock order inversion: %s acquired while holding %s "+
+									"(lockorder.conf orders %s before %s)",
+								key, hk, key, hk)
+						}
+					},
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}

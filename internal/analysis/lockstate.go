@@ -1,0 +1,506 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// This file implements the shared flow-sensitive lock tracking used by
+// the lockorder, guarded and wakeup analyzers: a lightweight abstract
+// interpretation of each function body that follows statements in
+// control order and maintains the set of mutexes currently held.
+//
+// The model is deliberately simple (checklocks-lite):
+//
+//   - locks are identified by type and field (LockKey), not by instance:
+//     two Simulators share one key, which is sound for ordering and for
+//     guarded-field checking, though it cannot see self-deadlock across
+//     instances;
+//   - a deferred Unlock keeps the lock held to the end of the function
+//     (the defer-unlock idiom);
+//   - sync.Cond.Wait is a no-op: the lock is released and re-acquired
+//     inside, so it is held at every surrounding statement;
+//   - branches are analyzed independently (so any-path violations are
+//     caught) and merge to the intersection of their exit states (so a
+//     "definitely held" claim is conservative);
+//   - loop bodies are analyzed once with the loop-entry state, and the
+//     loop is assumed to preserve it — the repo's unlock/relock-inside-
+//     loop patterns all restore the invariant before continuing;
+//   - a function literal is analyzed at its definition point with the
+//     current state (synchronous-call heuristic: sort.Slice and friends),
+//     except under `go`, where it starts with no locks held.
+
+// heldSet is the multiset of locks held, in acquisition order.
+type heldSet struct {
+	locks []LockKey
+}
+
+func (h *heldSet) acquire(k LockKey) { h.locks = append(h.locks, k) }
+
+func (h *heldSet) release(k LockKey) {
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.locks[i] == k {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) holds(k LockKey) bool {
+	for _, l := range h.locks {
+		if l == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *heldSet) empty() bool { return len(h.locks) == 0 }
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{locks: append([]LockKey(nil), h.locks...)}
+}
+
+// intersect keeps only locks present in every set (counted).
+func intersect(states []*heldSet) *heldSet {
+	if len(states) == 0 {
+		return &heldSet{}
+	}
+	out := &heldSet{}
+	for i, k := range states[0].locks {
+		inAll := true
+		for _, s := range states[1:] {
+			// Count occurrences up to index i in states[0] vs in s.
+			if count(states[0].locks[:i+1], k) > count(s.locks, k) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out.locks = append(out.locks, k)
+		}
+	}
+	return out
+}
+
+func count(ks []LockKey, k LockKey) int {
+	n := 0
+	for _, x := range ks {
+		if x == k {
+			n++
+		}
+	}
+	return n
+}
+
+// lockOp classifies a sync call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+	opCondWait
+	opCondBroadcast
+	opCondSignal
+)
+
+// flowHooks are the walker's analyzer callbacks.
+type flowHooks struct {
+	// acquire fires when a Lock/RLock on key is about to execute, with
+	// the locks already held.
+	acquire func(call *ast.CallExpr, key LockKey, held *heldSet)
+	// node fires for every visited node in approximate execution order.
+	node func(n ast.Node, held *heldSet)
+}
+
+// flowWalker interprets one function body.
+type flowWalker struct {
+	pass  *Pass
+	hooks flowHooks
+}
+
+// walkFunc analyzes fn with the given initial held locks.
+func walkFunc(pass *Pass, fn *ast.FuncDecl, seed []LockKey, hooks flowHooks) {
+	if fn.Body == nil {
+		return
+	}
+	w := &flowWalker{pass: pass, hooks: hooks}
+	h := &heldSet{locks: append([]LockKey(nil), seed...)}
+	w.execStmt(fn.Body, h)
+}
+
+// execStmt interprets one statement, mutating h in place. It reports
+// whether the statement terminates the current control path (return,
+// break, continue, goto, panic).
+func (w *flowWalker) execStmt(s ast.Stmt, h *heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if w.execStmt(st, h) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		return w.execExpr(s.X, h, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.execExpr(e, h, false)
+		}
+		for _, e := range s.Lhs {
+			w.execExpr(e, h, false)
+		}
+	case *ast.IncDecStmt:
+		w.execExpr(s.X, h, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.execExpr(e, h, false)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.execExpr(s.Chan, h, false)
+		w.execExpr(s.Value, h, false)
+		if w.hooks.node != nil {
+			w.hooks.node(s, h)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later, holding nothing.
+		w.execGoDefer(s.Call, h, true)
+	case *ast.DeferStmt:
+		w.execGoDefer(s.Call, h, false)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.execExpr(e, h, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.LabeledStmt:
+		return w.execStmt(s.Stmt, h)
+	case *ast.IfStmt:
+		w.execStmt(s.Init, h)
+		w.execExpr(s.Cond, h, false)
+		var exits []*heldSet
+		then := h.clone()
+		if !w.execStmt(s.Body, then) {
+			exits = append(exits, then)
+		}
+		if s.Else != nil {
+			els := h.clone()
+			if !w.execStmt(s.Else, els) {
+				exits = append(exits, els)
+			}
+		} else {
+			exits = append(exits, h.clone())
+		}
+		if len(exits) == 0 {
+			return true // both branches terminate
+		}
+		h.locks = intersect(exits).locks
+	case *ast.ForStmt:
+		w.execStmt(s.Init, h)
+		if s.Cond != nil {
+			w.execExpr(s.Cond, h, false)
+		}
+		body := h.clone()
+		w.execStmt(s.Body, body)
+		w.execStmt(s.Post, body)
+		// Assume the body preserves the loop-entry lock state.
+	case *ast.RangeStmt:
+		w.execExpr(s.X, h, false)
+		body := h.clone()
+		w.execStmt(s.Body, body)
+	case *ast.SwitchStmt:
+		w.execStmt(s.Init, h)
+		if s.Tag != nil {
+			w.execExpr(s.Tag, h, false)
+		}
+		w.execCases(s.Body, h, true)
+	case *ast.TypeSwitchStmt:
+		w.execStmt(s.Init, h)
+		w.execStmt(s.Assign, h)
+		w.execCases(s.Body, h, true)
+	case *ast.SelectStmt:
+		w.execCases(s.Body, h, false)
+	}
+	return false
+}
+
+// execCases interprets switch/select clause bodies and merges their exit
+// states. When mayFallThrough is true (a switch without a default), the
+// entry state joins the merge.
+func (w *flowWalker) execCases(body *ast.BlockStmt, h *heldSet, mayFallThrough bool) {
+	var exits []*heldSet
+	hasDefault := false
+	for _, cl := range body.List {
+		st := h.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				w.execExpr(e, h, false)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			w.execStmt(cl.Comm, st)
+			stmts = cl.Body
+		}
+		terminated := false
+		for _, s := range stmts {
+			if w.execStmt(s, st) {
+				terminated = true
+				break
+			}
+		}
+		if !terminated {
+			exits = append(exits, st)
+		}
+	}
+	if mayFallThrough && !hasDefault {
+		exits = append(exits, h.clone())
+	}
+	if len(exits) > 0 {
+		h.locks = intersect(exits).locks
+	}
+}
+
+// execGoDefer handles the call of a go or defer statement. Arguments are
+// evaluated now; the call itself runs later. For defer, mutex operations
+// inside the deferred call are ignored (the defer-unlock idiom keeps the
+// lock held to function end). For go, a function literal body is analyzed
+// with an empty held set.
+func (w *flowWalker) execGoDefer(call *ast.CallExpr, h *heldSet, isGo bool) {
+	for _, arg := range call.Args {
+		w.execExpr(arg, h, false)
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		if isGo {
+			w.execStmt(fl.Body, &heldSet{})
+		} else {
+			// Deferred closure: runs at return; the defer-unlock idiom
+			// means surrounding locks are typically still held. Analyze
+			// with the current state but discard its effects.
+			w.execStmt(fl.Body, h.clone())
+		}
+		return
+	}
+	// defer x.mu.Unlock() and friends: intentionally not applied.
+	if w.hooks.node != nil {
+		w.hooks.node(call, h)
+	}
+}
+
+// execExpr interprets one expression tree in pre-order, applying mutex
+// operations and invoking the node hook. inDefer suppresses lock ops.
+// It reports whether the expression definitely panics (builtin panic).
+func (w *flowWalker) execExpr(e ast.Expr, h *heldSet, inDefer bool) (panics bool) {
+	if e == nil {
+		return false
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			// Synchronous-call heuristic: analyze at definition point
+			// with the current state, then discard its effects.
+			w.execStmt(fl.Body, h.clone())
+			return false
+		}
+		if w.hooks.node != nil {
+			w.hooks.node(n, h)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			if obj := w.pass.TypesInfo.Uses[id]; obj == nil || obj.Parent() == types.Universe {
+				panics = true
+			}
+		}
+		key, op := classifySyncCall(w.pass, call)
+		if op == opNone || inDefer {
+			return true
+		}
+		switch op {
+		case opAcquire:
+			if w.hooks.acquire != nil {
+				w.hooks.acquire(call, key, h)
+			}
+			h.acquire(key)
+		case opRelease:
+			h.release(key)
+		}
+		return true
+	})
+	return panics
+}
+
+// classifySyncCall recognizes method calls on sync.Mutex/RWMutex/Cond and
+// resolves the lock identity of the receiver.
+func classifySyncCall(pass *Pass, call *ast.CallExpr) (LockKey, lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	msel := pass.TypesInfo.Selections[sel]
+	if msel == nil || msel.Kind() != types.MethodVal {
+		return "", opNone
+	}
+	m := msel.Obj()
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	recv := namedOf(msel.Recv())
+	if recv == nil {
+		return "", opNone
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+		var op lockOp
+		switch m.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			op = opAcquire
+		case "Unlock", "RUnlock":
+			op = opRelease
+		default:
+			return "", opNone
+		}
+		key, ok := lockKeyOf(pass, sel.X)
+		if !ok {
+			return "", opNone
+		}
+		return key, op
+	case "Cond":
+		switch m.Name() {
+		case "Wait":
+			return "", opCondWait
+		case "Broadcast":
+			return "", opCondBroadcast
+		case "Signal":
+			return "", opCondSignal
+		}
+	}
+	return "", opNone
+}
+
+// lockKeyOf names the mutex denoted by expr ("x.mu" -> pkg.Type.mu,
+// package-level "mu" -> pkg.mu).
+func lockKeyOf(pass *Pass, expr ast.Expr) (LockKey, bool) {
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		fsel := pass.TypesInfo.Selections[x]
+		if fsel == nil || fsel.Kind() != types.FieldVal {
+			return "", false
+		}
+		named := namedOf(fsel.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return LockKey(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fsel.Obj().Name()), true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return "", false
+		}
+		return LockKey(obj.Pkg().Path() + "." + obj.Name()), true
+	case *ast.ParenExpr:
+		return lockKeyOf(pass, x.X)
+	}
+	return "", false
+}
+
+// fieldLockKey names a field's guarding mutex given the owning struct's
+// named type and the mutex field name.
+func fieldLockKey(named *types.Named, lockField string) LockKey {
+	return LockKey(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + lockField)
+}
+
+// namedOf unwraps pointers and aliases down to the defined (named) type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+var callerHoldsRE = regexp.MustCompile(`(?i)caller(?:s)? (?:must )?holds? ([A-Za-z_][A-Za-z0-9_]*)\.([A-Za-z_][A-Za-z0-9_]*)`)
+
+// callerHeldSeed resolves the repo's "Caller holds e.mu." doc-comment
+// convention into the walker's initial held set: each "caller holds
+// <recv>.<field>" phrase whose <recv> matches the method's receiver name
+// seeds that receiver field's lock.
+func callerHeldSeed(pass *Pass, fn *ast.FuncDecl) []LockKey {
+	doc := funcDoc(fn)
+	if doc == "" || fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	recvObj := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+	named := namedOf(recvObj.Type())
+	if named == nil {
+		return nil
+	}
+	var seed []LockKey
+	for _, m := range callerHoldsRE.FindAllStringSubmatch(doc, -1) {
+		if m[1] != recvName {
+			continue
+		}
+		if !structHasField(named, m[2]) {
+			continue
+		}
+		seed = append(seed, fieldLockKey(named, m[2]))
+	}
+	return seed
+}
+
+func structHasField(named *types.Named, field string) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathMatches reports whether path equals one of the prefixes or is a
+// subpackage of one ("supersim/internal/sched" covers ".../sched/quark").
+func pkgPathMatches(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

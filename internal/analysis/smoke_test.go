@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"supersim/internal/analysis"
+)
+
+// TestRepoIsLintClean runs the full production suite over the module
+// in-process and requires zero diagnostics: every invariant violation in
+// the tree must be fixed or carry a reviewed //simlint:allow directive.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := analysis.NewLoader("../..")
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("loader returned no packages")
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.DefaultAnalyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSimlintCommand smoke-tests the CLI the CI static job invokes.
+func TestSimlintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run over the whole module; skipped in -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/simlint", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/simlint ./... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,17 @@
+// Fixture: draws from the global math/rand source, which is seeded from
+// entropy at program start and makes simulated timelines unreproducible.
+package randfix
+
+import "math/rand"
+
+func roll() int {
+	return rand.Intn(6) // want `global math/rand`
+}
+
+func jitter() float64 {
+	return rand.Float64() * rand.ExpFloat64() // want `global math/rand` `global math/rand`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand`
+}

@@ -1,0 +1,16 @@
+// Fixture: explicitly seeded randomness is reproducible and legal —
+// whether through a seeded *rand.Rand or (in the real tree) the
+// internal/rng streams.
+package randfix
+
+import "math/rand"
+
+func seededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func seededShuffle(seed int64, xs []int) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

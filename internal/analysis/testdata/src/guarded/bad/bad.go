@@ -1,0 +1,40 @@
+// Fixture: accesses to a guarded-by field without its mutex.
+package guardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded-by: mu
+	hi int // guarded-by: mu — high-water mark
+}
+
+func (c *counter) incUnlocked() {
+	c.n++ // want `counter\.n accessed without holding guardfix\.counter\.mu`
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `accessed without holding`
+}
+
+func (c *counter) lockedThenNot() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.hi = c.n // want `counter\.hi accessed without holding` `counter\.n accessed without holding`
+}
+
+func (c *counter) lockedOnOneBranchOnly(cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `accessed without holding`
+}
+
+func (c *counter) wrongLock(other *sync.Mutex) {
+	other.Lock()
+	c.n++ // want `accessed without holding`
+	other.Unlock()
+}

@@ -1,0 +1,54 @@
+// Fixture: guarded-by accesses that hold the lock — directly, via defer,
+// via the "Caller holds c.mu" doc convention, under branches and loops,
+// and inside a synchronously-invoked closure.
+package guardfix
+
+import (
+	"sort"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int   // guarded-by: mu
+	vs []int // guarded-by: mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked adds d to the count. Caller holds c.mu.
+func (c *counter) bumpLocked(d int) {
+	c.n += d
+}
+
+func (c *counter) condWaitStyle(cond *sync.Cond) {
+	c.mu.Lock()
+	for c.n == 0 {
+		cond.Wait() // Wait releases and re-acquires: held at every access
+	}
+	c.n--
+	c.mu.Unlock()
+}
+
+func (c *counter) sortUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.vs, func(i, j int) bool { return c.vs[i] < c.vs[j] })
+}
+
+//simlint:allow guarded — fixture: construction precedes publication
+func newCounter(seed int) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}

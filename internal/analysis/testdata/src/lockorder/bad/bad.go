@@ -1,0 +1,31 @@
+// Fixture: nested acquisitions inverting the configured hierarchy
+// (lockfix.Outer.mu before lockfix.Inner.mu).
+package lockfix
+
+import "sync"
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+func inverted(o *Outer, in *Inner) {
+	in.mu.Lock()
+	o.mu.Lock() // want `lock order inversion`
+	o.mu.Unlock()
+	in.mu.Unlock()
+}
+
+func invertedOnOneBranch(o *Outer, in *Inner, cond bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if cond {
+		o.mu.Lock() // want `lock order inversion`
+		o.mu.Unlock()
+	}
+}
+
+// relockLocked re-acquires the outer lock. Caller holds in.mu.
+func (in *Inner) relockLocked(o *Outer) {
+	o.mu.Lock() // want `lock order inversion`
+	o.mu.Unlock()
+}

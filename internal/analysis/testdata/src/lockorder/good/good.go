@@ -1,0 +1,47 @@
+// Fixture: acquisitions that follow the hierarchy (or never nest).
+package lockfix
+
+import "sync"
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+func ordered(o *Outer, in *Inner) {
+	o.mu.Lock()
+	in.mu.Lock()
+	in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func sequential(o *Outer, in *Inner) {
+	in.mu.Lock()
+	in.mu.Unlock()
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+func deferred(o *Outer, in *Inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+}
+
+// nestedLocked acquires the inner lock. Caller holds o.mu — the correct
+// direction, so the seeded state produces no diagnostic.
+func (o *Outer) nestedLocked(in *Inner) {
+	in.mu.Lock()
+	in.mu.Unlock()
+}
+
+// unlisted locks are outside the hierarchy and never flagged.
+type stray struct{ mu sync.Mutex }
+
+func unlisted(s *stray, o *Outer, in *Inner) {
+	s.mu.Lock()
+	in.mu.Lock()
+	o.mu.Unlock() // wrong pairing on purpose: order checking only looks at acquisitions
+	in.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock consumption inside a virtual-time package (the
+// test loads this under a supersim/internal/core/... import path).
+package fixture
+
+import "time"
+
+func measure() float64 {
+	t0 := time.Now()                // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)    // want `wall-clock time\.Sleep`
+	return time.Since(t0).Seconds() // want `wall-clock time\.Since`
+}
+
+func timers() {
+	_ = time.After(time.Second)        // want `wall-clock time\.After`
+	_ = time.NewTicker(time.Second)    // want `wall-clock time\.NewTicker`
+	time.AfterFunc(time.Second, nil)   // want `wall-clock time\.AfterFunc`
+	_ = time.Until(time.Time{})        // want `wall-clock time\.Until`
+}

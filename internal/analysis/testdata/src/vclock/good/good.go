@@ -1,0 +1,31 @@
+// Fixture: legal time usage in a virtual-time package — mentioning
+// durations and types is fine, consuming the wall clock is not, and the
+// escape hatch silences a deliberate, justified wall sleep.
+package fixture
+
+import "time"
+
+// Duration values and constants never read the clock.
+const quantum = 50 * time.Microsecond
+
+type config struct {
+	backoff time.Duration
+}
+
+// advance moves virtual time forward: pure arithmetic on the simulated
+// clock, no wall-time involved.
+func advance(clock, d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return clock + d
+}
+
+func deliberateSleep() {
+	time.Sleep(quantum) //simlint:allow vclock — fixture: sanctioned wall sleep
+}
+
+//simlint:allow vclock — fixture: whole-function escape hatch
+func deliberateFunc() {
+	time.Sleep(quantum)
+}

@@ -1,0 +1,32 @@
+// Fixture: collective or channel wakeups performed while a hot-path lock
+// (wakefix.Q.mu, marked hot in the test's lock config) is held.
+package wakefix
+
+import "sync"
+
+type Q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan struct{}
+}
+
+func (q *Q) herdBroadcast() {
+	q.mu.Lock()
+	q.cond.Broadcast() // want `thundering herd`
+	q.mu.Unlock()
+}
+
+func (q *Q) sendUnderLock() {
+	q.mu.Lock()
+	q.ch <- struct{}{} // want `channel send while holding hot-path lock`
+	q.mu.Unlock()
+}
+
+func (q *Q) sendUnderDeferredUnlock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- struct{}{}: // want `channel send while holding hot-path lock`
+	default:
+	}
+}

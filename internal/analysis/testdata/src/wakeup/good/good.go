@@ -1,0 +1,42 @@
+// Fixture: the sanctioned wakeup shapes — targeted Signal under the
+// lock, sends outside the critical section, broadcasts under cold locks,
+// and annotated collective sites.
+package wakefix
+
+import "sync"
+
+type Q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan struct{}
+}
+
+// cold is not in the lock config's hot set.
+type cold struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (q *Q) targetedSignal() {
+	q.mu.Lock()
+	q.cond.Signal() // targeted wakeup: the protocol's primitive
+	q.mu.Unlock()
+}
+
+func (q *Q) sendOutsideLock() {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- struct{}{}
+}
+
+func (q *Q) collectiveAnnotated() {
+	q.mu.Lock()
+	q.cond.Broadcast() //simlint:allow wakeup — fixture: semantically collective site
+	q.mu.Unlock()
+}
+
+func (c *cold) sendUnderColdLock() {
+	c.mu.Lock()
+	c.ch <- struct{}{} // cold locks are not wakeup-constrained
+	c.mu.Unlock()
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefaultVirtualTimePackages are the packages that live entirely in
+// virtual time: their logic must be driven by the simulation clock, never
+// the wall clock, or simulated timelines stop being reproducible and
+// machine-independent. Subpackages are covered too.
+var DefaultVirtualTimePackages = []string{
+	"supersim/internal/core",
+	"supersim/internal/sched",
+	"supersim/internal/trace",
+	"supersim/internal/pq",
+}
+
+// vclockBanned are the package time functions that read or consume the
+// wall clock. Pure types and constructors of values (time.Duration
+// arithmetic, time.Microsecond, ...) remain legal: the invariant is about
+// consuming real time, not mentioning it.
+var vclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NewVClock returns the vclock analyzer restricted to the given package
+// path prefixes.
+func NewVClock(restricted []string) *Analyzer {
+	a := &Analyzer{
+		Name: "vclock",
+		Doc: "forbid wall-clock APIs (time.Now, time.Since, time.Sleep, time.After, ...) " +
+			"inside virtual-time packages; route deliberate wall-time use through " +
+			"internal/stopwatch or annotate it with //simlint:allow vclock",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgPathMatches(pass.Pkg.Path(), restricted) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !vclockBanned[obj.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in virtual-time package %s: use the simulation clock, "+
+						"internal/stopwatch at an audited boundary, or //simlint:allow vclock with a reason",
+					obj.Name(), pass.Pkg.Path())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NewWakeup returns the wakeup analyzer: while a hot-path lock (marked
+// `hot` in lockorder.conf) is held, sync.Cond.Broadcast and channel sends
+// are forbidden — the PR-2 wakeup protocol replaced thundering-herd
+// broadcasts with targeted signals (per-worker condvars, per-entry wake
+// channels), and a stray Broadcast under the simulator or engine lock
+// reintroduces the herd. The semantically collective sites (gang
+// fill/drain, barrier entry, shutdown, abort, quiescence kicks, the
+// outstanding==0 drain) carry explicit //simlint:allow wakeup directives.
+//
+// Cond.Signal stays legal: it is the targeted primitive the protocol is
+// built on.
+func NewWakeup(cfg *LockConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "wakeup",
+		Doc: "forbid sync.Cond.Broadcast and channel sends while a hot-path lock is held, " +
+			"outside the allowlisted collective-wakeup sites (//simlint:allow wakeup)",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+					node: func(n ast.Node, held *heldSet) {
+						hot := hotHeld(cfg, held)
+						if hot == "" {
+							return
+						}
+						switch n := n.(type) {
+						case *ast.SendStmt:
+							pass.Reportf(n.Arrow,
+								"channel send while holding hot-path lock %s: use a targeted "+
+									"wakeup outside the critical section, or //simlint:allow wakeup "+
+									"for a semantically collective site", hot)
+						case *ast.CallExpr:
+							if _, op := classifySyncCall(pass, n); op == opCondBroadcast {
+								pass.Reportf(n.Pos(),
+									"sync.Cond.Broadcast while holding hot-path lock %s wakes every "+
+										"waiter (thundering herd): signal the one waiter that can make "+
+										"progress, or //simlint:allow wakeup for a semantically "+
+										"collective site", hot)
+							}
+						}
+					},
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// hotHeld returns the first held hot-path lock, or "".
+func hotHeld(cfg *LockConfig, held *heldSet) LockKey {
+	for _, k := range held.locks {
+		if cfg.Hot(k) {
+			return k
+		}
+	}
+	return ""
+}

@@ -150,7 +150,7 @@ type stampedEvent struct {
 // hot path. The pad keeps adjacent lanes off one cache line.
 type laneBuf struct {
 	mu     sync.Mutex
-	events []stampedEvent
+	events []stampedEvent // guarded-by: mu
 	_      [24]byte
 }
 
@@ -192,24 +192,26 @@ func WithPerfCounters(c *perf.Counters) Option {
 type Simulator struct {
 	mu sync.Mutex
 
-	clock        float64
-	queue        *pq.Heap[queueEntry]
-	seq          uint64
-	done         uint64 // completion stamps issued (tasks through the queue)
+	clock        float64              // guarded-by: mu
+	queue        *pq.Heap[queueEntry] // guarded-by: mu
+	seq          uint64               // guarded-by: mu
+	done         uint64               // guarded-by: mu — completion stamps issued (tasks through the queue)
 	trace        *trace.Trace
 	policy       WaitPolicy
 	disableQueue bool
 	onSample     func(class string, worker int, duration float64)
-	aborted      error // abort reason; non-nil ends every wait in Execute
+	aborted      error // guarded-by: mu — abort reason; non-nil ends every wait in Execute
 	rt           sched.Runtime
 	perf         *perf.Counters
 
-	maxInFlight int // high-water mark of the queue (diagnostics)
+	maxInFlight int // guarded-by: mu — high-water mark of the queue (diagnostics)
 
-	// Per-worker trace buffers and their deterministic merge state.
+	// Per-worker trace buffers and their deterministic merge state. The
+	// lanes slice itself is immutable after construction; each lane's
+	// contents are guarded by the lane's own mutex.
 	lanes   []laneBuf
-	staging []stampedEvent // drained from lanes, waiting for a contiguous prefix
-	merged  uint64         // stamps already appended to trace.Events
+	staging []stampedEvent // guarded-by: mu — drained from lanes, waiting for a contiguous prefix
+	merged  uint64         // guarded-by: mu — stamps already appended to trace.Events
 }
 
 // NewSimulator creates a simulator producing a trace with the given label
@@ -366,7 +368,10 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 			}
 			spins++
 			if spins > 64 {
-				time.Sleep(sleepQuantum)
+				// The spin fallback deliberately burns wall time: the
+				// runtime lacks a parking facility, and yielding alone
+				// can livelock on oversubscribed hosts.
+				time.Sleep(sleepQuantum) //simlint:allow vclock — paper's portable spin fallback
 			} else {
 				runtime.Gosched()
 			}
@@ -376,7 +381,10 @@ func (s *Simulator) Execute(ctx *sched.Ctx, class string, duration float64) {
 		if s.policy == WaitSleepYield {
 			s.mu.Unlock()
 			runtime.Gosched()
-			time.Sleep(sleepQuantum)
+			// WaitSleepYield IS a wall-clock sleep by definition: the
+			// paper's portable race mitigation gives the scheduler real
+			// time to finish its bookkeeping (Section V-E).
+			time.Sleep(sleepQuantum) //simlint:allow vclock — the sleep-yield policy's defining sleep
 			s.mu.Lock()
 			// The sleep may have allowed an earlier-completing task
 			// into the queue; re-check the front.

@@ -3,10 +3,10 @@ package core
 import (
 	"runtime"
 	"sync"
-	"time"
 
 	"supersim/internal/rng"
 	"supersim/internal/sched"
+	"supersim/internal/stopwatch"
 )
 
 // computeTokens caps the number of concurrently executing measured kernel
@@ -133,12 +133,14 @@ func (tk *Tasker) SimGangTask(class string, nthreads int, efficiency float64) sc
 // MeasuredTask returns a task function that executes body for real, times
 // it, and accounts the measured time on the virtual timeline. This is the
 // measured-mode substitute for a real parallel machine; see DESIGN.md.
+// The wall-clock measurement goes through internal/stopwatch, the audited
+// boundary the vclock analyzer recognizes.
 func MeasuredTask(sim *Simulator, class string, body func(*sched.Ctx)) sched.TaskFunc {
 	return func(ctx *sched.Ctx) {
 		computeTokens <- struct{}{}
-		t0 := time.Now()
+		elapsed := stopwatch.Start()
 		body(ctx)
-		dt := time.Since(t0).Seconds()
+		dt := elapsed()
 		<-computeTokens
 		sim.Execute(ctx, class, slowdown(ctx, dt))
 	}

@@ -9,6 +9,7 @@ import (
 
 	"supersim/internal/hazard"
 	"supersim/internal/perf"
+	"supersim/internal/stopwatch"
 )
 
 // Config parameterizes the shared runtime engine.
@@ -85,33 +86,33 @@ type Engine struct {
 	gangCond   *sync.Cond   // gang fill / drain
 	qCond      *sync.Cond   // quiescence parkers (simulator front tasks)
 
-	parked      []bool // worker currently parked on its workerCond
-	parkedCount int
-	qGen        uint64 // bumped on quiescence-relevant transitions
-	qWaiters    int
+	parked      []bool // guarded-by: mu — worker currently parked on its workerCond
+	parkedCount int    // guarded-by: mu
+	qGen        uint64 // guarded-by: mu — bumped on quiescence-relevant transitions
+	qWaiters    int    // guarded-by: mu
 
 	tracker       *hazard.Tracker
-	live          map[int]*Task // unfinished tasks by id
-	owner         map[any]int   // data handle -> worker that last wrote it
-	outstanding   int
-	launching     int // popped from ready but not yet Launched()
-	completing    int // announced Completing() but successors not yet released
-	transition    int // workers between finishing a task and their next decision
-	inserting     bool
-	masterServing bool    // master is inside a participating Barrier
-	activeW       []bool  // worker currently occupied by a task
-	current       []*Task // in-flight task per worker (diagnostics)
-	deadW         []bool  // worker disabled by DisableWorker
-	idle          int
-	seq           int
-	shutdown      bool
-	aborted       bool
-	abortErr      error
-	errs          []*TaskError
-	pendingGang   *gang
-	stats         Stats
+	live          map[int]*Task // guarded-by: mu — unfinished tasks by id
+	owner         map[any]int   // guarded-by: mu — data handle -> worker that last wrote it
+	outstanding   int           // guarded-by: mu
+	launching     int           // guarded-by: mu — popped from ready but not yet Launched()
+	completing    int           // guarded-by: mu — announced Completing() but successors not yet released
+	transition    int           // guarded-by: mu — workers between finishing a task and their next decision
+	inserting     bool          // guarded-by: mu
+	masterServing bool          // guarded-by: mu — master is inside a participating Barrier
+	activeW       []bool        // guarded-by: mu — worker currently occupied by a task
+	current       []*Task       // guarded-by: mu — in-flight task per worker (diagnostics)
+	deadW         []bool        // guarded-by: mu — worker disabled by DisableWorker
+	idle          int           // guarded-by: mu
+	seq           int           // guarded-by: mu
+	shutdown      bool          // guarded-by: mu
+	aborted       bool          // guarded-by: mu
+	abortErr      error         // guarded-by: mu
+	errs          []*TaskError  // guarded-by: mu
+	pendingGang   *gang         // guarded-by: mu
+	stats         Stats         // guarded-by: mu
 	wg            sync.WaitGroup
-	freeScratch   []int // reusable buffer for freeWorkersLocked
+	freeScratch   []int // guarded-by: mu — reusable buffer for freeWorkersLocked
 	wakeHint      wakeHinter
 }
 
@@ -122,6 +123,8 @@ const maxRecordedErrors = 64
 // NewEngine creates and starts an engine. The returned engine is ready for
 // Insert calls; call Shutdown when done. Invalid configurations return an
 // error (the engine never panics on misuse).
+//
+//simlint:allow guarded — construction precedes publication: no worker goroutine exists until the fields are set
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("sched: NewEngine with %d workers (need >= 1)", cfg.Workers)
@@ -292,7 +295,7 @@ func (e *Engine) kickQuiescence() {
 		return
 	}
 	e.qGen++
-	e.qCond.Broadcast()
+	e.qCond.Broadcast() //simlint:allow wakeup — every quiescence waiter must re-check its front entry
 	if e.perf != nil {
 		e.perf.QuiescenceKicks.Add(1)
 	}
@@ -328,7 +331,7 @@ func (e *Engine) QuiescentWait() bool {
 func (e *Engine) KickQuiescence() {
 	e.mu.Lock()
 	e.qGen++
-	e.qCond.Broadcast()
+	e.qCond.Broadcast() //simlint:allow wakeup — abort-side kick is collective by contract
 	e.mu.Unlock()
 }
 
@@ -489,7 +492,7 @@ func (e *Engine) complete(t *Task, w int, ctx *Ctx) {
 		e.spaceCond.Signal()
 	}
 	if e.outstanding == 0 {
-		e.doneCond.Broadcast()
+		e.doneCond.Broadcast() //simlint:allow wakeup — outstanding==0 drain releases every Barrier waiter
 		e.wakeAllWorkers()
 	}
 	e.mu.Unlock()
@@ -552,7 +555,9 @@ func (e *Engine) failedAttempt(ctx *Ctx, t *Task) (retry bool) {
 		if d > maxRetryBackoff || d <= 0 {
 			d = maxRetryBackoff
 		}
-		time.Sleep(d)
+		// Wall-clock backoff is deliberate (transient host-level faults);
+		// it goes through the audited stopwatch boundary.
+		stopwatch.Sleep(d)
 	}
 	return retry
 }
@@ -665,7 +670,7 @@ func (e *Engine) runGang(g *gang, w, rank int) {
 	e.mu.Lock()
 	g.done++
 	if g.done == g.needed {
-		e.gangCond.Broadcast()
+		e.gangCond.Broadcast() //simlint:allow wakeup — gang completion barrier releases all members
 	} else {
 		for g.done < g.needed && !e.aborted {
 			e.gangCond.Wait()
@@ -704,7 +709,7 @@ func (e *Engine) serveOne(w int) bool {
 		e.current[w] = g.task
 		if g.joined == g.needed {
 			e.pendingGang = nil
-			e.gangCond.Broadcast()
+			e.gangCond.Broadcast() //simlint:allow wakeup — gang fill completes: all members start together
 		} else {
 			for g.joined < g.needed && !e.aborted {
 				e.gangCond.Wait()
@@ -827,8 +832,8 @@ func (e *Engine) Shutdown() {
 	e.shutdown = true
 	aborted := e.aborted
 	e.wakeAllWorkers()
-	e.spaceCond.Broadcast()
-	e.gangCond.Broadcast()
+	e.spaceCond.Broadcast() //simlint:allow wakeup — shutdown is collective
+	e.gangCond.Broadcast()  //simlint:allow wakeup — shutdown is collective
 	e.mu.Unlock()
 	if !aborted {
 		e.wg.Wait()
@@ -847,11 +852,11 @@ func (e *Engine) Abort(err error) {
 		e.abortErr = err
 	}
 	e.wakeAllWorkers()
-	e.spaceCond.Broadcast()
-	e.doneCond.Broadcast()
-	e.gangCond.Broadcast()
+	e.spaceCond.Broadcast() //simlint:allow wakeup — abort releases every blocked wait
+	e.doneCond.Broadcast()  //simlint:allow wakeup — abort releases every blocked wait
+	e.gangCond.Broadcast()  //simlint:allow wakeup — abort releases every blocked wait
 	e.qGen++
-	e.qCond.Broadcast()
+	e.qCond.Broadcast() //simlint:allow wakeup — abort releases every blocked wait
 	e.mu.Unlock()
 }
 

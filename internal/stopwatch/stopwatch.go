@@ -1,0 +1,28 @@
+// Package stopwatch is the audited wall-clock boundary for the
+// virtual-time packages.
+//
+// The simlint vclock analyzer forbids direct wall-clock APIs (time.Now,
+// time.Sleep, ...) inside internal/core, internal/sched, internal/trace
+// and internal/pq: those packages reason in simulated time, and a stray
+// wall-clock read silently couples the virtual timeline to host speed.
+// The few places that legitimately need real time — measuring a real
+// kernel body in measured mode, a wall-clock retry backoff — go through
+// this package instead, so every wall-time dependency of the virtual-time
+// core is greppable in one spot and reviewed as such. (The watchdog and
+// fault-injection paths live outside the virtual-time set and use package
+// time directly.)
+package stopwatch
+
+import "time"
+
+// Start begins timing a real computation and returns a function that
+// reports the wall-clock seconds elapsed since the call. Measured mode
+// uses it to account a genuine kernel execution on the virtual timeline.
+func Start() func() float64 {
+	t0 := time.Now()
+	return func() float64 { return time.Since(t0).Seconds() }
+}
+
+// Sleep pauses the calling goroutine for d of wall-clock time. The
+// engine's retry backoff uses it; simulated durations never do.
+func Sleep(d time.Duration) { time.Sleep(d) }

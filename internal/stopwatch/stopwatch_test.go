@@ -1,0 +1,29 @@
+package stopwatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartMeasuresElapsedWallTime(t *testing.T) {
+	elapsed := Start()
+	time.Sleep(10 * time.Millisecond)
+	got := elapsed()
+	if got < 0.005 {
+		t.Fatalf("elapsed() = %v s after sleeping 10ms, want >= 0.005", got)
+	}
+	if got > 5 {
+		t.Fatalf("elapsed() = %v s after sleeping 10ms, implausibly large", got)
+	}
+	if again := elapsed(); again < got {
+		t.Fatalf("elapsed() went backwards: %v then %v", got, again)
+	}
+}
+
+func TestSleepSleepsRoughlyD(t *testing.T) {
+	elapsed := Start()
+	Sleep(5 * time.Millisecond)
+	if got := elapsed(); got < 0.002 {
+		t.Fatalf("Sleep(5ms) returned after %v s, want >= 0.002", got)
+	}
+}
