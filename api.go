@@ -7,6 +7,7 @@ import (
 	"supersim/internal/dist"
 	"supersim/internal/fault"
 	"supersim/internal/perfmodel"
+	"supersim/internal/replay"
 	"supersim/internal/sched"
 	"supersim/internal/sched/ompss"
 	"supersim/internal/sched/quark"
@@ -136,6 +137,36 @@ func WatchStalls(rt Runtime, sim *Simulator, deadline time.Duration) (*fault.Wat
 // NewCollector returns an empty kernel-timing collector; pass its Hook to
 // WithSampleHook during a measured run.
 func NewCollector() *Collector { return perfmodel.NewCollector() }
+
+// CapturedDAG is a fully-resolved task graph recorded from one
+// instrumented scheduler run (see internal/replay).
+type CapturedDAG = replay.DAG
+
+// DAGRecorder captures the task stream of the runtime it is attached to.
+type DAGRecorder = replay.Recorder
+
+// ReplayOptions parameterizes one replay of a captured DAG: worker count,
+// duration model, sampling seed and ready-queue ordering.
+type ReplayOptions = replay.Options
+
+// CaptureDAG attaches a DAG recorder to a runtime. Call before inserting
+// tasks; after the run's barrier, the recorder's DAG method returns the
+// captured graph. To also record observed virtual durations, pass the
+// recorder's CompletionHook to NewSimulator via WithCompletionHook.
+func CaptureDAG(rt Runtime, label string) (*DAGRecorder, error) {
+	return replay.Attach(rt, label)
+}
+
+// ReplayDAG re-simulates a captured DAG by virtual-time list scheduling —
+// no scheduler, no hazard tracking, no worker goroutines — and returns the
+// resulting trace. Identical inputs produce bit-identical traces.
+func ReplayDAG(d *CapturedDAG, opts ReplayOptions) (*Trace, error) {
+	return replay.Run(d, opts)
+}
+
+// WithCompletionHook registers a per-task completion callback on a
+// Simulator (a DAGRecorder's CompletionHook, typically).
+var WithCompletionHook = core.WithCompletionHook
 
 // FitModel fits the paper's three candidate distributions (normal, gamma,
 // log-normal) to the collected timings and returns the per-class model

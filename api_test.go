@@ -90,6 +90,55 @@ func TestFacadeCalibrationFlow(t *testing.T) {
 	}
 }
 
+// TestFacadeCaptureReplay exercises the capture/replay surface: record a
+// DAG with observed durations from one run, then re-simulate it without a
+// scheduler and check the replayed trace against the direct one.
+func TestFacadeCaptureReplay(t *testing.T) {
+	rt, err := supersim.NewOmpSs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := supersim.CaptureDAG(rt, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := supersim.NewSimulator(rt, "direct", supersim.WithCompletionHook(rec.CompletionHook()))
+	tk := supersim.NewTasker(sim, supersim.ClassMap{"GEMM": 1e-3, "TRSM": 2e-3}, 42)
+	a, b := new(int), new(int)
+	rt.Insert(&supersim.Task{Class: "TRSM", Label: "TRSM(0)",
+		Func: tk.SimTask("TRSM"),
+		Args: []supersim.Arg{supersim.W(a)}})
+	rt.Insert(&supersim.Task{Class: "GEMM", Label: "GEMM(0)",
+		Func: tk.SimTask("GEMM"),
+		Args: []supersim.Arg{supersim.R(a), supersim.W(b)}})
+	rt.Shutdown()
+	dag, err := rec.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the captured durations (no model): identical trace content.
+	replayed, err := supersim.ReplayDAG(dag, supersim.ReplayOptions{IgnorePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replayed.Fingerprint(), sim.Trace().Fingerprint(); got != want {
+		t.Errorf("replay fingerprint %#x != direct %#x", got, want)
+	}
+	// Replay under a different model: same task set, different makespan.
+	remodeled, err := supersim.ReplayDAG(dag, supersim.ReplayOptions{
+		Model: supersim.ClassMap{"GEMM": 2e-3, "TRSM": 4e-3}, IgnorePriorities: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := remodeled.Makespan(); math.Abs(got-6e-3) > 1e-12 {
+		t.Errorf("remodeled makespan %g, want 6e-3", got)
+	}
+}
+
 func TestFacadeStarPUValidation(t *testing.T) {
 	if _, err := supersim.NewStarPU(0, ""); err == nil {
 		t.Error("NewStarPU(0) accepted")

@@ -8,6 +8,7 @@
 //
 //	simbench -o BENCH_simbench.json                  # record current numbers
 //	simbench -baseline BENCH_simbench.json -check 10 # fail on >10% regression
+//	simbench -compare BENCH_simbench.json            # shorthand for the above
 //
 // A baseline file is simply a previous simbench output; the comparison
 // block in the new output records baseline, current and delta per
@@ -62,8 +63,18 @@ func main() {
 		check        = flag.Float64("check", 0, "with -baseline: exit non-zero if any benchmark regresses by more than this percent")
 		run          = flag.String("run", "", "regexp selecting benchmarks by name (default: all)")
 		contention   = flag.Bool("contention", true, "collect and emit the contention-counter profile")
+		compare      = flag.String("compare", "", "regression gate: -baseline PATH with -check 10 (unless -check is set)")
 	)
 	flag.Parse()
+	if *compare != "" {
+		if *baselinePath != "" && *baselinePath != *compare {
+			log.Fatal("-compare and -baseline disagree; use one")
+		}
+		*baselinePath = *compare
+		if *check == 0 {
+			*check = 10
+		}
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		log.Fatalf("invalid -benchtime %q: %v", *benchtime, err)
 	}

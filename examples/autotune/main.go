@@ -3,11 +3,15 @@
 // "If it is possible to predict performance of an algorithm running on a
 // particular scheduler configuration in a reduced time period, it will be
 // possible to try a larger number of possible scheduling and algorithmic
-// parameters" — this example does exactly that: it calibrates kernel
-// models once from a single measured run, then sweeps tile sizes and
-// StarPU scheduling policies purely in simulation (orders of magnitude
-// faster than real runs), picks the best configuration, and validates the
-// winner with one real run.
+// parameters" — this example does exactly that, in three tiers of
+// decreasing speed and increasing fidelity:
+//
+//  1. screen tile sizes on the replay engine: each nb's task DAG is
+//     captured once and re-simulated many times with no scheduler at all;
+//  2. sweep the shortlisted tile sizes against StarPU scheduling policies
+//     in full simulation (replay pins one ready-queue ordering, so
+//     comparing policies needs the real scheduler);
+//  3. validate the winner with one real run.
 //
 //	go run ./examples/autotune -n 960 -workers 8
 package main
@@ -16,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"sort"
 	"time"
 
 	"supersim"
@@ -63,7 +69,77 @@ func main() {
 	}
 	fmt.Printf("calibration took %.2fs of wall time total\n\n", calibWall.Seconds())
 
-	// --- sweep the configuration space in simulation ---------------------
+	// --- screen tile sizes on the replay engine --------------------------
+	// One capture per nb (a 1-worker scheduler run with no-op bodies),
+	// then many model-sampled replays with no scheduler: the cheapest way
+	// to rank the algorithmic parameter. Policies are not compared here —
+	// a replay follows one fixed list-scheduling order.
+	const screenReps = 8
+	type screened struct {
+		nb     int
+		gflops float64
+	}
+	var screen []screened
+	screenWall := time.Duration(0)
+	for _, nb := range tileSizes {
+		nt := *n / nb
+		a := workload.RandomSPD(nt, nb, 11)
+		s, err := starpu.New(starpu.Conf{NCPUs: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := supersim.CaptureDAG(s, fmt.Sprintf("cholesky-nb%d", nb))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		for _, op := range factor.Cholesky(a) {
+			if err := s.TaskSubmit(&starpu.Codelet{
+				Name: string(op.Class),
+				CPU:  func(*supersim.Ctx) {},
+			}, op.SchedArgs(), starpu.WithPriority(op.Priority)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s.Barrier()
+		s.Shutdown()
+		dag, err := rec.DAG()
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := math.Inf(1)
+		for rep := 0; rep < screenReps; rep++ {
+			tr, err := supersim.ReplayDAG(dag, supersim.ReplayOptions{
+				Workers: *workers, Model: models[nb], Seed: uint64(nb*1000 + rep + 1),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ms := tr.Makespan(); ms < best {
+				best = ms
+			}
+		}
+		screenWall += time.Since(t0)
+		screen = append(screen, screened{nb, kernels.AlgorithmFlops("cholesky", *n) / best / 1e9})
+	}
+	sort.Slice(screen, func(i, j int) bool { return screen[i].gflops > screen[j].gflops })
+	shortlistLen := 3
+	if shortlistLen > len(screen) {
+		shortlistLen = len(screen)
+	}
+	fmt.Printf("%-6s %10s   (replay screening, %d replicas each)\n", "nb", "GFLOP/s", screenReps)
+	var shortlist []int
+	for i, r := range screen {
+		marker := ""
+		if i < shortlistLen {
+			marker = "  <- shortlist"
+			shortlist = append(shortlist, r.nb)
+		}
+		fmt.Printf("%-6d %10.3f%s\n", r.nb, r.gflops, marker)
+	}
+	fmt.Printf("screened %d tile sizes in %.3fs of wall time\n\n", len(screen), screenWall.Seconds())
+
+	// --- sweep the shortlist against policies in full simulation ---------
 	type config struct {
 		nb     int
 		policy string
@@ -74,7 +150,7 @@ func main() {
 	}
 	var results []outcome
 	sweepWall := time.Duration(0)
-	for _, nb := range tileSizes {
+	for _, nb := range shortlist {
 		for _, policy := range policies {
 			nt := *n / nb
 			a := workload.RandomSPD(nt, nb, 11)

@@ -14,6 +14,7 @@ var DefaultVirtualTimePackages = []string{
 	"supersim/internal/sched",
 	"supersim/internal/trace",
 	"supersim/internal/pq",
+	"supersim/internal/replay",
 }
 
 // vclockBanned are the package time functions that read or consume the

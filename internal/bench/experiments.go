@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"supersim/internal/core"
@@ -245,8 +244,12 @@ type PerfSweepResult struct {
 	ModelFits []perfmodel.ClassFit
 }
 
-// MaxErrPct returns the worst simulation error in the sweep.
+// MaxErrPct returns the worst simulation error in the sweep, or 0 for a
+// curve with no points (a sweep that failed before producing any).
 func (r PerfSweepResult) MaxErrPct() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
 	var m float64
 	for _, p := range r.Points {
 		if p.ErrPct > m {
@@ -256,24 +259,21 @@ func (r PerfSweepResult) MaxErrPct() float64 {
 	return m
 }
 
-// perfReps controls noise suppression in PerfSweep: each point is measured
-// and simulated this many times and the minimum makespan is kept — the
-// standard robust statistic for short timing measurements, since host
-// interference (a neighboring process, VM steal time) only ever inflates
-// a run. Tiny problems execute only a handful of kernels, so single runs
-// are fragile on both sides.
+// perfReps controls noise suppression on the simulation side of PerfSweep:
+// each point is replayed this many times with independent seeds and the
+// minimum makespan is kept — the standard robust statistic for short
+// timing measurements. The measured side runs each point once (reusing the
+// calibration run for its own size): repeating the real factorization per
+// replica is exactly the cost the replay engine exists to avoid, and
+// replicas now re-sample only the duration model, not the scheduler.
 const perfReps = 5
-
-func minOf(xs []float64) float64 {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return s[0]
-}
 
 // PerfSweep reproduces one curve pair of Figs. 8-10: the model is
 // calibrated once from a moderate problem (the paper: "a relatively small
 // problem or even a portion of the problem"), then each matrix size is run
-// for real and in simulation and the GFLOP/s series are compared.
+// for real once, and the simulated series comes from the replay engine —
+// each point's DAG captured once and re-simulated perfReps times in
+// parallel shards (SweepParallel).
 func PerfSweep(scheduler, algorithm string, nb, maxNT, workers int, seed uint64) (PerfSweepResult, error) {
 	calibNT := maxNT
 	if calibNT > 7 {
@@ -286,7 +286,11 @@ func PerfSweep(scheduler, algorithm string, nb, maxNT, workers int, seed uint64)
 		Algorithm: algorithm, Scheduler: scheduler,
 		NT: calibNT, NB: nb, Workers: workers, Seed: seed,
 	}
-	model, fits, err := Calibrate(calibSpec)
+	calibReal, collector, err := Measured(calibSpec)
+	if err != nil {
+		return PerfSweepResult{}, err
+	}
+	model, fits, err := perfmodel.Fit(collector, dist.PaperFamilies)
 	if err != nil {
 		return PerfSweepResult{}, err
 	}
@@ -298,41 +302,39 @@ func PerfSweep(scheduler, algorithm string, nb, maxNT, workers int, seed uint64)
 		CalibNT:   calibNT,
 		ModelFits: fits,
 	}
-	for _, sw := range workload.PerfSweep(nb, maxNT) {
-		var realMs, simMs []float64
-		var lastReal, lastSim Result
-		for rep := 0; rep < perfReps; rep++ {
+	simPoints, wall, err := SweepParallel(scheduler, algorithm, nb, maxNT, workers,
+		SweepOptions{Reps: perfReps, Model: model, Seed: seed})
+	if err != nil {
+		return PerfSweepResult{}, err
+	}
+	for i, sw := range workload.PerfSweep(nb, maxNT) {
+		real := calibReal
+		if sw.NT != calibNT {
 			spec := Spec{
 				Algorithm: algorithm, Scheduler: scheduler,
 				NT: sw.NT, NB: nb, Workers: workers,
-				Seed: seed + uint64(sw.NT) + uint64(rep)*1000,
+				Seed: seed + uint64(sw.NT),
 			}
-			real, _, err := Measured(spec)
+			real, _, err = Measured(spec)
 			if err != nil {
 				return PerfSweepResult{}, err
 			}
-			sim, err := Simulated(spec, model)
-			if err != nil {
-				return PerfSweepResult{}, err
-			}
-			realMs = append(realMs, real.Makespan)
-			simMs = append(simMs, sim.Makespan)
-			lastReal, lastSim = real, sim
 		}
+		p := simPoints[i]
 		n := sw.N()
 		flops := kernels.AlgorithmFlops(algorithm, n)
-		rm, sm := minOf(realMs), minOf(simMs)
+		rm, sm := real.Makespan, p.MinMakespan
 		out.Points = append(out.Points, PerfPoint{
 			N:        n,
 			NT:       sw.NT,
 			RealGF:   flops / rm / 1e9,
-			SimGF:    flops / sm / 1e9,
+			SimGF:    p.GFlops,
 			ErrPct:   ErrPct(sm, rm),
 			RealMs:   rm,
 			SimMs:    sm,
-			NumTasks: lastReal.NumTasks,
-			WallReal: lastReal.Wall.Seconds(),
-			WallSim:  lastSim.Wall.Seconds(),
+			NumTasks: p.NumTasks,
+			WallReal: real.Wall.Seconds(),
+			WallSim:  (wall.CapturePerPoint[i] + wall.ReplayPerPoint[i]).Seconds(),
 		})
 	}
 	return out, nil

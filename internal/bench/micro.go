@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"supersim/internal/core"
+	"supersim/internal/factor"
 	"supersim/internal/perf"
+	"supersim/internal/replay"
+	"supersim/internal/rng"
 	"supersim/internal/sched"
 	"supersim/internal/sched/quark"
 )
@@ -82,7 +85,65 @@ func MicroSuite(counters *perf.Counters) []MicroBench {
 			h := new(int)
 			benchSimulatedChurn(b, 4, counters, []sched.Arg{sched.RW(h)})
 		}},
+		{Name: "ReplayVsDirect", Bench: func(b *testing.B) {
+			dag, err := CaptureSpec(replayBenchSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := replay.Run(dag, replay.Options{
+					Workers:          replayBenchSpec.Workers,
+					Model:            replayJitter{},
+					Seed:             uint64(i) + 1,
+					IgnorePriorities: true, // bench's OmpSs is FIFO
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "ReplayVsDirectBaseline", Bench: func(b *testing.B) {
+			// The run ReplayVsDirect replaces: the same workload through
+			// the full scheduler (runtime construction, hazard tracking,
+			// worker handoffs), with the op stream pre-built as the
+			// capture path pre-builds its DAG.
+			ops, _, _, err := buildOps(replayBenchSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt, err := NewRuntime(replayBenchSpec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim := core.NewSimulator(rt, "bench")
+				tk := core.NewTasker(sim, replayJitter{}, uint64(i)+1)
+				if err := factor.InsertSimulated(rt, tk, ops); err != nil {
+					b.Fatal(err)
+				}
+				rt.Barrier()
+				rt.Shutdown()
+			}
+		}},
 	}
+}
+
+// replayBenchSpec is the workload of the ReplayVsDirect benchmark pair: a
+// mid-size Cholesky op stream (56 tasks) on the OmpSs reproduction.
+var replayBenchSpec = Spec{
+	Algorithm: "cholesky", Scheduler: "ompss",
+	NT: 6, NB: 8, Workers: 4, Seed: 1,
+}
+
+// replayJitter is a cheap stochastic duration model, so both benchmark
+// sides pay per-task sampling like a real sweep replica does.
+type replayJitter struct{}
+
+func (replayJitter) Duration(_ string, _ sched.WorkerKind, src *rng.Source) float64 {
+	return 1e-4 * (0.5 + src.Float64())
 }
 
 func noopTask(*sched.Ctx) {}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supersim/internal/core"
+	"supersim/internal/kernels"
+	"supersim/internal/replay"
+	"supersim/internal/sched"
+	"supersim/internal/workload"
+)
+
+// CaptureSpec runs the spec's op stream once through the spec's scheduler
+// and records the fully-resolved task DAG for replay. The capture run uses
+// one worker and no-op task bodies: the DAG derives entirely from the
+// serial insertion stream (footprints and hazard resolution), so it is
+// independent of worker count and durations, and a 1-worker run makes the
+// recorded ready order deterministic. The returned DAG carries the spec's
+// worker count as its default replay width.
+func CaptureSpec(spec Spec) (*replay.DAG, error) {
+	ops, _, _, err := buildOps(spec)
+	if err != nil {
+		return nil, err
+	}
+	capSpec := spec
+	capSpec.Workers = 1
+	rt, err := NewRuntime(capSpec)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := replay.Attach(rt, fmt.Sprintf("%s-%s-nt%d", spec.Algorithm, spec.Scheduler, spec.NT))
+	if err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	for i := range ops {
+		op := ops[i]
+		if err := rt.Insert(&sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+			Func:     noopTask,
+		}); err != nil {
+			rt.Shutdown()
+			return nil, err
+		}
+	}
+	rt.Barrier()
+	rt.Shutdown()
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	dag, err := rec.DAG()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Workers > 0 {
+		dag.Workers = spec.Workers
+	}
+	return dag, nil
+}
+
+// replayIgnoresPriorities reports whether replays of the spec's scheduler
+// should order ready tasks FIFO. The OmpSs reproduction defaults to a FIFO
+// policy (bench never enables its priority clause), as does StarPU for
+// every policy except "prio"; QUARK's locality policy consults priorities.
+// Replay always approximates policies with per-worker state (locality,
+// work stealing) by the corresponding central queue — see DESIGN.md §9.
+func replayIgnoresPriorities(spec Spec) bool {
+	switch spec.Scheduler {
+	case "ompss":
+		return true
+	case "starpu":
+		return spec.Policy != "prio"
+	default:
+		return false
+	}
+}
+
+// SweepOptions parameterizes SweepParallel.
+type SweepOptions struct {
+	// Reps is the number of replay replicas per sweep point (default
+	// perfReps).
+	Reps int
+	// Shards is the number of concurrent replay goroutines; 0 uses
+	// GOMAXPROCS. Shard count never changes the results, only the
+	// wall-clock: every replica's seed is a pure function of (Seed, NT,
+	// replica index).
+	Shards int
+	// Model supplies the virtual kernel durations (required).
+	Model core.DurationModel
+	// Seed is the base of the per-replica seed derivation.
+	Seed uint64
+}
+
+// SweepPoint is one matrix size of a replay sweep. It carries only
+// deterministic simulation results (no wall-clock fields), so two sweeps
+// of the same inputs are comparable with reflect.DeepEqual regardless of
+// shard count.
+type SweepPoint struct {
+	NT, N    int
+	NumTasks int
+	Edges    int
+	// Makespans holds the per-replica simulated makespans in replica
+	// order.
+	Makespans []float64
+	// MinMakespan and MeanMakespan aggregate Makespans; GFlops is the
+	// algorithm's nominal flops over MinMakespan.
+	MinMakespan  float64
+	MeanMakespan float64
+	GFlops       float64
+}
+
+// SweepWall reports where a sweep's host time went: one capture per point
+// (the only scheduler runs left) and the replay replicas. ReplayPerPoint
+// sums the replica times of each point across shards — aggregate compute
+// time, not elapsed wall when shards overlap.
+type SweepWall struct {
+	Capture, Replay time.Duration
+	CapturePerPoint []time.Duration
+	ReplayPerPoint  []time.Duration
+}
+
+// replicaSeed derives the sampling seed of one replay replica from the
+// sweep's base seed, the point's tile count and the replica index — never
+// from the shard or goroutine that happens to run it. The splitmix64
+// finalizer decorrelates the per-worker streams replay.Run derives by
+// XOR-multiplying these seeds.
+func replicaSeed(base uint64, nt, rep int) uint64 {
+	x := base + 0x9e3779b97f4a7c15*uint64(nt+1) + 0xbf58476d1ce4e5b9*uint64(rep+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SweepParallel runs the simulation side of a Figs. 8-10 sweep on the
+// replay engine: each (algorithm, NT) point's DAG is captured once from a
+// 1-worker scheduler run, then opt.Reps replicas per point are replayed
+// under opt.Model across opt.Shards goroutines. Results are bit-identical
+// for any shard count.
+func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt SweepOptions) ([]SweepPoint, SweepWall, error) {
+	if opt.Model == nil {
+		return nil, SweepWall{}, fmt.Errorf("bench: SweepParallel requires a duration model")
+	}
+	reps := opt.Reps
+	if reps <= 0 {
+		reps = perfReps
+	}
+	sweeps := workload.PerfSweep(nb, maxNT)
+	np := len(sweeps)
+	if np == 0 {
+		return nil, SweepWall{}, fmt.Errorf("bench: empty sweep (maxNT=%d)", maxNT)
+	}
+
+	wall := SweepWall{
+		CapturePerPoint: make([]time.Duration, np),
+		ReplayPerPoint:  make([]time.Duration, np),
+	}
+	dags := make([]*replay.DAG, np)
+	points := make([]SweepPoint, np)
+	t0 := time.Now()
+	for i, sw := range sweeps {
+		c0 := time.Now()
+		dag, err := CaptureSpec(Spec{
+			Algorithm: algorithm, Scheduler: scheduler,
+			NT: sw.NT, NB: nb, Workers: workers, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, SweepWall{}, err
+		}
+		wall.CapturePerPoint[i] = time.Since(c0)
+		dags[i] = dag
+		points[i] = SweepPoint{
+			NT: sw.NT, N: sw.N(),
+			NumTasks:  len(dag.Tasks),
+			Edges:     dag.NumEdges(),
+			Makespans: make([]float64, reps),
+		}
+	}
+	wall.Capture = time.Since(t0)
+
+	fifo := replayIgnoresPriorities(Spec{Scheduler: scheduler})
+	jobs := np * reps
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > jobs {
+		shards = jobs
+	}
+	var next atomic.Int64
+	replayNs := make([]atomic.Int64, np)
+	errs := make([]error, shards) // one slot per shard: no error lock
+	r0 := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				p, rep := j/reps, j%reps
+				j0 := time.Now()
+				tr, err := replay.Run(dags[p], replay.Options{
+					Workers:          workers,
+					Model:            opt.Model,
+					Seed:             replicaSeed(opt.Seed, points[p].NT, rep),
+					IgnorePriorities: fifo,
+				})
+				if err != nil {
+					errs[shard] = fmt.Errorf("bench: replay nt=%d replica %d: %w", points[p].NT, rep, err)
+					return
+				}
+				points[p].Makespans[rep] = tr.Makespan()
+				replayNs[p].Add(time.Since(j0).Nanoseconds())
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall.Replay = time.Since(r0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, SweepWall{}, err
+		}
+	}
+
+	for i := range points {
+		p := &points[i]
+		wall.ReplayPerPoint[i] = time.Duration(replayNs[i].Load())
+		min, sum := p.Makespans[0], 0.0
+		for _, m := range p.Makespans {
+			if m < min {
+				min = m
+			}
+			sum += m
+		}
+		p.MinMakespan = min
+		p.MeanMakespan = sum / float64(len(p.Makespans))
+		if min > 0 {
+			p.GFlops = kernels.AlgorithmFlops(algorithm, p.N) / min / 1e9
+		}
+	}
+	return points, wall, nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCaptureSpecDAGValidates(t *testing.T) {
+	spec := Spec{Algorithm: "qr", Scheduler: "quark", NT: 4, NB: 8, Workers: 3, Seed: 2}
+	dag, err := CaptureSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dag.Workers != 3 {
+		t.Errorf("dag carries %d workers, want the spec's 3", dag.Workers)
+	}
+	if len(dag.Tasks) == 0 || dag.NumEdges() == 0 {
+		t.Fatalf("capture produced %d tasks, %d edges", len(dag.Tasks), dag.NumEdges())
+	}
+	// Capture is deterministic: a second capture of the same spec records
+	// the same graph.
+	again, err := CaptureSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dag, again) {
+		t.Error("two captures of the same spec differ")
+	}
+}
+
+// TestSweepParallelShardInvariance is the sweep driver's core guarantee:
+// the aggregate statistics are a pure function of (inputs, seed), never of
+// how the replicas were distributed over goroutines.
+func TestSweepParallelShardInvariance(t *testing.T) {
+	run := func(shards int) []SweepPoint {
+		t.Helper()
+		points, _, err := SweepParallel("ompss", "cholesky", 8, 5, 4, SweepOptions{
+			Reps: 4, Shards: shards, Model: replayJitter{}, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	base := run(1)
+	if len(base) != 4 { // NT 2..5
+		t.Fatalf("sweep produced %d points, want 4", len(base))
+	}
+	for _, p := range base {
+		if p.MinMakespan <= 0 || p.GFlops <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.MinMakespan > p.MeanMakespan {
+			t.Fatalf("min makespan %g exceeds mean %g", p.MinMakespan, p.MeanMakespan)
+		}
+	}
+	for _, shards := range []int{4, 16} {
+		if got := run(shards); !reflect.DeepEqual(base, got) {
+			t.Errorf("shards=%d changed the sweep statistics:\n 1: %+v\n%2d: %+v", shards, base, shards, got)
+		}
+	}
+}
+
+func TestSweepParallelRequiresModel(t *testing.T) {
+	if _, _, err := SweepParallel("ompss", "cholesky", 8, 4, 2, SweepOptions{}); err == nil {
+		t.Error("SweepParallel accepted a nil duration model")
+	}
+}
+
+func TestMaxErrPctEmptyCurve(t *testing.T) {
+	var r PerfSweepResult
+	if got := r.MaxErrPct(); got != 0 {
+		t.Errorf("MaxErrPct of empty curve = %g, want 0", got)
+	}
+	r.Points = []PerfPoint{{ErrPct: 3}, {ErrPct: 7}, {ErrPct: 5}}
+	if got := r.MaxErrPct(); got != 7 {
+		t.Errorf("MaxErrPct = %g, want 7", got)
+	}
+}
+
+func TestReplicaSeedIndependentOfOrder(t *testing.T) {
+	seen := map[uint64]bool{}
+	for nt := 2; nt <= 6; nt++ {
+		for rep := 0; rep < 8; rep++ {
+			s := replicaSeed(42, nt, rep)
+			if seen[s] {
+				t.Fatalf("replica seed collision at nt=%d rep=%d", nt, rep)
+			}
+			seen[s] = true
+			if s != replicaSeed(42, nt, rep) {
+				t.Fatal("replicaSeed is not a pure function")
+			}
+		}
+	}
+}

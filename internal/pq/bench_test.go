@@ -1,0 +1,53 @@
+package pq
+
+import "testing"
+
+// The two heap-update idioms the replay executor chooses between when a
+// completing task hands its worker straight to a successor: replace the
+// front in place (one sift-down) versus pop then push (two sifts).
+
+const benchHeapSize = 1024
+
+// benchKeys yields a deterministic pseudo-random key stream (xorshift64)
+// so both benchmarks replace the front with the same value sequence.
+func benchKeys(n int) []float64 {
+	keys := make([]float64, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range keys {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		keys[i] = float64(x%1000) / 1000
+	}
+	return keys
+}
+
+func benchHeap() *Heap[float64] {
+	h := NewWithCapacity(func(a, b float64) bool { return a < b }, benchHeapSize)
+	for _, k := range benchKeys(benchHeapSize) {
+		h.Push(k)
+	}
+	return h
+}
+
+func BenchmarkReplaceTop(b *testing.B) {
+	h := benchHeap()
+	keys := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, _ := h.Peek()
+		h.ReplaceTop(top + keys[i%len(keys)])
+	}
+}
+
+func BenchmarkPopPush(b *testing.B) {
+	h := benchHeap()
+	keys := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, _ := h.Pop()
+		h.Push(top + keys[i%len(keys)])
+	}
+}

@@ -65,6 +65,20 @@ func (h *Heap[T]) Pop() (T, bool) {
 	return top, true
 }
 
+// ReplaceTop replaces the minimum element with x and restores heap order
+// with a single sift-down — the fused form of a Pop immediately followed
+// by a Push, saving one full sift. The replay executor's Task Execution
+// Queue uses it when a completing task immediately starts a successor on
+// the same worker. On an empty heap it degenerates to Push.
+func (h *Heap[T]) ReplaceTop(x T) {
+	if len(h.items) == 0 {
+		h.Push(x)
+		return
+	}
+	h.items[0] = x
+	h.down(0)
+}
+
 // Clear removes all elements, retaining capacity.
 func (h *Heap[T]) Clear() {
 	var zero T

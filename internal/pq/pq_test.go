@@ -156,6 +156,45 @@ func TestInterleavedMinProperty(t *testing.T) {
 	}
 }
 
+func TestReplaceTopEmpty(t *testing.T) {
+	h := intHeap()
+	h.ReplaceTop(5)
+	if v, ok := h.Pop(); !ok || v != 5 {
+		t.Errorf("ReplaceTop on empty heap: Pop = %d,%v want 5,true", v, ok)
+	}
+}
+
+// Property: ReplaceTop is observationally identical to Pop followed by
+// Push, for arbitrary operation sequences.
+func TestReplaceTopEquivalentToPopPush(t *testing.T) {
+	err := quick.Check(func(init []int, replacements []int) bool {
+		a, b := intHeap(), intHeap()
+		for _, v := range init {
+			a.Push(v)
+			b.Push(v)
+		}
+		for _, v := range replacements {
+			a.ReplaceTop(v)
+			b.Pop()
+			b.Push(v)
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for !a.Empty() {
+			x, _ := a.Pop()
+			y, _ := b.Pop()
+			if x != y {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
 func TestStructElements(t *testing.T) {
 	type entry struct {
 		end float64

@@ -1,0 +1,343 @@
+// Package replay separates the expensive part of a simulation — dependence
+// tracking, scheduling, mutex handoffs between worker goroutines — from the
+// cheap part: stochastic re-execution of a fixed task graph. A Recorder
+// (capture.go) records the fully-resolved task DAG from one instrumented
+// scheduler run; Run then re-simulates that DAG under any duration model,
+// worker count and seed via single-goroutine virtual-time list scheduling.
+//
+// This is the paper's design-space-exploration use case (Section VI-B) made
+// cheap: the DAG of a tile algorithm does not depend on the duration model,
+// the seed, or the worker count, so re-running the scheduler for every
+// repetition of a sweep point repeats work whose outcome is already known.
+// Replay preserves the ordering guarantees the paper's Task Execution Queue
+// provides (tasks complete in virtual-time order, successors are released
+// before any later completion advances the clock) because the loop below is
+// exactly that protocol with the scheduler's bookkeeping compiled away; see
+// DESIGN.md §9 for the equivalence argument and its limits (insertion
+// windows, end-time ties).
+package replay
+
+import (
+	"fmt"
+
+	"supersim/internal/core"
+	"supersim/internal/hazard"
+	"supersim/internal/pq"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// Footprint is one declared data access of a captured task, with the
+// original opaque handle renamed to a dense 0-based index.
+type Footprint struct {
+	Handle int
+	Mode   hazard.Access
+}
+
+// Task is one node of a captured DAG.
+type Task struct {
+	// ID is the serial insertion index (dense, 0-based).
+	ID int
+	// Class, Label, Priority, Where and NumThreads mirror the inserted
+	// sched.Task.
+	Class      string
+	Label      string
+	Priority   int
+	Where      sched.Where
+	NumThreads int
+	// Footprint is the argument list under dense handle renaming.
+	Footprint []Footprint
+	// Deps are the resolved dependence edges the hazard tracker derived at
+	// insertion (deduplicated, strongest kind per predecessor), in the
+	// tracker's derivation order.
+	Deps []sched.Dep
+	// Ready is the task's position in the capture run's ready order, or -1
+	// if the capture ended before the task became ready. Diagnostic: the
+	// replay executor re-derives readiness from Deps.
+	Ready int
+	// Duration is the observed virtual duration from the capture run's
+	// completion hook, or -1 when the capture ran without a simulator.
+	Duration float64
+}
+
+// DAG is a captured task graph: the complete input of a replay.
+type DAG struct {
+	// Label names the graph (trace labels derive from it).
+	Label string
+	// Workers is the capture run's worker count (the default replay width).
+	Workers int
+	// Handles is the number of distinct data handles in the footprints.
+	Handles int
+	// Tasks holds the nodes in serial insertion order.
+	Tasks []Task
+}
+
+// NumEdges returns the total resolved dependence edge count.
+func (d *DAG) NumEdges() int {
+	n := 0
+	for _, t := range d.Tasks {
+		n += len(t.Deps)
+	}
+	return n
+}
+
+// Validate checks the DAG's internal consistency: dense task ids,
+// predecessors strictly earlier than their successors, in-range handles,
+// and — the substantive check — that re-deriving the dependences from the
+// footprints with a fresh hazard tracker reproduces the captured edges
+// exactly. A DAG that round-trips Validate is a faithful record of what
+// the scheduler resolved.
+func (d *DAG) Validate() error {
+	tracker := hazard.NewTracker()
+	var args []hazard.Arg
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		if t.ID != i {
+			return fmt.Errorf("replay: task %d has id %d (ids must be dense)", i, t.ID)
+		}
+		args = args[:0]
+		for _, f := range t.Footprint {
+			if f.Handle < 0 || f.Handle >= d.Handles {
+				return fmt.Errorf("replay: task %d references handle %d outside [0,%d)", i, f.Handle, d.Handles)
+			}
+			args = append(args, hazard.Arg{Handle: f.Handle, Mode: f.Mode})
+		}
+		_, deps := tracker.Insert(args)
+		if len(deps) != len(t.Deps) {
+			return fmt.Errorf("replay: task %d: footprint derives %d dependences, captured %d", i, len(deps), len(t.Deps))
+		}
+		for j, dep := range deps {
+			if dep != t.Deps[j] {
+				return fmt.Errorf("replay: task %d dependence %d: footprint derives %+v, captured %+v", i, j, dep, t.Deps[j])
+			}
+			if dep.Pred < 0 || dep.Pred >= i {
+				return fmt.Errorf("replay: task %d depends on task %d (predecessors must precede)", i, dep.Pred)
+			}
+		}
+	}
+	if got := tracker.NumHandles(); got != d.Handles {
+		return fmt.Errorf("replay: footprints reference %d handles, DAG declares %d", got, d.Handles)
+	}
+	return nil
+}
+
+// Options parameterizes one replay of a captured DAG.
+type Options struct {
+	// Workers is the virtual core count; 0 uses the capture run's.
+	Workers int
+	// Model supplies virtual durations. nil replays the capture run's
+	// observed durations (every task must then carry one).
+	Model core.DurationModel
+	// Seed derives the per-worker sampling streams (same derivation as
+	// core.NewTasker, so a 1-worker replay draws the sample sequence of
+	// the direct simulation with the same seed).
+	Seed uint64
+	// Label overrides the trace label; "" uses DAG.Label + "-replay".
+	Label string
+	// IgnorePriorities orders ready tasks purely by readiness (FIFO),
+	// mirroring runtimes built on sched.FIFOPolicy (OmpSs without the
+	// priority clause, StarPU eager). The default mirrors
+	// sched.PriorityPolicy: priority descending, readiness order as the
+	// tiebreak — which degenerates to FIFO when no task sets a priority.
+	IgnorePriorities bool
+}
+
+// seedMix mirrors core's per-worker stream derivation (rngPool): worker w
+// samples from rng.New(seed ^ (seedMix * (w+1))). Keeping the formulas
+// identical makes replay and direct simulation draw identical duration
+// sequences for the same (seed, worker) pair.
+const seedMix = 0x9e3779b97f4a7c15
+
+// Run re-simulates the captured DAG by greedy virtual-time list
+// scheduling, the schedule the real engine produces for an unbounded
+// insertion window (see DESIGN.md §9):
+//
+//   - a task becomes ready when all its captured predecessors completed;
+//   - ready tasks are ordered by (priority desc, readiness order) — the
+//     engine's PriorityPolicy ordering, degenerating to FIFO when no task
+//     sets a priority;
+//   - a running task's completion is processed in (end time, start order)
+//     sequence — the Task Execution Queue ordering — and its successors
+//     are released before any later completion advances the clock;
+//   - a completing task hands its worker straight to the best ready task
+//     (one pq.ReplaceTop on the running heap instead of a Pop+Push pair);
+//     remaining ready tasks go to the lowest-index free workers.
+//
+// The whole loop runs on the calling goroutine: no scheduler, no hazard
+// tracking, no mutex handoffs. Identical (DAG, Options) inputs produce
+// bit-identical traces.
+func Run(d *DAG, opt Options) (*trace.Trace, error) {
+	n := len(d.Tasks)
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty DAG")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = d.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	label := opt.Label
+	if label == "" {
+		label = d.Label + "-replay"
+	}
+
+	waits := make([]int, n)
+	succs := make([][]int32, n)
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		if t.NumThreads > 1 {
+			return nil, fmt.Errorf("replay: task %d (%s) is a gang task (NumThreads=%d); replay supports single-threaded tasks", i, t.Label, t.NumThreads)
+		}
+		if !t.Where.Allows(sched.KindCPU) {
+			return nil, fmt.Errorf("replay: task %d (%s) cannot run on CPU workers (Where=%#x)", i, t.Label, t.Where)
+		}
+		for _, dep := range t.Deps {
+			if dep.Pred < 0 || dep.Pred >= i {
+				return nil, fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
+			}
+			// Successor lists fill in task-id order, reproducing the
+			// engine's succs-append (insertion) release order.
+			succs[dep.Pred] = append(succs[dep.Pred], int32(i))
+			waits[i]++
+		}
+	}
+
+	// Per-worker sampling streams, created lazily like core's rngPool.
+	sources := make([]*rng.Source, workers)
+	src := func(w int) *rng.Source {
+		if sources[w] == nil {
+			sources[w] = rng.New(opt.Seed ^ (seedMix * (uint64(w) + 1)))
+		}
+		return sources[w]
+	}
+
+	type readyItem struct {
+		id   int32
+		prio int32
+		seq  int32
+	}
+	ready := pq.NewWithCapacity(func(a, b readyItem) bool {
+		if a.prio != b.prio {
+			return a.prio > b.prio // higher priority first (PriorityPolicy)
+		}
+		return a.seq < b.seq // FIFO tiebreak
+	}, workers+8)
+	var pushSeq int32
+	pushReady := func(id int32) {
+		prio := int32(d.Tasks[id].Priority)
+		if opt.IgnorePriorities {
+			prio = 0
+		}
+		ready.Push(readyItem{id: id, prio: prio, seq: pushSeq})
+		pushSeq++
+	}
+
+	// The replay Task Execution Queue: completions in (end, start order).
+	type runEntry struct {
+		end    float64
+		seq    uint64
+		start  float64
+		id     int32
+		worker int32
+	}
+	running := pq.NewWithCapacity(func(a, b runEntry) bool {
+		if a.end != b.end {
+			return a.end < b.end
+		}
+		return a.seq < b.seq
+	}, workers)
+	var startSeq uint64
+
+	free := pq.NewWithCapacity(func(a, b int) bool { return a < b }, workers)
+	for w := 0; w < workers; w++ {
+		free.Push(w)
+	}
+
+	var clock float64
+	mkEntry := func(it readyItem, w int) (runEntry, error) {
+		t := &d.Tasks[it.id]
+		var dur float64
+		if opt.Model != nil {
+			dur = opt.Model.Duration(t.Class, sched.KindCPU, src(w))
+			if dur < 0 {
+				dur = 0
+			}
+		} else {
+			if t.Duration < 0 {
+				return runEntry{}, fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given", t.ID, t.Label)
+			}
+			dur = t.Duration
+		}
+		e := runEntry{end: clock + dur, seq: startSeq, start: clock, id: it.id, worker: int32(w)}
+		startSeq++
+		return e, nil
+	}
+
+	tr := trace.New(label, workers)
+	tr.Reserve(n)
+
+	for id := 0; id < n; id++ {
+		if waits[id] == 0 {
+			pushReady(int32(id))
+		}
+	}
+	for !ready.Empty() && !free.Empty() {
+		w, _ := free.Pop()
+		it, _ := ready.Pop()
+		e, err := mkEntry(it, w)
+		if err != nil {
+			return nil, err
+		}
+		running.Push(e)
+	}
+
+	for done := 0; done < n; done++ {
+		e, ok := running.Peek()
+		if !ok {
+			return nil, fmt.Errorf("replay: deadlock after %d of %d tasks (cycle in captured DAG?)", done, n)
+		}
+		if e.end > clock {
+			clock = e.end
+		}
+		t := &d.Tasks[e.id]
+		tr.Append(trace.Event{
+			Worker: int(e.worker),
+			Class:  t.Class,
+			Label:  t.Label,
+			TaskID: t.ID,
+			Start:  e.start,
+			End:    e.end,
+		})
+		for _, s := range succs[e.id] {
+			waits[s]--
+			if waits[s] == 0 {
+				pushReady(s)
+			}
+		}
+		// Chain handoff: the completing task's worker takes the best ready
+		// task in place, one sift instead of two.
+		if it, ok := ready.Pop(); ok {
+			ne, err := mkEntry(it, int(e.worker))
+			if err != nil {
+				return nil, err
+			}
+			running.ReplaceTop(ne)
+		} else {
+			running.Pop()
+			free.Push(int(e.worker))
+		}
+		for !ready.Empty() && !free.Empty() {
+			w, _ := free.Pop()
+			it, _ := ready.Pop()
+			ne, err := mkEntry(it, w)
+			if err != nil {
+				return nil, err
+			}
+			running.Push(ne)
+		}
+	}
+	return tr, nil
+}

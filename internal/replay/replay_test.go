@@ -1,0 +1,337 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"supersim/internal/core"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// jitterModel is a stochastic DurationModel for determinism tests: every
+// draw consumes the worker's stream, so divergent sampling orders are
+// visible in the trace.
+type jitterModel struct{ base float64 }
+
+func (m jitterModel) Duration(class string, _ sched.WorkerKind, src *rng.Source) float64 {
+	return m.base * (0.5 + src.Float64())
+}
+
+// captureRun runs a small diamond-heavy workload on a 1-worker engine with
+// a priority policy, capturing the DAG (with observed durations) and
+// returning it together with the direct simulation's trace.
+func captureRun(t *testing.T, model core.DurationModel, seed uint64) (*DAG, *trace.Trace) {
+	t.Helper()
+	e, err := sched.NewEngine(sched.Config{
+		Workers: 1, Policy: sched.NewPriorityPolicy(), Name: "direct",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Attach(e, "diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(e, "direct", core.WithCompletionHook(rec.CompletionHook()))
+	tk := core.NewTasker(sim, model, seed)
+	insertDiamonds(t, e, tk)
+	e.Barrier()
+	e.Shutdown()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dag, err := rec.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag, sim.Trace()
+}
+
+// insertDiamonds inserts three overlapping diamonds over four handles with
+// mixed priorities: sources, RaW/WaR/WaW edges, and a shared sink.
+func insertDiamonds(t *testing.T, rt sched.Runtime, tk *core.Tasker) {
+	t.Helper()
+	h := make([]*int, 4)
+	for i := range h {
+		h[i] = new(int)
+	}
+	tasks := []*sched.Task{
+		{Class: "SRC", Label: "src0", Args: []sched.Arg{sched.W(h[0])}},
+		{Class: "SRC", Label: "src1", Args: []sched.Arg{sched.W(h[1])}, Priority: 2},
+		{Class: "MID", Label: "mid0", Args: []sched.Arg{sched.R(h[0]), sched.W(h[2])}},
+		{Class: "MID", Label: "mid1", Args: []sched.Arg{sched.R(h[1]), sched.W(h[3])}, Priority: 5},
+		{Class: "MID", Label: "mid2", Args: []sched.Arg{sched.R(h[0]), sched.RW(h[1])}, Priority: 1},
+		{Class: "SNK", Label: "snk0", Args: []sched.Arg{sched.R(h[2]), sched.R(h[3]), sched.W(h[0])}},
+		{Class: "SNK", Label: "snk1", Args: []sched.Arg{sched.RW(h[1]), sched.R(h[3])}},
+	}
+	for _, task := range tasks {
+		task.Func = tk.SimTask(task.Class)
+		if err := rt.Insert(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCapturedDAGValidates(t *testing.T) {
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 7)
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Tasks) != 7 {
+		t.Fatalf("captured %d tasks, want 7", len(dag.Tasks))
+	}
+	if dag.Handles != 4 {
+		t.Fatalf("captured %d handles, want 4", dag.Handles)
+	}
+	if dag.NumEdges() == 0 {
+		t.Fatal("captured no dependence edges")
+	}
+	// 1-worker capture: the ready order must be a permutation of 0..n-1.
+	seen := make([]bool, len(dag.Tasks))
+	for _, task := range dag.Tasks {
+		if task.Ready < 0 || task.Ready >= len(seen) || seen[task.Ready] {
+			t.Fatalf("task %d has ready stamp %d (want a permutation)", task.ID, task.Ready)
+		}
+		seen[task.Ready] = true
+		if task.Duration < 0 {
+			t.Fatalf("task %d has no captured duration", task.ID)
+		}
+	}
+}
+
+func TestValidateDetectsCorruptedEdges(t *testing.T) {
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 7)
+	dag.Tasks[5].Deps[0].Pred = 1 // claim a dependence the footprints refute
+	if err := dag.Validate(); err == nil {
+		t.Fatal("Validate accepted a corrupted dependence edge")
+	}
+}
+
+// TestReplayMatchesDirectOneWorker is the strongest equivalence check: on
+// one worker the direct simulation is fully deterministic, so the replayed
+// trace must be identical event for event — under a fixed model, under a
+// stochastic model (same per-worker stream derivation), and when replaying
+// the captured durations with no model at all.
+func TestReplayMatchesDirectOneWorker(t *testing.T) {
+	models := []struct {
+		name  string
+		model core.DurationModel
+	}{
+		{"fixed", core.FixedModel(1e-3)},
+		{"stochastic", jitterModel{base: 1e-3}},
+	}
+	for _, tc := range models {
+		dag, direct := captureRun(t, tc.model, 42)
+		replayed, err := Run(dag, Options{Workers: 1, Model: tc.model, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := replayed.Fingerprint(), direct.Fingerprint(); got != want {
+			t.Errorf("%s: replay fingerprint %#x != direct %#x\ndirect: %+v\nreplay: %+v",
+				tc.name, got, want, direct.Events, replayed.Events)
+		}
+		// Captured durations, no model: same schedule again.
+		fromCaptured, err := Run(dag, Options{Workers: 1, Seed: 99})
+		if err != nil {
+			t.Fatalf("%s captured-durations: %v", tc.name, err)
+		}
+		if got, want := fromCaptured.Fingerprint(), direct.Fingerprint(); got != want {
+			t.Errorf("%s: captured-duration replay fingerprint %#x != direct %#x", tc.name, got, want)
+		}
+	}
+}
+
+// TestReplayMatchesDirectFIFO: the diamond workload carries priorities,
+// but a FIFO-policy engine ignores them — replay must too when
+// Options.IgnorePriorities is set, and the 1-worker traces must then be
+// identical event for event.
+func TestReplayMatchesDirectFIFO(t *testing.T) {
+	model := jitterModel{base: 1e-3}
+	e, err := sched.NewEngine(sched.Config{
+		Workers: 1, Policy: sched.NewFIFOPolicy(), Name: "direct-fifo",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Attach(e, "diamond-fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(e, "direct", core.WithCompletionHook(rec.CompletionHook()))
+	tk := core.NewTasker(sim, model, 42)
+	insertDiamonds(t, e, tk)
+	e.Barrier()
+	e.Shutdown()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dag, err := rec.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := sim.Trace()
+
+	fifo, err := Run(dag, Options{Workers: 1, Model: model, Seed: 42, IgnorePriorities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fifo.Fingerprint(), direct.Fingerprint(); got != want {
+		t.Errorf("FIFO replay fingerprint %#x != direct %#x\ndirect: %+v\nreplay: %+v",
+			got, want, direct.Events, fifo.Events)
+	}
+	// Sanity: priority-ordered replay of the same capture schedules the
+	// prioritized diamond differently, so the knob is load-bearing.
+	prio, err := Run(dag, Options{Workers: 1, Model: model, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.Fingerprint() == direct.Fingerprint() {
+		t.Error("priority-ordered replay unexpectedly matched the FIFO run; test workload no longer exercises IgnorePriorities")
+	}
+}
+
+// TestReplayMatchesDirectChains checks multi-worker equivalence on a
+// workload where it is well defined: independent chains under a fixed
+// model have deterministic per-task virtual intervals even though worker
+// assignment races in the direct run, so the comparison is per label.
+func TestReplayMatchesDirectChains(t *testing.T) {
+	const (
+		chains  = 5
+		depth   = 4
+		workers = 3
+		dur     = 1e-3
+	)
+	e, err := sched.NewEngine(sched.Config{Workers: workers, Policy: sched.NewFIFOPolicy(), Name: "chains"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Attach(e, "chains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(e, "direct")
+	tk := core.NewTasker(sim, core.FixedModel(dur), 1)
+	for c := 0; c < chains; c++ {
+		h := new(int)
+		for k := 0; k < depth; k++ {
+			if err := e.Insert(&sched.Task{
+				Class: "K",
+				Label: chainLabel(c, k),
+				Func:  tk.SimTask("K"),
+				Args:  []sched.Arg{sched.RW(h)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.Barrier()
+	e.Shutdown()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dag, err := rec.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := sim.Trace()
+
+	replayed, err := Run(dag, Options{Workers: workers, Model: core.FixedModel(dur), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replayed.Makespan(), direct.Makespan(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("replay makespan %g != direct %g", got, want)
+	}
+	if len(replayed.Events) != len(direct.Events) {
+		t.Fatalf("replay has %d events, direct %d", len(replayed.Events), len(direct.Events))
+	}
+	type span struct{ start, end float64 }
+	want := make(map[string]span, len(direct.Events))
+	for _, ev := range direct.Events {
+		want[ev.Label] = span{ev.Start, ev.End}
+	}
+	for _, ev := range replayed.Events {
+		w, ok := want[ev.Label]
+		if !ok {
+			t.Fatalf("replay ran unknown task %q", ev.Label)
+		}
+		if math.Abs(ev.Start-w.start) > 1e-12 || math.Abs(ev.End-w.end) > 1e-12 {
+			t.Errorf("task %q: replay [%g,%g] != direct [%g,%g]", ev.Label, ev.Start, ev.End, w.start, w.end)
+		}
+	}
+	if v := replayed.Validate(); len(v) != 0 {
+		t.Errorf("replayed trace has %d physical violations: %+v", len(v), v[0])
+	}
+}
+
+func chainLabel(c, k int) string {
+	return "c" + string(rune('0'+c)) + "." + string(rune('0'+k))
+}
+
+// TestReplaySeedDeterminism: identical seeds give bit-identical traces;
+// distinct seeds give distinct samples.
+func TestReplaySeedDeterminism(t *testing.T) {
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 3)
+	model := jitterModel{base: 1e-3}
+	opts := Options{Workers: 4, Model: model, Seed: 11}
+	a, err := Run(dag, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(dag, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed produced different traces")
+	}
+	c, err := Run(dag, Options{Workers: 4, Model: model, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("different seeds produced identical traces")
+	}
+	if v := a.Validate(); len(v) != 0 {
+		t.Errorf("replayed trace has violations: %+v", v[0])
+	}
+}
+
+// TestReplayWorkerScaling: more workers never exceed the serial makespan,
+// and every width yields a physically consistent trace with all tasks.
+func TestReplayWorkerScaling(t *testing.T) {
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 5)
+	serial, err := Run(dag, Options{Workers: 1, Model: core.FixedModel(1e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		tr, err := Run(dag, Options{Workers: w, Model: core.FixedModel(1e-3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Events) != len(dag.Tasks) {
+			t.Fatalf("workers=%d: %d events, want %d", w, len(tr.Events), len(dag.Tasks))
+		}
+		if tr.Makespan() > serial.Makespan()+1e-12 {
+			t.Errorf("workers=%d: makespan %g exceeds serial %g", w, tr.Makespan(), serial.Makespan())
+		}
+		if v := tr.Validate(); len(v) != 0 {
+			t.Errorf("workers=%d: trace violations: %+v", w, v[0])
+		}
+	}
+}
+
+func TestRunRejectsGangAndMissingDurations(t *testing.T) {
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 5)
+	dag.Tasks[0].Duration = -1
+	if _, err := Run(dag, Options{Workers: 2}); err == nil {
+		t.Error("Run accepted a captured-duration replay with a missing duration")
+	}
+	dag.Tasks[0].NumThreads = 3
+	if _, err := Run(dag, Options{Workers: 2, Model: core.FixedModel(1)}); err == nil {
+		t.Error("Run accepted a gang task")
+	}
+}

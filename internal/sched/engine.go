@@ -76,7 +76,8 @@ var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
 // barrier entry, shutdown, abort, dead-core remaps.
 type Engine struct {
 	cfg  Config
-	self Runtime // the wrapping runtime exposed in Ctx; defaults to e
+	self Runtime  // the wrapping runtime exposed in Ctx; defaults to e
+	obs  Observer // dependence-stream observer (SetObserver); may be nil
 	perf *perf.Counters
 
 	mu         sync.Mutex
@@ -424,6 +425,11 @@ func (e *Engine) Insert(t *Task) error {
 			t.waitCount++
 		}
 	}
+	if e.obs != nil {
+		// The full hazard list, including edges to already-completed
+		// predecessors (only live predecessors gate execution above).
+		e.obs.TaskInserted(t, deps)
+	}
 	if t.waitCount == 0 {
 		e.pushReady(t, -1)
 	}
@@ -447,6 +453,9 @@ func (e *Engine) pushReady(t *Task, by int) {
 	}
 	t.seq = e.seq
 	e.seq++
+	if e.obs != nil {
+		e.obs.TaskReady(t)
+	}
 	e.cfg.Policy.Push(t, by)
 	if l := e.cfg.Policy.Len(); l > e.stats.MaxReadyLen {
 		e.stats.MaxReadyLen = l

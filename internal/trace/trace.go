@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"supersim/internal/stats"
@@ -145,6 +146,45 @@ func (t *Trace) Validate() []Violation {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a deterministic 64-bit FNV-1a digest of the trace
+// content: the worker count and, in stored (completion) order, every
+// event's worker, class, label, task id and exact virtual interval (bit
+// patterns, not rounded values). The trace's own Label is excluded, so a
+// "real" and a "replay" trace of the same execution fingerprint equal.
+// The replay determinism tests compare runs by this digest.
+func (t *Trace) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator: "ab"+"c" differs from "a"+"bc"
+		h *= prime64
+	}
+	mix(uint64(t.Workers))
+	for _, e := range t.Events {
+		mix(uint64(e.Worker))
+		mixStr(e.Class)
+		mixStr(e.Label)
+		mix(uint64(e.TaskID))
+		mix(math.Float64bits(e.Start))
+		mix(math.Float64bits(e.End))
+	}
+	return h
 }
 
 // ByClass groups event durations per kernel class.
