@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench check
+.PHONY: build test race lint bench serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq
+	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server
 
 lint:
 	$(GO) vet ./...
@@ -21,4 +21,7 @@ lint:
 bench:
 	$(GO) run ./cmd/simbench -benchtime 200ms
 
-check: lint build test race
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+check: lint build test race serve-smoke

@@ -12,6 +12,7 @@ import (
 	"supersim/internal/sched/ompss"
 	"supersim/internal/sched/quark"
 	"supersim/internal/sched/starpu"
+	"supersim/internal/server"
 	"supersim/internal/trace"
 )
 
@@ -167,6 +168,24 @@ func ReplayDAG(d *CapturedDAG, opts ReplayOptions) (*Trace, error) {
 // WithCompletionHook registers a per-task completion callback on a
 // Simulator (a DAGRecorder's CompletionHook, typically).
 var WithCompletionHook = core.WithCompletionHook
+
+// Server is the simulation service: a job queue, worker pool, capture
+// cache and observability endpoints over the simulator (see
+// internal/server and cmd/simd).
+type Server = server.Server
+
+// ServerConfig parameterizes a Server (pool size, queue depth, per-job
+// deadline, cache capacity, job retention). The zero value uses defaults.
+type ServerConfig = server.Config
+
+// ServerJobSpec is the JSON workload specification the service accepts.
+type ServerJobSpec = server.JobSpec
+
+// NewServer constructs a simulation service and starts its worker pool.
+// Mount its Handler on any http.Server, submit jobs programmatically with
+// Submit, and stop it with Shutdown (in-flight jobs complete, queued jobs
+// are rejected as retryable).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // FitModel fits the paper's three candidate distributions (normal, gamma,
 // log-normal) to the collected timings and returns the per-class model

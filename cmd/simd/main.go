@@ -1,0 +1,99 @@
+// Command simd is the simulation-as-a-service daemon: it serves the
+// paper's simulator over HTTP. Jobs are JSON workload specs (algorithm,
+// tile counts, scheduler policy, duration model, seeds, optional fault
+// plan) run on a bounded worker pool with admission control; repeated
+// workloads are answered through the capture cache and the replay fast
+// path without touching the scheduler.
+//
+// Usage:
+//
+//	go run ./cmd/simd -addr 127.0.0.1:8080
+//
+// Endpoints:
+//
+//	POST /jobs            submit a job spec, returns 202 + job document
+//	GET  /jobs            list retained jobs
+//	GET  /jobs/{id}       poll one job
+//	GET  /jobs/{id}/trace      virtual trace as JSON
+//	GET  /jobs/{id}/trace.svg  virtual trace as an SVG Gantt chart
+//	GET  /healthz         liveness and drain state
+//	GET  /metrics         job/cache/latency/contention counters
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs complete, queued jobs
+// are rejected as retryable, then the HTTP listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"supersim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+	pool := flag.Int("pool", 2, "concurrent job runners")
+	queueDepth := flag.Int("queue", 64, "submission queue depth (admission control bound)")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-job wall-clock deadline")
+	cacheCap := flag.Int("cache", 64, "capture cache capacity (DAG count)")
+	retain := flag.Int("retain", 256, "finished jobs retained for polling")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs at shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Pool:          *pool,
+		QueueDepth:    *queueDepth,
+		JobDeadline:   *deadline,
+		CacheCapacity: *cacheCap,
+		RetainJobs:    *retain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("simd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatalf("simd: writing addr file: %v", err)
+		}
+	}
+	log.Printf("simd: serving on %s (pool=%d queue=%d deadline=%v)", bound, *pool, *queueDepth, *deadline)
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("simd: %v: draining (in-flight jobs complete, queued jobs are rejected)", sig)
+	case err := <-errCh:
+		log.Fatalf("simd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("simd: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("simd: http shutdown: %v", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("simd: drained: %d done, %d failed, %d rejected; cache %d hits / %d misses / %d captures\n",
+		m.Jobs.Done, m.Jobs.Failed, m.Jobs.Rejected, m.Cache.Hits, m.Cache.Misses, m.Cache.Captures)
+}

@@ -196,6 +196,13 @@ func (l *Loader) typeCheck(path string, files []*ast.File, info *types.Info) (*t
 			if tp := l.typed[p]; tp != nil {
 				return tp, nil
 			}
+			// GOROOT-vendored dependencies (net/http's cone pulls in
+			// golang.org/x/crypto, x/net, ...) are listed by `go list
+			// -deps` under a "vendor/" prefix, but their dependents
+			// import them by the unvendored path.
+			if tp := l.typed["vendor/"+p]; tp != nil {
+				return tp, nil
+			}
 			// Fallback for stragglers `go list -deps` did not surface
 			// (it should not happen for well-formed inputs).
 			return importer.Default().Import(p)

@@ -17,6 +17,19 @@ var DefaultVirtualTimePackages = []string{
 	"supersim/internal/replay",
 }
 
+// WallClockPackages are the packages exempted from the vclock invariant
+// even if a future configuration restricts a prefix that covers them: they
+// sit at the wall-clock boundary by design. The simulation service
+// (internal/server, cmd/simd) measures queue-wait and run latencies,
+// enforces per-job deadlines and drives HTTP timeouts — all legitimately
+// wall-clock — while every simulated timeline it produces still comes from
+// the virtual-time packages above. Individual wall-clock sites there also
+// carry //simlint:allow vclock reasons as documentation.
+var WallClockPackages = []string{
+	"supersim/internal/server",
+	"supersim/cmd/simd",
+}
+
 // vclockBanned are the package time functions that read or consume the
 // wall clock. Pure types and constructors of values (time.Duration
 // arithmetic, time.Microsecond, ...) remain legal: the invariant is about
@@ -44,6 +57,9 @@ func NewVClock(restricted []string) *Analyzer {
 	}
 	a.Run = func(pass *Pass) error {
 		if !pkgPathMatches(pass.Pkg.Path(), restricted) {
+			return nil
+		}
+		if pkgPathMatches(pass.Pkg.Path(), WallClockPackages) {
 			return nil
 		}
 		for _, f := range pass.Files {

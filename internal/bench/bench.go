@@ -93,10 +93,10 @@ func NewRuntime(s Spec) (sched.Runtime, error) {
 	return rt, nil
 }
 
-// armFaults attaches the spec's fault plan and watchdog to a constructed
+// ArmFaults attaches the spec's fault plan and watchdog to a constructed
 // run. It returns the (possibly decorated) runtime to insert through, the
 // injector (nil when disabled) and the watchdog (nil when disabled).
-func armFaults(spec Spec, rt sched.Runtime, sim *core.Simulator) (sched.Runtime, *fault.Injector, *fault.Watchdog, error) {
+func ArmFaults(spec Spec, rt sched.Runtime, sim *core.Simulator) (sched.Runtime, *fault.Injector, *fault.Watchdog, error) {
 	var inj *fault.Injector
 	if spec.Fault != nil {
 		inj = fault.New(*spec.Fault)
@@ -147,6 +147,14 @@ func resultFrom(spec Spec, tr *trace.Trace, wall time.Duration, st sched.Stats) 
 	}
 }
 
+// Ops builds the spec's task stream (input matrices are generated and
+// discarded). The simulation service uses it to drive runs it instruments
+// itself; in-package callers that also need the matrices use buildOps.
+func Ops(spec Spec) ([]factor.Op, error) {
+	ops, _, _, err := buildOps(spec)
+	return ops, err
+}
+
 // buildOps creates the input matrices and the op stream for the spec.
 func buildOps(spec Spec) ([]factor.Op, *tile.Matrix, *tile.Matrix, error) {
 	a, t := workload.ForAlgorithm(spec.Algorithm, spec.NT, spec.NB, spec.Seed)
@@ -184,7 +192,7 @@ func Measured(spec Spec) (Result, *perfmodel.Collector, error) {
 	sim := core.NewSimulator(rt, "real",
 		core.WithWaitPolicy(spec.Wait),
 		core.WithSampleHook(collector.Hook()))
-	frt, inj, wd, err := armFaults(spec, rt, sim)
+	frt, inj, wd, err := ArmFaults(spec, rt, sim)
 	if err != nil {
 		rt.Shutdown()
 		return Result{}, nil, err
@@ -227,7 +235,7 @@ func Simulated(spec Spec, model core.DurationModel) (Result, error) {
 		return Result{}, err
 	}
 	sim := core.NewSimulator(rt, "simulated", core.WithWaitPolicy(spec.Wait))
-	frt, inj, wd, err := armFaults(spec, rt, sim)
+	frt, inj, wd, err := ArmFaults(spec, rt, sim)
 	if err != nil {
 		rt.Shutdown()
 		return Result{}, err
@@ -261,7 +269,7 @@ func simulatedGang(spec Spec, model core.DurationModel, ops []factor.Op) (Result
 		return Result{}, err
 	}
 	sim := core.NewSimulator(rt, "simulated-gang", core.WithWaitPolicy(spec.Wait))
-	frt, inj, wd, err := armFaults(spec, rt, sim)
+	frt, inj, wd, err := ArmFaults(spec, rt, sim)
 	if err != nil {
 		rt.Shutdown()
 		return Result{}, err

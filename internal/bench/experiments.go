@@ -374,7 +374,7 @@ func raceScenario(spec Spec) (cStart, makespan float64, violations int, err erro
 	sim := core.NewSimulator(rt, "race", core.WithWaitPolicy(spec.Wait))
 	// The WaitNone variant can wedge outright (the race the experiment
 	// demonstrates); spec.StallDeadline bounds a trial with the watchdog.
-	frt, _, wd, err := armFaults(spec, rt, sim)
+	frt, _, wd, err := ArmFaults(spec, rt, sim)
 	if err != nil {
 		rt.Shutdown()
 		return 0, 0, 0, err

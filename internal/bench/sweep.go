@@ -65,13 +65,13 @@ func CaptureSpec(spec Spec) (*replay.DAG, error) {
 	return dag, nil
 }
 
-// replayIgnoresPriorities reports whether replays of the spec's scheduler
+// ReplayIgnoresPriorities reports whether replays of the spec's scheduler
 // should order ready tasks FIFO. The OmpSs reproduction defaults to a FIFO
 // policy (bench never enables its priority clause), as does StarPU for
 // every policy except "prio"; QUARK's locality policy consults priorities.
 // Replay always approximates policies with per-worker state (locality,
 // work stealing) by the corresponding central queue — see DESIGN.md §9.
-func replayIgnoresPriorities(spec Spec) bool {
+func ReplayIgnoresPriorities(spec Spec) bool {
 	switch spec.Scheduler {
 	case "ompss":
 		return true
@@ -126,12 +126,12 @@ type SweepWall struct {
 	ReplayPerPoint  []time.Duration
 }
 
-// replicaSeed derives the sampling seed of one replay replica from the
+// ReplicaSeed derives the sampling seed of one replay replica from the
 // sweep's base seed, the point's tile count and the replica index — never
 // from the shard or goroutine that happens to run it. The splitmix64
 // finalizer decorrelates the per-worker streams replay.Run derives by
 // XOR-multiplying these seeds.
-func replicaSeed(base uint64, nt, rep int) uint64 {
+func ReplicaSeed(base uint64, nt, rep int) uint64 {
 	x := base + 0x9e3779b97f4a7c15*uint64(nt+1) + 0xbf58476d1ce4e5b9*uint64(rep+1)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -187,7 +187,7 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 	}
 	wall.Capture = time.Since(t0)
 
-	fifo := replayIgnoresPriorities(Spec{Scheduler: scheduler})
+	fifo := ReplayIgnoresPriorities(Spec{Scheduler: scheduler})
 	jobs := np * reps
 	shards := opt.Shards
 	if shards <= 0 {
@@ -215,7 +215,7 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 				tr, err := replay.Run(dags[p], replay.Options{
 					Workers:          workers,
 					Model:            opt.Model,
-					Seed:             replicaSeed(opt.Seed, points[p].NT, rep),
+					Seed:             ReplicaSeed(opt.Seed, points[p].NT, rep),
 					IgnorePriorities: fifo,
 				})
 				if err != nil {

@@ -85,13 +85,13 @@ func TestReplicaSeedIndependentOfOrder(t *testing.T) {
 	seen := map[uint64]bool{}
 	for nt := 2; nt <= 6; nt++ {
 		for rep := 0; rep < 8; rep++ {
-			s := replicaSeed(42, nt, rep)
+			s := ReplicaSeed(42, nt, rep)
 			if seen[s] {
 				t.Fatalf("replica seed collision at nt=%d rep=%d", nt, rep)
 			}
 			seen[s] = true
-			if s != replicaSeed(42, nt, rep) {
-				t.Fatal("replicaSeed is not a pure function")
+			if s != ReplicaSeed(42, nt, rep) {
+				t.Fatal("ReplicaSeed is not a pure function")
 			}
 		}
 	}

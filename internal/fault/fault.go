@@ -36,56 +36,60 @@ var ErrInjected = errors.New("fault: injected transient failure")
 
 // Rates holds the per-kernel-class injection probabilities of the four
 // task-level fault classes (all in [0, 1], independent draws per task).
+// The JSON field names are stable: fault plans arrive over the simulation
+// service's job API in this shape.
 type Rates struct {
 	// Panic is the probability that a task's body panics on its first
 	// attempt(s) (Config.PanicFailures of them) before doing any work.
-	Panic float64
+	Panic float64 `json:"panic,omitempty"`
 	// Transient is the probability that a task completes its (simulated)
 	// execution and then reports a retryable failure — a kernel that ran
 	// but produced a result that must be recomputed. Failed attempts are
 	// visible in the virtual trace: each attempt logs its own event.
-	Transient float64
+	Transient float64 `json:"transient,omitempty"`
 	// Straggler is the probability that a task's virtual duration is
 	// inflated by Config.SlowFactor (a slow outlier execution).
-	Straggler float64
+	Straggler float64 `json:"straggler,omitempty"`
 	// Stall is the probability that the executing worker blocks for
 	// Config.StallWall of wall-clock time before running the body — host
 	// jitter that must not perturb virtual time.
-	Stall float64
+	Stall float64 `json:"stall,omitempty"`
 }
 
 func (r Rates) zero() bool {
 	return r.Panic == 0 && r.Transient == 0 && r.Straggler == 0 && r.Stall == 0
 }
 
-// Config parameterizes an Injector.
+// Config parameterizes an Injector. Like Rates, it is JSON-serializable
+// with stable field names for the simulation service's job API.
 type Config struct {
 	// Seed makes the fault plan reproducible: the injector consumes a
 	// fixed number of RNG draws per inserted task, and insertion is
 	// serial, so a given (seed, task stream) pair always yields the same
 	// plan.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Default is the rate set for kernel classes absent from PerClass.
-	Default Rates
+	Default Rates `json:"default,omitempty"`
 	// PerClass overrides the rates for specific kernel classes.
-	PerClass map[string]Rates
+	PerClass map[string]Rates `json:"per_class,omitempty"`
 	// PanicFailures is how many attempts of a panic-faulted task panic
 	// before one succeeds (default 1). Set above the engine's MaxRetries
 	// to make the fault permanent.
-	PanicFailures int
+	PanicFailures int `json:"panic_failures,omitempty"`
 	// TransientFailures is the analogous count for transient faults
 	// (default 1).
-	TransientFailures int
+	TransientFailures int `json:"transient_failures,omitempty"`
 	// SlowFactor is the straggler duration inflation (default 4).
-	SlowFactor float64
+	SlowFactor float64 `json:"slow_factor,omitempty"`
 	// StallWall is the wall-clock pause of a stalled worker (default
 	// 2ms). It consumes host time only; virtual time is unaffected.
-	StallWall time.Duration
+	// Serialized as integer nanoseconds (time.Duration's JSON form).
+	StallWall time.Duration `json:"stall_wall_ns,omitempty"`
 	// DeadCores kills this many virtual cores at attach time (chosen
 	// deterministically from Seed among workers 1..N-1; worker 0 never
 	// dies, so participating masters survive). Ready tasks bound to a
 	// dead core are remapped and the makespan degrades gracefully.
-	DeadCores int
+	DeadCores int `json:"dead_cores,omitempty"`
 }
 
 // Stats counts the faults an injector actually planted.

@@ -167,6 +167,28 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 }
 
+// Add returns the element-wise sum s + other, for aggregating the
+// counters of multiple runs (the simulation service sums per-run deltas
+// into its service-lifetime totals this way).
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	return Snapshot{
+		TargetedWakeups:   s.TargetedWakeups + other.TargetedWakeups,
+		CollectiveWakeups: s.CollectiveWakeups + other.CollectiveWakeups,
+		SpuriousWakeups:   s.SpuriousWakeups + other.SpuriousWakeups,
+		FrontHandoffs:     s.FrontHandoffs + other.FrontHandoffs,
+		FrontParks:        s.FrontParks + other.FrontParks,
+		QuiescenceParks:   s.QuiescenceParks + other.QuiescenceParks,
+		QuiescenceSpins:   s.QuiescenceSpins + other.QuiescenceSpins,
+		QuiescenceKicks:   s.QuiescenceKicks + other.QuiescenceKicks,
+		TasksExecuted:     s.TasksExecuted + other.TasksExecuted,
+		TraceMerges:       s.TraceMerges + other.TraceMerges,
+		InsertHoldNS:      s.InsertHoldNS + other.InsertHoldNS,
+		InsertHolds:       s.InsertHolds + other.InsertHolds,
+		ExecuteHoldNS:     s.ExecuteHoldNS + other.ExecuteHoldNS,
+		ExecuteHolds:      s.ExecuteHolds + other.ExecuteHolds,
+	}
+}
+
 // PerTask normalizes a counter by the executed-task count; 0 when no task
 // completed in the interval.
 func (s Snapshot) PerTask(counter uint64) float64 {

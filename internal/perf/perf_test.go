@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fill sets every Snapshot field to a distinct value derived from base, by
+// reflection, so a field added to Snapshot without updating Sub/Add makes
+// the algebra tests below fail instead of silently passing.
+func fill(base int64) Snapshot {
+	var s Snapshot
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(base + int64(i)))
+		case reflect.Int64:
+			f.SetInt(base + int64(i))
+		default:
+			panic("perf: unexpected Snapshot field kind " + f.Kind().String())
+		}
+	}
+	return s
+}
+
+func TestSnapshotAlgebra(t *testing.T) {
+	a, b := fill(100), fill(1000)
+	sum := a.Add(b)
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("(a+b)-b != a: got %+v, want %+v", got, a)
+	}
+	if got := sum.Sub(a); got != b {
+		t.Fatalf("(a+b)-a != b: got %+v, want %+v", got, b)
+	}
+	var zero Snapshot
+	if got := a.Add(zero); got != a {
+		t.Fatalf("a+0 != a: got %+v", got)
+	}
+	if got := a.Sub(a); got != zero {
+		t.Fatalf("a-a != 0: got %+v", got)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.TargetedWakeups.Add(3)
+	c.TasksExecuted.Add(7)
+	c.SpuriousWakeups.Add(1)
+	s := c.Snapshot()
+	if s.TargetedWakeups != 3 || s.TasksExecuted != 7 || s.SpuriousWakeups != 1 {
+		t.Fatalf("snapshot did not copy counters: %+v", s)
+	}
+	if got := s.PerTask(s.TargetedWakeups); got != 3.0/7.0 {
+		t.Fatalf("PerTask = %v, want %v", got, 3.0/7.0)
+	}
+	var nilC *Counters
+	if got := nilC.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("nil Counters snapshot = %+v, want zero", got)
+	}
+}

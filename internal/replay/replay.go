@@ -61,7 +61,11 @@ type Task struct {
 	Duration float64
 }
 
-// DAG is a captured task graph: the complete input of a replay.
+// DAG is a captured task graph: the complete input of a replay. Run only
+// reads it, so one DAG may be replayed from any number of goroutines
+// concurrently — the sweep driver shards replicas over a shared DAG, and
+// the simulation service's capture cache serves one DAG to every job that
+// hits its key. Do not mutate a DAG once it is shared.
 type DAG struct {
 	// Label names the graph (trace labels derive from it).
 	Label string

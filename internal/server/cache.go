@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+
+	"supersim/internal/replay"
+)
+
+// cacheKey identifies one captured DAG. The DAG of a tile algorithm is a
+// pure function of the op-stream structure — algorithm and tile count —
+// and of the scheduler that resolves it (policy and window can reorder
+// hazard resolution for runtimes that expose them), never of the duration
+// model, the seed or the worker count. Those stay out of the key so one
+// capture serves every model/seed/width variation of the same graph.
+type cacheKey struct {
+	algorithm string
+	scheduler string
+	policy    string
+	nt, nb    int
+	window    int
+}
+
+// cacheEntry is one singleflight slot: the first requester captures while
+// later requesters block on done. err is only read after done is closed.
+type cacheEntry struct {
+	done chan struct{}
+	dag  *replay.DAG
+	err  error
+	use  uint64 // LRU stamp; only touched with the owning captureCache's mu held
+}
+
+// captureCache is the daemon's DAG cache: repeated jobs with the same key
+// skip the scheduler entirely and replay the cached capture (the PR 4 fast
+// path). Concurrent requests for an uncached key are deduplicated: exactly
+// one goroutine runs the capture, the rest wait for its result.
+type captureCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry // guarded-by: mu
+	tick    uint64                   // guarded-by: mu — LRU clock
+	cap     int
+
+	captures  uint64 // guarded-by: mu — capture runs actually executed
+	evictions uint64 // guarded-by: mu
+}
+
+func newCaptureCache(capacity int) *captureCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &captureCache{entries: make(map[cacheKey]*cacheEntry), cap: capacity}
+}
+
+// get returns the DAG for key, capturing it via capture() if absent.
+// hit reports whether the caller was served without running a capture
+// (including waiting on another goroutine's in-flight capture). A failed
+// capture is not cached: its waiters receive the error, then the entry is
+// removed so a later job can retry.
+func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (dag *replay.DAG, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.use = c.tick
+		c.mu.Unlock()
+		<-e.done
+		return e.dag, true, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.tick++
+	e.use = c.tick
+	c.entries[key] = e
+	c.captures++
+	c.mu.Unlock()
+
+	e.dag, e.err = capture()
+	close(e.done)
+	c.mu.Lock()
+	if e.err != nil {
+		// Waiters hold their own pointer to e; removing the map entry only
+		// stops future lookups from inheriting the failure.
+		delete(c.entries, key)
+	} else {
+		c.evict()
+	}
+	c.mu.Unlock()
+	return e.dag, false, e.err
+}
+
+// evict removes least-recently-used completed entries until the cache fits
+// its capacity. In-flight entries (done not yet closed) are never evicted:
+// removing one would let a concurrent identical job start a second
+// capture, breaking the dedup guarantee. Caller holds c.mu.
+func (c *captureCache) evict() {
+	for len(c.entries) > c.cap {
+		var victim cacheKey
+		var victimUse uint64
+		found := false
+		for k, e := range c.entries {
+			select {
+			case <-e.done:
+			default:
+				continue // in-flight
+			}
+			if !found || e.use < victimUse {
+				victim, victimUse, found = k, e.use, true
+			}
+		}
+		if !found {
+			return // everything in flight; retry on a later insert
+		}
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// stats reports the cache's internal counters (entry count, captures,
+// evictions). Hit/miss/bypass accounting lives in metrics: a hit is a
+// property of a job, not of the cache lookup alone.
+func (c *captureCache) stats() (entries int, captures, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.captures, c.evictions
+}

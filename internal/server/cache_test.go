@@ -1,0 +1,107 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supersim/internal/replay"
+)
+
+func key(nt int) cacheKey {
+	return cacheKey{algorithm: "cholesky", scheduler: "quark", nt: nt, nb: 8}
+}
+
+// TestCaptureCacheSingleflight checks the dedup guarantee: N concurrent
+// requests for one uncached key run exactly one capture, and everyone gets
+// the same DAG.
+func TestCaptureCacheSingleflight(t *testing.T) {
+	c := newCaptureCache(4)
+	want := &replay.DAG{}
+	var captures atomic.Int64
+
+	const n = 8
+	dags := make([]*replay.DAG, n)
+	hits := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dag, hit, err := c.get(key(4), func() (*replay.DAG, error) {
+				captures.Add(1)
+				time.Sleep(5 * time.Millisecond) // hold the flight open so waiters pile up
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("get %d: %v", i, err)
+			}
+			dags[i], hits[i] = dag, hit
+		}(i)
+	}
+	wg.Wait()
+
+	if got := captures.Load(); got != 1 {
+		t.Fatalf("capture ran %d times, want exactly 1", got)
+	}
+	misses := 0
+	for i := range dags {
+		if dags[i] != want {
+			t.Fatalf("goroutine %d got a different DAG", i)
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d goroutines reported a miss, want exactly 1 (the capturer)", misses)
+	}
+	if entries, caps, _ := c.stats(); entries != 1 || caps != 1 {
+		t.Fatalf("stats: entries=%d captures=%d, want 1/1", entries, caps)
+	}
+}
+
+// TestCaptureCacheErrorNotCached checks that a failed capture is surfaced
+// to its requester but not remembered: the next request retries.
+func TestCaptureCacheErrorNotCached(t *testing.T) {
+	c := newCaptureCache(4)
+	boom := errors.New("boom")
+	var calls int
+
+	_, _, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("first get: err=%v, want %v", err, boom)
+	}
+	want := &replay.DAG{}
+	dag, hit, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return want, nil })
+	if err != nil || dag != want || hit {
+		t.Fatalf("retry after failure: dag=%p hit=%v err=%v, want fresh capture", dag, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("capture ran %d times, want 2 (failure must not be cached)", calls)
+	}
+}
+
+// TestCaptureCacheEviction checks LRU eviction: the least-recently-used
+// completed entry leaves first, and an evicted key is re-captured.
+func TestCaptureCacheEviction(t *testing.T) {
+	c := newCaptureCache(2)
+	cap1 := func() (*replay.DAG, error) { return &replay.DAG{}, nil }
+
+	c.get(key(1), cap1)
+	c.get(key(2), cap1)
+	c.get(key(1), cap1) // refresh key(1): key(2) is now LRU
+	c.get(key(3), cap1) // overflow: evicts key(2)
+
+	if entries, caps, evs := c.stats(); entries != 2 || caps != 3 || evs != 1 {
+		t.Fatalf("stats after overflow: entries=%d captures=%d evictions=%d, want 2/3/1", entries, caps, evs)
+	}
+	if _, hit, _ := c.get(key(1), cap1); !hit {
+		t.Fatal("key(1) was evicted; want the recently-used entry kept")
+	}
+	if _, hit, _ := c.get(key(2), cap1); hit {
+		t.Fatal("key(2) still cached; want the LRU entry evicted")
+	}
+}

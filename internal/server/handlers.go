@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"supersim/internal/trace"
+)
+
+// routes builds the service mux. Method-qualified patterns (Go 1.22
+// net/http) give 405s for free.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/trace.svg", s.handleTraceSVG)
+	return mux
+}
+
+// apiError is the JSON error envelope. Retryable tells clients whether
+// resubmitting the identical request later can succeed (queue full,
+// draining) or not (validation failure, job failure).
+type apiError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // header already sent; nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, retryable bool, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Retryable: retryable})
+}
+
+// maxSpecBytes bounds a job-spec body; real specs are a few hundred bytes.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, false, "decoding job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, true, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, true, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, false, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, false, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// jobTrace resolves a job's retained trace for the trace endpoints,
+// writing the error response when unavailable.
+func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request) *trace.Trace {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, false, "no such job %q", r.PathValue("id"))
+		return nil
+	}
+	switch job.Status() {
+	case StatusDone:
+	case StatusFailed, StatusRejected:
+		writeError(w, http.StatusConflict, false, "job %s %s; no trace", job.ID, job.Status())
+		return nil
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, true, "job %s still %s; poll again", job.ID, job.Status())
+		return nil
+	}
+	tr := job.Trace()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, false,
+			"job %s retained no trace (sweep job, or submitted with \"trace\": false)", job.ID)
+		return nil
+	}
+	return tr
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.jobTrace(w, r)
+	if tr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteJSON(w)
+}
+
+func (s *Server) handleTraceSVG(w http.ResponseWriter, r *http.Request) {
+	tr := s.jobTrace(w, r)
+	if tr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_ = tr.WriteSVG(w, trace.SVGOptions{})
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Queued  int    `json:"queued"`
+	Running int64  `json:"running"`
+	Jobs    int    `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:  status,
+		Queued:  s.queue.depthNow(),
+		Running: s.metrics.running.Load(),
+		Jobs:    jobs,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

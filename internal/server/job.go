@@ -1,0 +1,417 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"supersim/internal/bench"
+	"supersim/internal/core"
+	"supersim/internal/fault"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// JobSpec is the JSON workload specification accepted by POST /jobs.
+type JobSpec struct {
+	// Kind selects the job type: "simulate" (default) runs one simulation
+	// (replayed from the capture cache when eligible); "sweep" runs the
+	// paper's matrix-size sweep on the sharded replay driver.
+	Kind string `json:"kind,omitempty"`
+	// Algorithm is "cholesky", "qr" or "lu".
+	Algorithm string `json:"algorithm"`
+	// Scheduler is "quark" (default), "starpu" or "ompss"; Policy is the
+	// StarPU scheduling policy ("" = eager).
+	Scheduler string `json:"scheduler,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	// NT and NB are tiles per dimension and tile size (NB defaults to 32).
+	NT int `json:"nt,omitempty"`
+	NB int `json:"nb,omitempty"`
+	// Workers is the virtual core count (default 4).
+	Workers int `json:"workers,omitempty"`
+	// Seed drives matrix generation and duration sampling.
+	Seed uint64 `json:"seed,omitempty"`
+	// Reps is the number of stochastic repetitions (default 1). Rep r
+	// samples with bench.ReplicaSeed(Seed, NT, r), so a cached replay and
+	// a direct run of the same rep draw the same per-worker streams.
+	Reps int `json:"reps,omitempty"`
+	// Window overrides the scheduler's task-window size (QUARK only).
+	// A nonzero window bypasses the capture cache: replay assumes an
+	// unbounded insertion window (DESIGN.md §9).
+	Window int `json:"window,omitempty"`
+	// Wait selects the race mitigation: "quiescence" (default),
+	// "sleep-yield" or "none".
+	Wait string `json:"wait,omitempty"`
+	// Model supplies virtual kernel durations (default: 1ms fixed).
+	Model *ModelSpec `json:"model,omitempty"`
+	// Fault is an optional deterministic fault plan; it forces the direct
+	// (non-cached) path, as does GangPanels > 1.
+	Fault      *fault.Config `json:"fault,omitempty"`
+	MaxRetries int           `json:"max_retries,omitempty"`
+	GangPanels int           `json:"gang_panels,omitempty"`
+	GangEff    float64       `json:"gang_eff,omitempty"`
+	// DeadlineMS caps the job's wall-clock execution (default: the
+	// server's JobDeadline). The deadline is enforced twice: the PR 1
+	// watchdog aborts a stalled run early, and a context timer aborts a
+	// run that is advancing but overlong.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxNT and Shards parameterize sweep jobs: points run from NT=2 to
+	// MaxNT across Shards replay goroutines (0 = GOMAXPROCS).
+	MaxNT  int `json:"max_nt,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// NoCache forces the direct path even for cache-eligible jobs.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Trace controls whether the job retains its virtual trace for the
+	// trace endpoints (default true for simulate jobs).
+	Trace *bool `json:"trace,omitempty"`
+}
+
+// ModelSpec is the JSON form of a duration model: a constant per kernel
+// class with a fixed fallback for unlisted classes.
+type ModelSpec struct {
+	// Fixed is the duration (virtual seconds) of classes not in Classes.
+	Fixed float64 `json:"fixed,omitempty"`
+	// Classes maps kernel class names (e.g. "DPOTRF") to durations.
+	Classes map[string]float64 `json:"classes,omitempty"`
+}
+
+// defaultDuration is the fallback virtual kernel duration (1ms) when a job
+// spec supplies no model.
+const defaultDuration = 1e-3
+
+// classModel implements core.DurationModel: per-class constants with a
+// fixed fallback (core.ClassMap alone maps unknown classes to zero, which
+// would make unlisted kernels free).
+type classModel struct {
+	classes map[string]float64
+	fixed   float64
+}
+
+// Duration implements core.DurationModel.
+func (m classModel) Duration(class string, _ sched.WorkerKind, _ *rng.Source) float64 {
+	if d, ok := m.classes[class]; ok {
+		return d
+	}
+	return m.fixed
+}
+
+// buildModel translates a ModelSpec into a core.DurationModel.
+func buildModel(spec *ModelSpec) core.DurationModel {
+	fixed := defaultDuration
+	if spec != nil && spec.Fixed > 0 {
+		fixed = spec.Fixed
+	}
+	if spec == nil || len(spec.Classes) == 0 {
+		return core.FixedModel(fixed)
+	}
+	return classModel{classes: spec.Classes, fixed: fixed}
+}
+
+// validate normalizes the spec in place and reports the first problem.
+func (s *JobSpec) validate() error {
+	switch s.Kind {
+	case "":
+		s.Kind = "simulate"
+	case "simulate", "sweep":
+	default:
+		return fmt.Errorf("unknown kind %q (want \"simulate\" or \"sweep\")", s.Kind)
+	}
+	switch s.Algorithm {
+	case "cholesky", "chol", "qr", "lu":
+	case "":
+		return fmt.Errorf("missing algorithm (want \"cholesky\", \"qr\" or \"lu\")")
+	default:
+		return fmt.Errorf("unknown algorithm %q (want \"cholesky\", \"qr\" or \"lu\")", s.Algorithm)
+	}
+	switch s.Scheduler {
+	case "":
+		s.Scheduler = "quark"
+	case "quark", "starpu", "ompss":
+	default:
+		return fmt.Errorf("unknown scheduler %q (want \"quark\", \"starpu\" or \"ompss\")", s.Scheduler)
+	}
+	if s.Kind == "sweep" {
+		if s.MaxNT < 2 {
+			return fmt.Errorf("sweep jobs need max_nt >= 2 (got %d)", s.MaxNT)
+		}
+		if s.MaxNT > 64 {
+			return fmt.Errorf("max_nt %d too large (cap 64)", s.MaxNT)
+		}
+	} else {
+		if s.NT < 1 {
+			return fmt.Errorf("nt must be >= 1 (got %d)", s.NT)
+		}
+		if s.NT > 128 {
+			return fmt.Errorf("nt %d too large (cap 128)", s.NT)
+		}
+	}
+	if s.NB == 0 {
+		s.NB = 32
+	}
+	if s.NB < 1 || s.NB > 512 {
+		return fmt.Errorf("nb must be in [1, 512] (got %d)", s.NB)
+	}
+	if s.Workers == 0 {
+		s.Workers = 4
+	}
+	if s.Workers < 1 || s.Workers > 1024 {
+		return fmt.Errorf("workers must be in [1, 1024] (got %d)", s.Workers)
+	}
+	if s.Reps == 0 {
+		s.Reps = 1
+	}
+	if s.Reps < 1 || s.Reps > 1000 {
+		return fmt.Errorf("reps must be in [1, 1000] (got %d)", s.Reps)
+	}
+	switch s.Wait {
+	case "", "quiescence", "sleep-yield", "none":
+	default:
+		return fmt.Errorf("unknown wait policy %q (want \"quiescence\", \"sleep-yield\" or \"none\")", s.Wait)
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be >= 0 (got %d)", s.DeadlineMS)
+	}
+	if s.GangPanels > s.Workers {
+		return fmt.Errorf("gang_panels %d exceeds workers %d", s.GangPanels, s.Workers)
+	}
+	return nil
+}
+
+// waitPolicy maps the spec's wait string to a core.WaitPolicy.
+func (s *JobSpec) waitPolicy() core.WaitPolicy {
+	switch s.Wait {
+	case "sleep-yield":
+		return core.WaitSleepYield
+	case "none":
+		return core.WaitNone
+	default:
+		return core.WaitQuiescence
+	}
+}
+
+// benchSpec translates the job spec into the experiment harness's Spec.
+func (s *JobSpec) benchSpec() bench.Spec {
+	return bench.Spec{
+		Algorithm:  s.Algorithm,
+		Scheduler:  s.Scheduler,
+		Policy:     s.Policy,
+		NT:         s.NT,
+		NB:         s.NB,
+		Workers:    s.Workers,
+		Seed:       s.Seed,
+		Wait:       s.waitPolicy(),
+		Window:     s.Window,
+		GangPanels: s.GangPanels,
+		GangEff:    s.GangEff,
+		MaxRetries: s.MaxRetries,
+		Fault:      s.Fault,
+	}
+}
+
+// keepTrace reports whether the job should retain its virtual trace.
+func (s *JobSpec) keepTrace() bool {
+	if s.Trace != nil {
+		return *s.Trace
+	}
+	return s.Kind == "simulate"
+}
+
+// cacheable reports whether the job may be served through the capture
+// cache: a plain simulation whose schedule the replay engine reproduces.
+// Faults perturb execution (extra attempts, remapped cores), gang tasks
+// need multi-worker slots, a bounded window changes the reachable
+// schedule, and accelerator setups place tasks on non-CPU workers — all of
+// those run the real scheduler.
+func (s *JobSpec) cacheable() bool {
+	return s.Kind == "simulate" &&
+		!s.NoCache &&
+		s.Fault == nil &&
+		s.GangPanels <= 1 &&
+		s.Window == 0 &&
+		s.MaxRetries == 0
+}
+
+// cacheKey returns the job's capture-cache key; call only when cacheable.
+func (s *JobSpec) cacheKey() cacheKey {
+	return cacheKey{
+		algorithm: s.Algorithm,
+		scheduler: s.Scheduler,
+		policy:    s.Policy,
+		nt:        s.NT,
+		nb:        s.NB,
+		window:    s.Window,
+	}
+}
+
+// Job statuses.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusRejected = "rejected" // drained from the queue at shutdown; retryable
+)
+
+// JobResult is the result section of a finished job.
+type JobResult struct {
+	// Makespan/GFlops summarize the first repetition's trace; Makespans
+	// holds every repetition (replica order).
+	Makespan     float64   `json:"makespan,omitempty"`
+	GFlops       float64   `json:"gflops,omitempty"`
+	NumTasks     int       `json:"num_tasks,omitempty"`
+	Makespans    []float64 `json:"makespans,omitempty"`
+	MinMakespan  float64   `json:"min_makespan,omitempty"`
+	MeanMakespan float64   `json:"mean_makespan,omitempty"`
+	// Faults reports what the job's injector planted (nil when off).
+	Faults *fault.Stats `json:"faults,omitempty"`
+	// Sweep holds the per-matrix-size curve of sweep jobs.
+	Sweep []bench.SweepPoint `json:"sweep,omitempty"`
+}
+
+// Job is one submitted simulation job and its lifecycle record.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu        sync.Mutex
+	status    string     // guarded-by: mu
+	err       string     // guarded-by: mu
+	retryable bool       // guarded-by: mu
+	cache     string     // guarded-by: mu — "hit", "miss", "bypass" or ""
+	queueWait float64    // guarded-by: mu — seconds
+	runTime   float64    // guarded-by: mu — seconds
+	result    *JobResult // guarded-by: mu
+	trace     *trace.Trace
+
+	submitted time.Time
+	started   time.Time // guarded-by: mu
+}
+
+// JobView is the JSON representation of a job served by the API.
+type JobView struct {
+	ID          string     `json:"id"`
+	Status      string     `json:"status"`
+	Kind        string     `json:"kind"`
+	Algorithm   string     `json:"algorithm"`
+	Scheduler   string     `json:"scheduler"`
+	NT          int        `json:"nt,omitempty"`
+	Workers     int        `json:"workers"`
+	Cache       string     `json:"cache,omitempty"`
+	QueueWaitNS int64      `json:"queue_wait_ns,omitempty"`
+	RunNS       int64      `json:"run_ns,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Retryable   bool       `json:"retryable,omitempty"`
+	HasTrace    bool       `json:"has_trace,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// view snapshots the job for serving.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:          j.ID,
+		Status:      j.status,
+		Kind:        j.Spec.Kind,
+		Algorithm:   j.Spec.Algorithm,
+		Scheduler:   j.Spec.Scheduler,
+		NT:          j.Spec.NT,
+		Workers:     j.Spec.Workers,
+		Cache:       j.cache,
+		QueueWaitNS: int64(j.queueWait * 1e9),
+		RunNS:       int64(j.runTime * 1e9),
+		Error:       j.err,
+		Retryable:   j.retryable,
+		HasTrace:    j.trace != nil,
+		Result:      j.result,
+	}
+}
+
+// Trace returns the retained virtual trace, or nil.
+func (j *Job) Trace() *trace.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// Status returns the job's current lifecycle status.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// jobQueue is the admission-controlled submission queue: a bounded FIFO
+// with condvar handoff to the worker pool. A mutex/condvar queue (rather
+// than a channel) makes drain atomic: Shutdown rejects every queued job
+// and stops the workers under one critical section, so a job is either
+// rejected or was already picked up — never both, never neither.
+type jobQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []*Job // guarded-by: mu
+	depth    int
+	draining bool // guarded-by: mu
+}
+
+func newJobQueue(depth int) *jobQueue {
+	q := &jobQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// errQueueFull is returned by push when admission control rejects a job.
+var errQueueFull = fmt.Errorf("job queue full")
+
+// errDraining is returned by push while the server shuts down.
+var errDraining = fmt.Errorf("server draining")
+
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return errDraining
+	}
+	if len(q.items) >= q.depth {
+		return errQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is draining; ok=false
+// means the worker should exit.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.draining {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// drain marks the queue draining and returns every job still queued; those
+// jobs were never picked up and are rejected as retryable.
+func (q *jobQueue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.draining = true
+	out := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return out
+}
+
+// depthNow returns the current queue length.
+func (q *jobQueue) depthNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

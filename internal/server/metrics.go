@@ -1,0 +1,139 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"supersim/internal/perf"
+	"supersim/internal/stats"
+)
+
+// metrics aggregates the service counters exposed by /metrics: job
+// lifecycle counts, capture-cache effectiveness and latency samples.
+// Producers (HTTP handlers, pool workers) update atomics and bounded
+// sample rings; Snapshot assembles a JSON-ready document.
+type metrics struct {
+	submitted atomic.Uint64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64 // admission-control refusals (queue full or draining)
+	running   atomic.Int64  // gauge: jobs currently executing
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	cacheBypass atomic.Uint64 // jobs ineligible for the capture cache
+
+	queueWait sampleRing // seconds from submit to worker pickup
+	runTime   sampleRing // seconds from pickup to completion
+}
+
+// sampleRing keeps the most recent maxLatencySamples observations for
+// histogram/quantile reporting, plus lifetime count. Bounded so a
+// long-running daemon's metrics memory stays constant.
+type sampleRing struct {
+	mu    sync.Mutex
+	buf   []float64 // guarded-by: mu
+	next  int       // guarded-by: mu
+	total uint64    // guarded-by: mu — lifetime observation count
+}
+
+const maxLatencySamples = 4096
+
+func (r *sampleRing) observe(v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < maxLatencySamples {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+		r.next = (r.next + 1) % maxLatencySamples
+	}
+	r.total++
+}
+
+// snapshot copies the retained samples.
+func (r *sampleRing) snapshot() ([]float64, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.buf...), r.total
+}
+
+// LatencyStats is the JSON form of one latency series, in milliseconds.
+type LatencyStats struct {
+	// Count is the lifetime number of observations; the histogram and
+	// quantiles cover at most the most recent 4096.
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// Histogram is a fixed-width binning of the retained samples.
+	Histogram []HistogramBin `json:"histogram,omitempty"`
+}
+
+// HistogramBin is one bin of a latency histogram.
+type HistogramBin struct {
+	LoMS  float64 `json:"lo_ms"`
+	HiMS  float64 `json:"hi_ms"`
+	Count int     `json:"count"`
+}
+
+const latencyBins = 10
+
+// latencyStats summarizes a sample ring via internal/stats.
+func latencyStats(r *sampleRing) LatencyStats {
+	xs, total := r.snapshot()
+	out := LatencyStats{Count: total}
+	if len(xs) == 0 {
+		return out
+	}
+	ms := make([]float64, len(xs))
+	for i, x := range xs {
+		ms[i] = x * 1e3
+	}
+	sum := stats.Summarize(ms)
+	out.MeanMS = sum.Mean
+	out.P50MS = sum.Median
+	out.MaxMS = sum.Max
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted) // stats.Quantile requires ascending input
+	out.P95MS = stats.Quantile(sorted, 0.95)
+	h := stats.NewHistogram(ms, latencyBins)
+	out.Histogram = make([]HistogramBin, len(h.Counts))
+	for i, c := range h.Counts {
+		out.Histogram[i] = HistogramBin{LoMS: h.Edges[i], HiMS: h.Edges[i+1], Count: c}
+	}
+	return out
+}
+
+// JobCounts is the job-lifecycle section of a metrics snapshot.
+type JobCounts struct {
+	Submitted uint64 `json:"submitted"`
+	Queued    int    `json:"queued"`
+	Running   int64  `json:"running"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// CacheStats is the capture-cache section of a metrics snapshot.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Bypass    uint64 `json:"bypass"`
+	Captures  uint64 `json:"captures"`
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// MetricsSnapshot is the full /metrics document.
+type MetricsSnapshot struct {
+	UptimeMS   float64       `json:"uptime_ms"`
+	Draining   bool          `json:"draining"`
+	Jobs       JobCounts     `json:"jobs"`
+	Cache      CacheStats    `json:"cache"`
+	QueueWait  LatencyStats  `json:"queue_wait"`
+	Run        LatencyStats  `json:"run"`
+	Contention perf.Snapshot `json:"contention"`
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"supersim/internal/bench"
+	"supersim/internal/core"
+	"supersim/internal/factor"
+	"supersim/internal/fault"
+	"supersim/internal/kernels"
+	"supersim/internal/perf"
+	"supersim/internal/replay"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// execute runs one job under ctx and returns its result, the retained
+// trace (nil when the spec disables retention), and the cache disposition
+// ("hit", "miss" or "bypass").
+func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, *trace.Trace, string, error) {
+	spec := &job.Spec
+	switch {
+	case spec.Kind == "sweep":
+		res, err := s.runSweep(ctx, spec)
+		return res, nil, "bypass", err
+	case spec.cacheable():
+		return s.runCached(ctx, job)
+	default:
+		res, tr, err := s.runDirect(ctx, job)
+		return res, tr, "bypass", err
+	}
+}
+
+// runSweep serves a sweep job on the PR 4 sharded replay driver: one
+// capture per matrix size, seeded replicas fanned across shards. The
+// driver is deterministic for any shard count, so two identical sweep
+// jobs return byte-identical curves.
+func (s *Server) runSweep(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("deadline expired before sweep started: %w", err)
+	}
+	points, _, err := bench.SweepParallel(spec.Scheduler, spec.Algorithm, spec.NB, spec.MaxNT, spec.Workers, bench.SweepOptions{
+		Reps:   spec.Reps,
+		Shards: spec.Shards,
+		Model:  buildModel(spec.Model),
+		Seed:   spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep exceeded the job deadline: %w", err)
+	}
+	res := &JobResult{Sweep: points}
+	if n := len(points); n > 0 {
+		last := points[n-1]
+		res.NumTasks = last.NumTasks
+		res.Makespan = last.Makespans[0]
+		res.MinMakespan = last.MinMakespan
+		res.MeanMakespan = last.MeanMakespan
+		res.GFlops = last.GFlops
+	}
+	return res, nil
+}
+
+// runCached serves a simulate job through the capture cache: the DAG is
+// captured at most once per key (singleflight — concurrent identical jobs
+// share one capture), then every repetition is a pure replay. This is the
+// daemon's hot path: a cache hit skips the scheduler entirely.
+func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Trace, string, error) {
+	spec := &job.Spec
+	bspec := spec.benchSpec()
+	dag, hit, err := s.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
+		return bench.CaptureSpec(bspec)
+	})
+	disposition := "miss"
+	if hit {
+		disposition = "hit"
+	}
+	if err != nil {
+		return nil, nil, disposition, fmt.Errorf("capture: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, disposition, fmt.Errorf("deadline expired during capture: %w", err)
+	}
+
+	model := buildModel(spec.Model)
+	fifo := bench.ReplayIgnoresPriorities(bspec)
+	res := &JobResult{Makespans: make([]float64, spec.Reps)}
+	var kept *trace.Trace
+	for rep := 0; rep < spec.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, disposition, fmt.Errorf("deadline expired after %d of %d repetitions: %w", rep, spec.Reps, err)
+		}
+		tr, err := replay.Run(dag, replay.Options{
+			Workers:          spec.Workers,
+			Model:            model,
+			Seed:             bench.ReplicaSeed(spec.Seed, spec.NT, rep),
+			IgnorePriorities: fifo,
+			Label:            job.ID,
+		})
+		if err != nil {
+			return nil, nil, disposition, fmt.Errorf("replay rep %d: %w", rep, err)
+		}
+		res.Makespans[rep] = tr.Makespan()
+		if rep == 0 {
+			res.Makespan = tr.Makespan()
+			res.NumTasks = len(tr.Events)
+			if res.Makespan > 0 {
+				res.GFlops = kernels.AlgorithmFlops(spec.Algorithm, spec.NT*spec.NB) / res.Makespan / 1e9
+			}
+			if spec.keepTrace() {
+				kept = tr
+			}
+		}
+	}
+	finishMakespans(res)
+	return res, kept, disposition, nil
+}
+
+// runDirect serves a simulate job on the real scheduler: fault plans, gang
+// tasks, bounded windows and retry policies are only meaningful there. The
+// job deadline is enforced twice — the PR 1 stall watchdog aborts a run
+// that stops making progress, and a context watcher aborts a run that
+// advances but overruns its budget.
+func (s *Server) runDirect(ctx context.Context, job *Job) (*JobResult, *trace.Trace, error) {
+	spec := &job.Spec
+	res := &JobResult{Makespans: make([]float64, spec.Reps)}
+	var kept *trace.Trace
+	for rep := 0; rep < spec.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("deadline expired after %d of %d repetitions: %w", rep, spec.Reps, err)
+		}
+		tr, faults, err := s.runOne(ctx, job, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Makespans[rep] = tr.Makespan()
+		if rep == 0 {
+			res.Makespan = tr.Makespan()
+			res.NumTasks = len(tr.Events)
+			if res.Makespan > 0 {
+				res.GFlops = kernels.AlgorithmFlops(spec.Algorithm, spec.NT*spec.NB) / res.Makespan / 1e9
+			}
+			res.Faults = faults
+			if spec.keepTrace() {
+				kept = tr
+			}
+		}
+	}
+	finishMakespans(res)
+	return res, kept, nil
+}
+
+// runOne performs one direct repetition. The sampling seed derivation
+// matches the replay path (bench.ReplicaSeed), so a cached and a direct
+// run of the same repetition draw identical per-worker duration streams.
+func (s *Server) runOne(ctx context.Context, job *Job, rep int) (*trace.Trace, *fault.Stats, error) {
+	spec := &job.Spec
+	bspec := spec.benchSpec()
+	if deadline, ok := ctx.Deadline(); ok {
+		// Arm the stall watchdog with the remaining budget so a stalled
+		// run aborts with a diagnostic dump instead of burning the whole
+		// deadline. //simlint:allow vclock — wall-clock deadline math at
+		// the service boundary; simulated time is untouched.
+		if remaining := time.Until(deadline); remaining > 0 {
+			bspec.StallDeadline = remaining
+		}
+	}
+	ops, err := bench.Ops(bspec)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := bench.NewRuntime(bspec)
+	if err != nil {
+		return nil, nil, err
+	}
+	attachPerf(rt, s.counters)
+	sim := core.NewSimulator(rt, job.ID,
+		core.WithWaitPolicy(bspec.Wait),
+		core.WithPerfCounters(s.counters))
+	frt, inj, wd, err := bench.ArmFaults(bspec, rt, sim)
+	if err != nil {
+		rt.Shutdown()
+		return nil, nil, err
+	}
+	stopAbort := abortOnCancel(ctx, rt, sim)
+	tk := core.NewTasker(sim, buildModel(spec.Model), bench.ReplicaSeed(spec.Seed, spec.NT, rep))
+	sim.Reserve(len(ops))
+	insErr := insertSimulated(frt, tk, ops, spec)
+	frt.Barrier()
+	rt.Shutdown()
+	if wd != nil {
+		wd.Stop()
+	}
+	stopAbort()
+
+	st := rt.Err()
+	if st == nil {
+		st = insErr
+	}
+	if st != nil {
+		if ctx.Err() != nil {
+			return nil, nil, fmt.Errorf("job aborted at the deadline: %w", st)
+		}
+		return nil, nil, st
+	}
+	tr := sim.Trace()
+	var faults *fault.Stats
+	if inj != nil {
+		fs := inj.Stats()
+		faults = &fs
+	}
+	return tr, faults, nil
+}
+
+// insertSimulated inserts the op stream as simulated tasks, turning panel
+// kernels into gang tasks when the spec asks for them (the Section VII
+// extension, mirroring bench's gang runs).
+func insertSimulated(rt sched.Runtime, tk *core.Tasker, ops []factor.Op, spec *JobSpec) error {
+	if spec.GangPanels <= 1 {
+		return factor.InsertSimulated(rt, tk, ops)
+	}
+	eff := spec.GangEff
+	if eff <= 0 {
+		eff = 0.85 // bench's default panel-kernel scaling efficiency
+	}
+	for i := range ops {
+		op := ops[i]
+		task := &sched.Task{
+			Class:    string(op.Class),
+			Label:    op.Label(),
+			Args:     op.SchedArgs(),
+			Priority: op.Priority,
+		}
+		if op.Class == kernels.ClassGEQRT || op.Class == kernels.ClassPOTRF {
+			task.NumThreads = spec.GangPanels
+			task.Func = tk.SimGangTask(string(op.Class), spec.GangPanels, eff)
+		} else {
+			task.Func = tk.SimTask(string(op.Class))
+		}
+		if err := rt.Insert(task); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aborter is the runtime surface used to cancel a run (sched.Engine
+// provides it; decorated runtimes are unwrapped first).
+type aborter interface{ Abort(err error) }
+
+// unwrap strips runtime decorators (the fault injector's, for example)
+// down to the concrete engine-backed runtime.
+func unwrap(rt sched.Runtime) sched.Runtime {
+	for {
+		u, ok := rt.(interface{ Unwrap() sched.Runtime })
+		if !ok {
+			return rt
+		}
+		rt = u.Unwrap()
+	}
+}
+
+// attachPerf wires the server's shared contention counters into the
+// runtime's engine, if it exposes the hook. Counters fields are atomics,
+// so one shared instance safely aggregates across concurrent jobs.
+func attachPerf(rt sched.Runtime, c *perf.Counters) {
+	if sp, ok := unwrap(rt).(interface{ SetPerf(*perf.Counters) }); ok {
+		sp.SetPerf(c)
+	}
+}
+
+// abortOnCancel aborts the simulator and the runtime when ctx is
+// cancelled (deadline exceeded), unblocking the run's Barrier. The
+// returned stop function ends the watcher; call it once the run is over.
+func abortOnCancel(ctx context.Context, rt sched.Runtime, sim *core.Simulator) (stop func()) {
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-quit:
+			return
+		case <-ctx.Done():
+		}
+		err := fmt.Errorf("server: job deadline exceeded: %w", ctx.Err())
+		// Abort the simulator first so task bodies parked in the Task
+		// Execution Queue unwind, then the engine so Barrier returns —
+		// the same order the stall watchdog uses.
+		sim.Abort(err)
+		if a, ok := unwrap(rt).(aborter); ok {
+			a.Abort(err)
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// finishMakespans derives the min/mean aggregates from res.Makespans.
+func finishMakespans(res *JobResult) {
+	if len(res.Makespans) == 0 {
+		return
+	}
+	min, sum := res.Makespans[0], 0.0
+	for _, m := range res.Makespans {
+		if m < min {
+			min = m
+		}
+		sum += m
+	}
+	res.MinMakespan = min
+	res.MeanMakespan = sum / float64(len(res.Makespans))
+}

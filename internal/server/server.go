@@ -1,0 +1,342 @@
+// Package server wraps the simulation library in a long-running service:
+// a job queue with admission control, a bounded worker pool, a capture
+// cache that serves repeated workloads through the replay fast path, and
+// live observability endpoints (/healthz, /metrics, job polling).
+//
+// Everything inside the jobs it runs stays in virtual time; the server
+// itself legitimately lives on the wall clock (queue-wait and run-latency
+// metrics, per-job deadlines, HTTP timeouts) and is registered as a
+// wall-clock package with simlint (analysis.WallClockPackages).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supersim/internal/perf"
+)
+
+// Config parameterizes a Server. The zero value serves with defaults.
+type Config struct {
+	// Pool is the number of concurrent job runners (default 2). Each
+	// runner executes one job at a time; a job may itself use many
+	// goroutines (scheduler workers, sweep shards).
+	Pool int
+	// QueueDepth bounds the submission queue; a submit beyond it is
+	// rejected with 429 (default 64).
+	QueueDepth int
+	// JobDeadline is the default per-job wall-clock budget, overridable
+	// per job via deadline_ms (default 60s).
+	JobDeadline time.Duration
+	// CacheCapacity bounds the capture cache (DAG count, default 64).
+	CacheCapacity int
+	// RetainJobs bounds the finished jobs kept for polling; the oldest
+	// finished jobs are evicted first (default 256).
+	RetainJobs int
+}
+
+func (c *Config) fill() {
+	if c.Pool < 1 {
+		c.Pool = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.JobDeadline <= 0 {
+		c.JobDeadline = 60 * time.Second
+	}
+	if c.CacheCapacity < 1 {
+		c.CacheCapacity = 64
+	}
+	if c.RetainJobs < 1 {
+		c.RetainJobs = 256
+	}
+}
+
+// Submission errors, surfaced by Submit and mapped to HTTP statuses by the
+// handlers (429 and 503; both are retryable).
+var (
+	// ErrQueueFull reports that admission control rejected the job.
+	ErrQueueFull = errors.New("server: job queue full, retry later")
+	// ErrDraining reports that the server is shutting down.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Server is the simulation service: construct with New, mount Handler on
+// an http.Server (or use cmd/simd), submit jobs programmatically with
+// Submit, and stop with Shutdown.
+type Server struct {
+	cfg      Config
+	queue    *jobQueue
+	cache    *captureCache
+	metrics  metrics
+	counters *perf.Counters // shared across jobs; exposed by /metrics
+	mux      *http.ServeMux
+	start    time.Time
+	wg       sync.WaitGroup
+
+	nextID   atomic.Uint64
+	draining atomic.Bool
+	shutdown sync.Once
+
+	mu    sync.Mutex
+	jobs  map[string]*Job // guarded-by: mu
+	order []string        // guarded-by: mu — insertion order, for eviction
+}
+
+// New constructs a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		queue:    newJobQueue(cfg.QueueDepth),
+		cache:    newCaptureCache(cfg.CacheCapacity),
+		counters: &perf.Counters{},
+		jobs:     make(map[string]*Job),
+		start:    time.Now(), //simlint:allow vclock — service uptime, not simulated time
+	}
+	s.mux = s.routes()
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (mount it on any mux or
+// http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates and enqueues a job spec. It returns ErrQueueFull when
+// admission control rejects it, ErrDraining during shutdown, or a spec
+// validation error; otherwise the queued job.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid job spec: %w", err)
+	}
+	if s.draining.Load() {
+		s.metrics.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	job := &Job{
+		ID:        fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		Spec:      spec,
+		status:    StatusQueued,
+		submitted: time.Now(), //simlint:allow vclock — queue-wait latency metric
+	}
+	s.remember(job)
+	if err := s.queue.push(job); err != nil {
+		s.metrics.rejected.Add(1)
+		s.forget(job.ID)
+		switch {
+		case errors.Is(err, errDraining):
+			return nil, ErrDraining
+		default:
+			return nil, ErrQueueFull
+		}
+	}
+	s.metrics.submitted.Add(1)
+	return job, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns the retained jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// remember stores the job, evicting the oldest finished jobs beyond the
+// retention bound.
+func (s *Server) remember(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if len(s.jobs) <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.cfg.RetainJobs && finished(j.Status()) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// forget drops a job that was never admitted.
+func (s *Server) forget(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func finished(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusRejected:
+		return true
+	}
+	return false
+}
+
+// worker is one pool runner: it executes queued jobs until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		job, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job end to end: stamps the queue wait, enforces the
+// deadline, dispatches to the cached/direct/sweep path and records the
+// outcome in the job record and the metrics.
+func (s *Server) runJob(job *Job) {
+	//simlint:allow vclock — queue-wait and run-latency measurement is the
+	// service's own observability; the simulated timelines inside the job
+	// remain purely virtual.
+	pickup := time.Now()
+	wait := pickup.Sub(job.submitted).Seconds()
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.started = pickup
+	job.queueWait = wait
+	job.mu.Unlock()
+	s.metrics.queueWait.observe(wait)
+	s.metrics.running.Add(1)
+	defer s.metrics.running.Add(-1)
+
+	deadline := s.cfg.JobDeadline
+	if job.Spec.DeadlineMS > 0 {
+		deadline = time.Duration(job.Spec.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	result, tr, disposition, err := s.execute(ctx, job)
+	run := time.Since(pickup).Seconds()
+	s.metrics.runTime.observe(run)
+	switch disposition {
+	case "hit":
+		s.metrics.cacheHits.Add(1)
+	case "miss":
+		s.metrics.cacheMisses.Add(1)
+	default:
+		s.metrics.cacheBypass.Add(1)
+	}
+
+	job.mu.Lock()
+	job.runTime = run
+	job.cache = disposition
+	if err != nil {
+		job.status = StatusFailed
+		job.err = err.Error()
+	} else {
+		job.status = StatusDone
+		job.result = result
+		job.trace = tr
+	}
+	job.mu.Unlock()
+	if err != nil {
+		s.metrics.failed.Add(1)
+	} else {
+		s.metrics.done.Add(1)
+	}
+}
+
+// Shutdown drains the service: new submissions are rejected with
+// ErrDraining, jobs still queued are rejected as retryable, and in-flight
+// jobs run to completion. It returns ctx.Err() if the pool does not drain
+// in time. Idempotent; concurrent calls share the first drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		for _, job := range s.queue.drain() {
+			job.mu.Lock()
+			job.status = StatusRejected
+			job.err = "server shutting down before the job started; resubmit"
+			job.retryable = true
+			job.mu.Unlock()
+			s.metrics.rejected.Add(1)
+		}
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = fmt.Errorf("server: shutdown interrupted with jobs in flight: %w", ctx.Err())
+		}
+	})
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics assembles the current observability snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	entries, captures, evictions := s.cache.stats()
+	return MetricsSnapshot{
+		//simlint:allow vclock — service uptime
+		UptimeMS: time.Since(s.start).Seconds() * 1e3,
+		Draining: s.draining.Load(),
+		Jobs: JobCounts{
+			Submitted: s.metrics.submitted.Load(),
+			Queued:    s.queue.depthNow(),
+			Running:   s.metrics.running.Load(),
+			Done:      s.metrics.done.Load(),
+			Failed:    s.metrics.failed.Load(),
+			Rejected:  s.metrics.rejected.Load(),
+		},
+		Cache: CacheStats{
+			Hits:      s.metrics.cacheHits.Load(),
+			Misses:    s.metrics.cacheMisses.Load(),
+			Bypass:    s.metrics.cacheBypass.Load(),
+			Captures:  captures,
+			Entries:   entries,
+			Evictions: evictions,
+		},
+		QueueWait:  latencyStats(&s.metrics.queueWait),
+		Run:        latencyStats(&s.metrics.runTime),
+		Contention: s.counters.Snapshot(),
+	}
+}

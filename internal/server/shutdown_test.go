@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"supersim/internal/fault"
+)
+
+// TestGracefulShutdown is the drain integration test: with one pool slot
+// busy on a deliberately slow job and another job waiting in the queue,
+// Shutdown must let the in-flight job run to completion while the queued
+// job is rejected with a retryable error, and every later submission is
+// refused as draining.
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(Config{Pool: 1, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// inflight stalls every task for 40ms of wall time on one worker, so it
+	// is still mid-run when Shutdown begins (4 tasks ≈ 160ms) yet finishes
+	// deterministically.
+	inflight, err := srv.Submit(JobSpec{
+		Algorithm: "cholesky", NT: 2, NB: 8, Workers: 1,
+		Fault: &fault.Config{Default: fault.Rates{Stall: 1}, StallWall: 40 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, inflight, StatusRunning, 5*time.Second)
+
+	queued, err := srv.Submit(JobSpec{Algorithm: "cholesky", NT: 4, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status(); st != StatusQueued {
+		t.Fatalf("second job already %q with the only pool slot busy", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The in-flight job completed with a real result.
+	if st := inflight.Status(); st != StatusDone {
+		t.Fatalf("in-flight job %s after drain, want done: %s", st, inflight.view().Error)
+	}
+	if v := inflight.view(); v.Result == nil || v.Result.Makespan <= 0 {
+		t.Fatalf("in-flight job drained without a result: %+v", v.Result)
+	}
+
+	// The queued job never ran and is retryable.
+	qv := queued.view()
+	if qv.Status != StatusRejected || !qv.Retryable {
+		t.Fatalf("queued job status=%q retryable=%v, want a retryable rejection", qv.Status, qv.Retryable)
+	}
+	if qv.Result != nil {
+		t.Fatal("rejected job must not carry a result")
+	}
+
+	// New submissions are refused — programmatically and over HTTP (503).
+	if _, err := srv.Submit(JobSpec{Algorithm: "cholesky", NT: 2}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"algorithm": "cholesky", "nt": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !apiErr.Retryable {
+		t.Fatalf("submit while draining: status=%d err=%+v, want retryable 503", resp.StatusCode, apiErr)
+	}
+
+	// The observability surface reports the drain.
+	if !srv.Draining() {
+		t.Fatal("Draining() false after Shutdown")
+	}
+	m := srv.Metrics()
+	if !m.Draining || m.Jobs.Done != 1 || m.Jobs.Rejected < 2 || m.Jobs.Running != 0 {
+		t.Fatalf("post-drain metrics: %+v (draining=%v)", m.Jobs, m.Draining)
+	}
+	resp = mustGet(t, ts.URL+"/healthz")
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "draining" {
+		t.Fatalf("healthz status %q, want draining", h.Status)
+	}
+
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

@@ -93,24 +93,19 @@ func (t *Trace) CriticalEvents(eps float64) []Event {
 	return chain
 }
 
-// jsonTrace is the wire form of a Trace.
-type jsonTrace struct {
-	Label   string  `json:"label"`
-	Workers int     `json:"workers"`
-	Events  []Event `json:"events"`
-}
-
-// WriteJSON serializes the trace as JSON.
+// WriteJSON serializes the trace as JSON. The document's field names are
+// the stable wire format declared by the struct tags on Trace and Event;
+// the simulation service serves traces in exactly this shape.
 func (t *Trace) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(jsonTrace{Label: t.Label, Workers: t.Workers, Events: t.Events})
+	return json.NewEncoder(w).Encode(t)
 }
 
-// ReadJSON parses a trace previously written by WriteJSON.
+// ReadJSON parses a trace previously written by WriteJSON (or served by
+// the simulation service's trace endpoint).
 func ReadJSON(r io.Reader) (*Trace, error) {
-	var jt jsonTrace
-	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+	t := new(Trace)
+	if err := json.NewDecoder(r).Decode(t); err != nil {
 		return nil, err
 	}
-	return &Trace{Label: jt.Label, Workers: jt.Workers, Events: jt.Events}, nil
+	return t, nil
 }

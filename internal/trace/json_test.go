@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestTraceJSONRoundTrip pins the wire format of a trace: marshaling and
+// unmarshaling must reproduce the exact events (bit-identical floats, same
+// completion order), so a trace served by cmd/simd can be diffed against a
+// locally produced one by fingerprint.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := New("round-trip", 3)
+	tr.Append(Event{Worker: 0, Class: "DPOTRF", Label: "potrf(0)", TaskID: 0, Start: 0, End: 1.0 / 3.0})
+	tr.Append(Event{Worker: 2, Class: "DTRSM", Label: "trsm(1,0)", TaskID: 1, Start: 1.0 / 3.0, End: math.Nextafter(0.5, 1)})
+	tr.Append(Event{Worker: 1, Class: "DGEMM", Label: "gemm(2,1,0)", TaskID: 2, Start: 0.1 + 0.2, End: 1e-17})
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Label != tr.Label || got.Workers != tr.Workers || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: got %q/%d/%d events, want %q/%d/%d",
+			got.Label, got.Workers, len(got.Events), tr.Label, tr.Workers, len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	if got.Fingerprint() != tr.Fingerprint() {
+		t.Fatalf("fingerprint changed across JSON round trip: %x != %x", got.Fingerprint(), tr.Fingerprint())
+	}
+}
+
+// TestTraceJSONFieldNames pins the stable lowercase field names the serving API
+// documents; renaming a field is a breaking API change and must fail here.
+func TestTraceJSONFieldNames(t *testing.T) {
+	tr := New("names", 1)
+	tr.Append(Event{Worker: 0, Class: "DGEMM", Label: "gemm", TaskID: 7, Start: 1, End: 2})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal into map: %v", err)
+	}
+	for _, key := range []string{"label", "workers", "events"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("trace document missing %q: %s", key, data)
+		}
+	}
+	events, ok := doc["events"].([]any)
+	if !ok || len(events) != 1 {
+		t.Fatalf("events not a 1-element array: %s", data)
+	}
+	ev, ok := events[0].(map[string]any)
+	if !ok {
+		t.Fatalf("event not an object: %s", data)
+	}
+	for _, key := range []string{"worker", "class", "label", "task_id", "start", "end"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("event document missing %q: %s", key, data)
+		}
+	}
+}

@@ -14,18 +14,25 @@ import (
 	"supersim/internal/stats"
 )
 
-// Event is one executed task instance in the trace.
+// Event is one executed task instance in the trace. The JSON field names
+// are part of the serving API (cmd/simd) and of the diff format: two runs
+// are compared by marshaling both traces and diffing the documents, so
+// the names must stay stable.
 type Event struct {
 	// Worker is the virtual core that executed the task.
-	Worker int
+	Worker int `json:"worker"`
 	// Class is the kernel class (colors the SVG).
-	Class string
+	Class string `json:"class"`
 	// Label identifies the task instance.
-	Label string
+	Label string `json:"label"`
 	// TaskID is the serial insertion index.
-	TaskID int
-	// Start and End are virtual times in seconds.
-	Start, End float64
+	TaskID int `json:"task_id"`
+	// Start and End are virtual times in seconds. encoding/json emits the
+	// shortest representation that round-trips, so Marshal/Unmarshal
+	// preserves the exact float64 bit patterns (pinned by the round-trip
+	// test against Fingerprint).
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // Duration returns End - Start.
@@ -35,11 +42,11 @@ func (e Event) Duration() float64 { return e.End - e.Start }
 // for concurrent use; the simulator appends under its own lock.
 type Trace struct {
 	// Label distinguishes traces ("real", "simulated", ...).
-	Label string
+	Label string `json:"label"`
 	// Workers is the number of virtual cores (lanes).
-	Workers int
+	Workers int `json:"workers"`
 	// Events holds the logged tasks in completion order.
-	Events []Event
+	Events []Event `json:"events"`
 }
 
 // New returns an empty trace for the given number of workers.

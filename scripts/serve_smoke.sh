@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Smoke test for the simulation daemon: boot simd on an ephemeral port,
+# submit a small Cholesky job over HTTP, poll it to completion, check the
+# observability endpoints, then drain with SIGTERM and require a clean
+# exit. CI runs this in the serve-smoke step; locally: make serve-smoke.
+#
+# Needs only curl + sed (no jq), so it runs on a bare runner.
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/simd"
+addrfile="$workdir/addr"
+logfile="$workdir/simd.log"
+
+cleanup() {
+    kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+
+go build -o "$bin" ./cmd/simd
+
+"$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" -pool 2 >"$logfile" 2>&1 &
+pid=$!
+trap cleanup EXIT
+
+# Wait for the daemon to write its bound address.
+for _ in $(seq 1 100); do
+    [ -s "$addrfile" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "simd died during startup"; cat "$logfile"; exit 1; }
+    sleep 0.1
+done
+[ -s "$addrfile" ] || { echo "simd never published its address"; cat "$logfile"; exit 1; }
+base="http://$(cat "$addrfile")"
+echo "simd listening on $base"
+
+curl -fsS "$base/healthz" >/dev/null
+
+# Submit a small Cholesky job and pull the id out of the 202 body.
+job=$(curl -fsS -X POST "$base/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"algorithm": "cholesky", "nt": 6, "nb": 8, "workers": 4, "seed": 1}')
+id=$(printf '%s' "$job" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "submit returned no job id: $job"; exit 1; }
+echo "submitted $id"
+
+# Poll to completion.
+status=""
+for _ in $(seq 1 100); do
+    doc=$(curl -fsS "$base/jobs/$id")
+    status=$(printf '%s' "$doc" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+    [ "$status" = "done" ] && break
+    case "$status" in failed|rejected) echo "job $status: $doc"; exit 1;; esac
+    sleep 0.1
+done
+[ "$status" = "done" ] || { echo "job stuck at '$status'"; exit 1; }
+printf '%s' "$doc" | grep -q '"makespan":' || { echo "done job has no makespan: $doc"; exit 1; }
+echo "job done"
+
+# The trace endpoints serve the virtual trace both ways. (grep without -q
+# so it drains the body; -q quits early and curl reports a broken pipe.)
+curl -fsS "$base/jobs/$id/trace" | grep '"events":' >/dev/null || { echo "trace endpoint broken"; exit 1; }
+curl -fsS "$base/jobs/$id/trace.svg" | grep '<svg' >/dev/null || { echo "trace.svg endpoint broken"; exit 1; }
+
+# Metrics reflect the finished job.
+metrics=$(curl -fsS "$base/metrics")
+printf '%s' "$metrics" | grep -q '"done":1' || { echo "metrics missing the job: $metrics"; exit 1; }
+echo "metrics ok"
+
+# Graceful drain: SIGTERM must produce a clean exit.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "simd ignored SIGTERM"; cat "$logfile"; exit 1; }
+    sleep 0.1
+done
+wait "$pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || { echo "simd exited rc=$rc after SIGTERM"; cat "$logfile"; exit 1; }
+grep -q 'drained' "$logfile" || { echo "no drain summary in the log"; cat "$logfile"; exit 1; }
+echo "serve smoke passed"
