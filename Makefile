@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench serve-smoke check
+.PHONY: build test race lint bench serve-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server
+	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server ./internal/journal
 
 lint:
 	$(GO) vet ./...
@@ -22,6 +22,9 @@ bench:
 	$(GO) run ./cmd/simbench -benchtime 200ms
 
 serve-smoke:
-	sh scripts/serve_smoke.sh
+	sh scripts/serve_smoke.sh smoke
 
-check: lint build test race serve-smoke
+chaos:
+	sh scripts/serve_smoke.sh chaos
+
+check: lint build test race serve-smoke chaos

@@ -175,17 +175,32 @@ var WithCompletionHook = core.WithCompletionHook
 type Server = server.Server
 
 // ServerConfig parameterizes a Server (pool size, queue depth, per-job
-// deadline, cache capacity, job retention). The zero value uses defaults.
+// deadline, cache capacity, job retention, journal directory, tenants,
+// retry policy). The zero value uses defaults.
 type ServerConfig = server.Config
 
 // ServerJobSpec is the JSON workload specification the service accepts.
 type ServerJobSpec = server.JobSpec
 
-// NewServer constructs a simulation service and starts its worker pool.
-// Mount its Handler on any http.Server, submit jobs programmatically with
-// Submit, and stop it with Shutdown (in-flight jobs complete, queued jobs
-// are rejected as retryable).
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// ServerTenant declares one API-key tenant of the service: identity, rate
+// limit, queue share, DRR weight and capture-cache budget.
+type ServerTenant = server.TenantConfig
+
+// ServerCronSpec is a recurring job template the service fires on an
+// interval; templates are journaled and survive restarts.
+type ServerCronSpec = server.CronSpec
+
+// LoadServerTenants reads a tenants JSON file (a bare array of tenants or
+// {"tenants": [...]}).
+func LoadServerTenants(path string) ([]ServerTenant, error) { return server.LoadTenants(path) }
+
+// NewServer constructs a simulation service, recovers its journal when
+// ServerConfig.DataDir is set (acknowledged jobs survive crashes and
+// re-run exactly once), and starts its worker pool. Mount its Handler on
+// any http.Server, submit jobs programmatically with Submit/SubmitAs, and
+// stop it with Shutdown (in-flight jobs complete, queued jobs re-queue
+// into the journal, or are rejected as retryable without one).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // FitModel fits the paper's three candidate distributions (normal, gamma,
 // log-normal) to the collected timings and returns the per-class model

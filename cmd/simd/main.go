@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/simd -addr 127.0.0.1:8080
+//	go run ./cmd/simd -addr 127.0.0.1:8080 -data-dir /var/lib/simd
 //
 // Endpoints:
 //
@@ -16,11 +16,22 @@
 //	GET  /jobs/{id}       poll one job
 //	GET  /jobs/{id}/trace      virtual trace as JSON
 //	GET  /jobs/{id}/trace.svg  virtual trace as an SVG Gantt chart
+//	POST   /crons         register a recurring job template
+//	GET    /crons         list recurring templates
+//	GET    /crons/{id}    poll one template
+//	DELETE /crons/{id}    remove a template
 //	GET  /healthz         liveness and drain state
-//	GET  /metrics         job/cache/latency/contention counters
+//	GET  /metrics         job/tenant/store/cache/latency counters
+//
+// With -data-dir, acknowledged jobs are journaled (fsync-on-accept) and
+// recovered exactly once after a crash or restart. With -tenants-file,
+// submissions are authenticated by API key and subject to per-tenant rate
+// limits, queue shares and DRR fairness weights.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight jobs complete, queued jobs
-// are rejected as retryable, then the HTTP listener closes.
+// are re-queued into the journal (or rejected as retryable without one),
+// then the HTTP listener closes. A SIGKILL converges to the same state on
+// the next boot via journal recovery.
 package main
 
 import (
@@ -44,18 +55,43 @@ func main() {
 	pool := flag.Int("pool", 2, "concurrent job runners")
 	queueDepth := flag.Int("queue", 64, "submission queue depth (admission control bound)")
 	deadline := flag.Duration("deadline", 60*time.Second, "default per-job wall-clock deadline")
-	cacheCap := flag.Int("cache", 64, "capture cache capacity (DAG count)")
+	cacheCap := flag.Int("cache", 64, "capture cache capacity per tenant (DAG count)")
 	retain := flag.Int("retain", 256, "finished jobs retained for polling")
+	dataDir := flag.String("data-dir", "", "journal directory; empty = in-memory only (no crash recovery)")
+	tenantsFile := flag.String("tenants-file", "", "JSON tenants file (API keys, rate limits, queue shares, weights)")
+	retryMax := flag.Int("retry-max", 2, "backoff re-runs for transiently failed jobs before dead-letter (negative disables)")
+	retryBase := flag.Duration("retry-base", 250*time.Millisecond, "first retry backoff (doubles per attempt, jittered)")
+	compactEvery := flag.Int("compact-every", 256, "journal finish records between compactions")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs at shutdown")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Pool:          *pool,
 		QueueDepth:    *queueDepth,
 		JobDeadline:   *deadline,
 		CacheCapacity: *cacheCap,
 		RetainJobs:    *retain,
-	})
+		DataDir:       *dataDir,
+		RetryMax:      *retryMax,
+		RetryBase:     *retryBase,
+		CompactEvery:  *compactEvery,
+	}
+	if *tenantsFile != "" {
+		tenants, err := server.LoadTenants(*tenantsFile)
+		if err != nil {
+			log.Fatalf("simd: %v", err)
+		}
+		cfg.Tenants = tenants
+		log.Printf("simd: %d tenants loaded from %s", len(tenants), *tenantsFile)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	if requeued, restored := srv.Recovered(); requeued > 0 || restored > 0 {
+		log.Printf("simd: recovered from %s: %d jobs re-queued, %d finished jobs restored", *dataDir, requeued, restored)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -67,7 +103,7 @@ func main() {
 			log.Fatalf("simd: writing addr file: %v", err)
 		}
 	}
-	log.Printf("simd: serving on %s (pool=%d queue=%d deadline=%v)", bound, *pool, *queueDepth, *deadline)
+	log.Printf("simd: serving on %s (pool=%d queue=%d deadline=%v durable=%v)", bound, *pool, *queueDepth, *deadline, *dataDir != "")
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -80,7 +116,7 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("simd: %v: draining (in-flight jobs complete, queued jobs are rejected)", sig)
+		log.Printf("simd: %v: draining (in-flight jobs complete, queued jobs are re-queued)", sig)
 	case err := <-errCh:
 		log.Fatalf("simd: serve: %v", err)
 	}
@@ -94,6 +130,6 @@ func main() {
 		log.Printf("simd: http shutdown: %v", err)
 	}
 	m := srv.Metrics()
-	fmt.Printf("simd: drained: %d done, %d failed, %d rejected; cache %d hits / %d misses / %d captures\n",
-		m.Jobs.Done, m.Jobs.Failed, m.Jobs.Rejected, m.Cache.Hits, m.Cache.Misses, m.Cache.Captures)
+	fmt.Printf("simd: drained: %d done, %d failed, %d dead, %d rejected; cache %d hits / %d misses / %d captures; journal seq %d\n",
+		m.Jobs.Done, m.Jobs.Failed, m.Jobs.Dead, m.Jobs.Rejected, m.Cache.Hits, m.Cache.Misses, m.Cache.Captures, m.Store.Seq)
 }

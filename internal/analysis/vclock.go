@@ -27,6 +27,7 @@ var DefaultVirtualTimePackages = []string{
 // carry //simlint:allow vclock reasons as documentation.
 var WallClockPackages = []string{
 	"supersim/internal/server",
+	"supersim/internal/journal",
 	"supersim/cmd/simd",
 }
 

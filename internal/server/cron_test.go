@@ -1,0 +1,118 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCronFiresThroughAdmission checks the recurring-template loop: an
+// armed template fires on its interval, the fired jobs carry the
+// cron:<id> source and the owning tenant, and removal stops the firing.
+func TestCronFiresThroughAdmission(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 2, Tenants: []TenantConfig{{Name: "ops", Key: "k-ops"}}})
+	view, err := srv.AddCron("ops", CronSpec{
+		Name:    "heartbeat",
+		EveryMS: 20,
+		Spec:    JobSpec{Algorithm: "cholesky", NT: 2, NB: 8, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.Tenant != "ops" {
+		t.Fatalf("cron view %+v, want an ID and tenant ops", view)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := srv.cron.get(view.ID); ok && v.Fired >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cron never fired twice: %+v", srv.Crons())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var cronJobs int
+	for _, j := range srv.Jobs() {
+		if v := j.view(); v.Source == "cron:"+view.ID {
+			cronJobs++
+			if v.Tenant != "ops" {
+				t.Fatalf("cron job attributed to %q, want ops", v.Tenant)
+			}
+		}
+	}
+	if cronJobs < 2 {
+		t.Fatalf("%d jobs carry the cron source, want >= 2", cronJobs)
+	}
+
+	removed, err := srv.RemoveCron(view.ID)
+	if err != nil || !removed {
+		t.Fatalf("RemoveCron: removed=%v err=%v", removed, err)
+	}
+	if len(srv.Crons()) != 0 {
+		t.Fatalf("crons after removal: %+v", srv.Crons())
+	}
+	if removed, _ := srv.RemoveCron(view.ID); removed {
+		t.Fatal("second removal reported success")
+	}
+}
+
+// TestCronSurvivesRestart pins the durability of recurring templates: a
+// journaled template is re-armed by the next boot, and a journaled
+// removal stays removed.
+func TestCronSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{Pool: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := srv.AddCron("default", CronSpec{
+		Name:    "survivor",
+		EveryMS: 50,
+		Spec:    JobSpec{Algorithm: "cholesky", NT: 2, NB: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := srv.AddCron("default", CronSpec{
+		Name:    "removed-before-restart",
+		EveryMS: 50,
+		Spec:    JobSpec{Algorithm: "qr", NT: 2, NB: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RemoveCron(dropped.ID); err != nil {
+		t.Fatal(err)
+	}
+	shutdownNow(t, srv)
+
+	srv2, err := New(Config{Pool: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, srv2)
+	crons := srv2.Crons()
+	if len(crons) != 1 || crons[0].ID != kept.ID || crons[0].Name != "survivor" {
+		t.Fatalf("crons after restart: %+v, want only %s", crons, kept.ID)
+	}
+	// The restored template keeps firing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := srv2.cron.get(kept.ID); ok && v.Fired >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored cron never fired: %+v", srv2.Crons())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// New templates mint IDs past the recovered ones.
+	fresh, err := srv2.AddCron("default", CronSpec{EveryMS: 1000, Spec: JobSpec{Algorithm: "lu", NT: 2, NB: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == kept.ID || fresh.ID == dropped.ID {
+		t.Fatalf("recovered server re-minted cron ID %s", fresh.ID)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import "sync"
+
+// drrQueue is the multi-tenant submission queue: one bounded FIFO per
+// tenant, served to the worker pool by deficit round robin so a burst
+// from one tenant cannot monopolize workers. It keeps the PR 5 queue's
+// mutex/condvar structure (rather than channels) because drain must stay
+// atomic: Shutdown rejects every queued job and stops the workers under
+// one critical section — a job is either drained or was already picked
+// up, never both, never neither.
+//
+// DRR: each queued job costs jobCost units (repetitions for simulate
+// jobs, swept sizes for sweeps, clamped). Active tenants are visited in
+// round-robin order; a visit grants the tenant its quantum (its
+// configured weight) of deficit credit, and the tenant's head job is
+// served once its accumulated deficit covers the job's cost. Over any
+// contended interval each active tenant therefore receives worker
+// service proportional to its weight, independent of submission rates.
+type drrQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  []*tenant
+	active   []*tenant // guarded-by: mu — tenants with queued jobs, service order
+	depth    int       // global queue bound
+	size     int       // guarded-by: mu — total queued jobs
+	draining bool      // guarded-by: mu
+}
+
+func newDRRQueue(tenants []*tenant, depth int) *drrQueue {
+	q := &drrQueue{tenants: tenants, depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// jobCost is a job's DRR service cost in scheduling units: repetitions
+// for simulate jobs, swept matrix sizes for sweep jobs (a sweep point
+// costs roughly a simulate rep), clamped to [1, 64] so one huge job
+// cannot bank unbounded credit against its tenant.
+func jobCost(spec *JobSpec) int {
+	c := spec.Reps
+	if spec.Kind == "sweep" {
+		c = spec.MaxNT
+	}
+	if c < 1 {
+		c = 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// push enqueues a job onto its tenant's queue, enforcing the global depth
+// and the tenant's queue share.
+func (q *drrQueue) push(t *tenant, j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return errDraining
+	}
+	if q.size >= q.depth {
+		return errQueueFull
+	}
+	if len(t.queue) >= t.maxQueue {
+		return errTenantShare
+	}
+	if len(t.queue) == 0 {
+		q.active = append(q.active, t)
+	}
+	t.queue = append(t.queue, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is draining; ok=false
+// means the worker should exit.
+func (q *drrQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.draining {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return nil, false
+	}
+	return q.popLocked(), true
+}
+
+// popLocked runs the DRR service loop. Caller holds q.mu. It terminates
+// because the active list is non-empty (size > 0) and the head tenant's
+// deficit strictly increases by quantum >= 1 per full rotation until it
+// covers the head job's bounded cost.
+func (q *drrQueue) popLocked() *Job {
+	for {
+		t := q.active[0]
+		cost := jobCost(&t.queue[0].Spec)
+		if t.deficit >= cost {
+			j := t.queue[0]
+			t.queue = t.queue[1:]
+			t.deficit -= cost
+			q.size--
+			if len(t.queue) == 0 {
+				// An idle tenant forfeits its credit: deficit must not
+				// accumulate while inactive or a returning tenant could
+				// burst past its fair share.
+				t.deficit = 0
+				q.active = q.active[1:]
+			}
+			return j
+		}
+		// Grant this round's quantum and rotate to the back.
+		t.deficit += t.quantum
+		q.active = append(q.active[1:], t)
+	}
+}
+
+// drain marks the queue draining and returns every still-queued job in
+// tenant service order; those jobs were never picked up.
+func (q *drrQueue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.draining = true
+	var out []*Job
+	for _, t := range q.active {
+		out = append(out, t.queue...)
+		t.queue = nil
+		t.deficit = 0
+	}
+	q.active = nil
+	q.size = 0
+	q.cond.Broadcast()
+	return out
+}
+
+// depthNow returns the total queued job count.
+func (q *drrQueue) depthNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// tenantDepth returns one tenant's queued job count.
+func (q *drrQueue) tenantDepth(t *tenant) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(t.queue)
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"supersim/internal/trace"
 )
@@ -20,7 +22,23 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/trace.svg", s.handleTraceSVG)
+	mux.HandleFunc("POST /crons", s.handleCronAdd)
+	mux.HandleFunc("GET /crons", s.handleCronList)
+	mux.HandleFunc("GET /crons/{id}", s.handleCronGet)
+	mux.HandleFunc("DELETE /crons/{id}", s.handleCronDelete)
 	return mux
+}
+
+// retryAfter sets a jittered Retry-After header: base seconds scaled by a
+// uniform factor in [0.5, 1.5), rounded up. The jitter matters: every
+// 429'd client of a constant hint retries in the same instant and
+// re-collides (retry stampede); spreading the hints spreads the retries.
+func (s *Server) retryAfter(w http.ResponseWriter, base float64) {
+	secs := int(math.Ceil(base * (0.5 + s.jitterFloat())))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // apiError is the JSON error envelope. Retryable tells clients whether
@@ -47,6 +65,11 @@ func writeError(w http.ResponseWriter, status int, retryable bool, format string
 const maxSpecBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantFor(r)
+	if t == nil {
+		writeError(w, http.StatusUnauthorized, false, "%v", ErrUnknownTenant)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	var spec JobSpec
@@ -54,14 +77,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, false, "decoding job spec: %v", err)
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.submitAs(t, spec, "")
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantShare):
+		s.retryAfter(w, 1)
+		writeError(w, http.StatusTooManyRequests, true, "%v", err)
+		return
+	case errors.Is(err, ErrRateLimited):
+		// Base the hint on the bucket's actual refill horizon.
+		_, wait := t.bucket.take()
+		s.retryAfter(w, wait.Seconds())
 		writeError(w, http.StatusTooManyRequests, true, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "5")
+		s.retryAfter(w, 5)
 		writeError(w, http.StatusServiceUnavailable, true, "%v", err)
 		return
 	case err != nil:
@@ -70,6 +99,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+func (s *Server) handleCronAdd(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantFor(r)
+	if t == nil {
+		writeError(w, http.StatusUnauthorized, false, "%v", ErrUnknownTenant)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec CronSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, false, "decoding cron spec: %v", err)
+		return
+	}
+	view, err := s.AddCron(t.cfg.Name, spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.retryAfter(w, 5)
+		writeError(w, http.StatusServiceUnavailable, true, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, false, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/crons/"+view.ID)
+	writeJSON(w, http.StatusCreated, view)
+}
+
+func (s *Server) handleCronList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"crons": s.Crons()})
+}
+
+func (s *Server) handleCronGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.cron.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, false, "no such cron %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCronDelete(w http.ResponseWriter, r *http.Request) {
+	removed, err := s.RemoveCron(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, true, "%v", err)
+		return
+	}
+	if !removed {
+		writeError(w, http.StatusNotFound, false, "no such cron %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -100,11 +182,11 @@ func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request) *trace.Trace {
 	}
 	switch job.Status() {
 	case StatusDone:
-	case StatusFailed, StatusRejected:
+	case StatusFailed, StatusDead, StatusRejected:
 		writeError(w, http.StatusConflict, false, "job %s %s; no trace", job.ID, job.Status())
 		return nil
 	default:
-		w.Header().Set("Retry-After", "1")
+		s.retryAfter(w, 1)
 		writeError(w, http.StatusConflict, true, "job %s still %s; poll again", job.ID, job.Status())
 		return nil
 	}

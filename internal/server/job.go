@@ -248,9 +248,12 @@ func (s *JobSpec) cacheKey() cacheKey {
 const (
 	StatusQueued   = "queued"
 	StatusRunning  = "running"
+	StatusRetrying = "retrying" // transient failure; scheduled for a backoff re-run
 	StatusDone     = "done"
 	StatusFailed   = "failed"
-	StatusRejected = "rejected" // drained from the queue at shutdown; retryable
+	StatusDead     = "dead"     // dead-letter: transient failures exhausted the retry budget
+	StatusRejected = "rejected" // drained from the queue at shutdown without a store; retryable
+	StatusRequeued = "requeued" // drained with a store: journaled unfinished, re-run on restart
 )
 
 // JobResult is the result section of a finished job.
@@ -263,6 +266,12 @@ type JobResult struct {
 	Makespans    []float64 `json:"makespans,omitempty"`
 	MinMakespan  float64   `json:"min_makespan,omitempty"`
 	MeanMakespan float64   `json:"mean_makespan,omitempty"`
+	// Fingerprint is a deterministic hex digest of the result: the rep-0
+	// virtual trace's trace.Fingerprint for cached (replayed) jobs, an
+	// FNV-1a fold of the makespans for direct jobs, and of the curve for
+	// sweeps. Identical specs produce identical fingerprints, which is
+	// how crash recovery proves a re-run reproduced the original result.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Faults reports what the job's injector planted (nil when off).
 	Faults *fault.Stats `json:"faults,omitempty"`
 	// Sweep holds the per-matrix-size curve of sweep jobs.
@@ -274,10 +283,15 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
+	tenant    *tenant // owning tenant; immutable after Submit
+	source    string  // "" for API submissions, "cron:<id>" for cron firings
+	recovered bool    // re-queued by crash recovery at startup
+
 	mu        sync.Mutex
 	status    string     // guarded-by: mu
 	err       string     // guarded-by: mu
 	retryable bool       // guarded-by: mu
+	attempts  int        // guarded-by: mu — execution attempts (retries included)
 	cache     string     // guarded-by: mu — "hit", "miss", "bypass" or ""
 	queueWait float64    // guarded-by: mu — seconds
 	runTime   float64    // guarded-by: mu — seconds
@@ -288,16 +302,29 @@ type Job struct {
 	started   time.Time // guarded-by: mu
 }
 
+// tenantName returns the owning tenant's name ("" for none — never the
+// case for admitted jobs).
+func (j *Job) tenantName() string {
+	if j.tenant == nil {
+		return ""
+	}
+	return j.tenant.cfg.Name
+}
+
 // JobView is the JSON representation of a job served by the API.
 type JobView struct {
 	ID          string     `json:"id"`
 	Status      string     `json:"status"`
+	Tenant      string     `json:"tenant,omitempty"`
 	Kind        string     `json:"kind"`
 	Algorithm   string     `json:"algorithm"`
 	Scheduler   string     `json:"scheduler"`
 	NT          int        `json:"nt,omitempty"`
 	Workers     int        `json:"workers"`
 	Cache       string     `json:"cache,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Recovered   bool       `json:"recovered,omitempty"` // re-queued by crash recovery
+	Source      string     `json:"source,omitempty"`    // cron:<id> for cron firings
 	QueueWaitNS int64      `json:"queue_wait_ns,omitempty"`
 	RunNS       int64      `json:"run_ns,omitempty"`
 	Error       string     `json:"error,omitempty"`
@@ -313,12 +340,16 @@ func (j *Job) view() JobView {
 	return JobView{
 		ID:          j.ID,
 		Status:      j.status,
+		Tenant:      j.tenantName(),
 		Kind:        j.Spec.Kind,
 		Algorithm:   j.Spec.Algorithm,
 		Scheduler:   j.Spec.Scheduler,
 		NT:          j.Spec.NT,
 		Workers:     j.Spec.Workers,
 		Cache:       j.cache,
+		Attempts:    j.attempts,
+		Recovered:   j.recovered,
+		Source:      j.source,
 		QueueWaitNS: int64(j.queueWait * 1e9),
 		RunNS:       int64(j.runTime * 1e9),
 		Error:       j.err,
@@ -342,76 +373,10 @@ func (j *Job) Status() string {
 	return j.status
 }
 
-// jobQueue is the admission-controlled submission queue: a bounded FIFO
-// with condvar handoff to the worker pool. A mutex/condvar queue (rather
-// than a channel) makes drain atomic: Shutdown rejects every queued job
-// and stops the workers under one critical section, so a job is either
-// rejected or was already picked up — never both, never neither.
-type jobQueue struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	items    []*Job // guarded-by: mu
-	depth    int
-	draining bool // guarded-by: mu
-}
-
-func newJobQueue(depth int) *jobQueue {
-	q := &jobQueue{depth: depth}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// errQueueFull is returned by push when admission control rejects a job.
-var errQueueFull = fmt.Errorf("job queue full")
-
-// errDraining is returned by push while the server shuts down.
-var errDraining = fmt.Errorf("server draining")
-
-func (q *jobQueue) push(j *Job) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.draining {
-		return errDraining
-	}
-	if len(q.items) >= q.depth {
-		return errQueueFull
-	}
-	q.items = append(q.items, j)
-	q.cond.Signal()
-	return nil
-}
-
-// pop blocks until a job is available or the queue is draining; ok=false
-// means the worker should exit.
-func (q *jobQueue) pop() (*Job, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.draining {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	j := q.items[0]
-	q.items = q.items[1:]
-	return j, true
-}
-
-// drain marks the queue draining and returns every job still queued; those
-// jobs were never picked up and are rejected as retryable.
-func (q *jobQueue) drain() []*Job {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.draining = true
-	out := q.items
-	q.items = nil
-	q.cond.Broadcast()
-	return out
-}
-
-// depthNow returns the current queue length.
-func (q *jobQueue) depthNow() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
-}
+// Sentinel errors of the multi-tenant submission queue (drr.go); Submit
+// maps them to the exported ErrQueueFull/ErrTenantShare/ErrDraining.
+var (
+	errQueueFull   = fmt.Errorf("job queue full")
+	errTenantShare = fmt.Errorf("tenant queue share exhausted")
+	errDraining    = fmt.Errorf("server draining")
+)

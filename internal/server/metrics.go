@@ -14,11 +14,14 @@ import (
 // Producers (HTTP handlers, pool workers) update atomics and bounded
 // sample rings; Snapshot assembles a JSON-ready document.
 type metrics struct {
-	submitted atomic.Uint64
-	done      atomic.Uint64
-	failed    atomic.Uint64
-	rejected  atomic.Uint64 // admission-control refusals (queue full or draining)
-	running   atomic.Int64  // gauge: jobs currently executing
+	submitted   atomic.Uint64
+	done        atomic.Uint64
+	failed      atomic.Uint64
+	dead        atomic.Uint64 // dead-lettered after exhausting the retry budget
+	rejected    atomic.Uint64 // admission-control refusals (queue full, share, draining)
+	rateLimited atomic.Uint64 // token-bucket refusals
+	retries     atomic.Uint64 // backoff re-runs scheduled
+	running     atomic.Int64  // gauge: jobs currently executing
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
@@ -59,6 +62,25 @@ func (r *sampleRing) snapshot() ([]float64, uint64) {
 	return append([]float64(nil), r.buf...), r.total
 }
 
+// rangeMS returns the min/max of the retained samples in milliseconds
+// (0, 0 when empty) — the shared bin range for per-tenant histograms.
+func (r *sampleRing) rangeMS() (lo, hi float64) {
+	xs, _ := r.snapshot()
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo * 1e3, hi * 1e3
+}
+
 // LatencyStats is the JSON form of one latency series, in milliseconds.
 type LatencyStats struct {
 	// Count is the lifetime number of observations; the histogram and
@@ -81,8 +103,16 @@ type HistogramBin struct {
 
 const latencyBins = 10
 
-// latencyStats summarizes a sample ring via internal/stats.
+// latencyStats summarizes a sample ring via internal/stats, auto-ranging
+// the histogram over the retained samples.
 func latencyStats(r *sampleRing) LatencyStats {
+	return latencyStatsRange(r, 0, 0)
+}
+
+// latencyStatsRange is latencyStats with fixed histogram bin edges
+// [loMS, hiMS] so several series (the per-tenant queue waits) bin
+// comparably; loMS == hiMS falls back to auto-ranging.
+func latencyStatsRange(r *sampleRing, loMS, hiMS float64) LatencyStats {
 	xs, total := r.snapshot()
 	out := LatencyStats{Count: total}
 	if len(xs) == 0 {
@@ -99,7 +129,12 @@ func latencyStats(r *sampleRing) LatencyStats {
 	sorted := append([]float64(nil), ms...)
 	sort.Float64s(sorted) // stats.Quantile requires ascending input
 	out.P95MS = stats.Quantile(sorted, 0.95)
-	h := stats.NewHistogram(ms, latencyBins)
+	var h *stats.Histogram
+	if hiMS > loMS {
+		h = stats.NewHistogramRange(ms, latencyBins, loMS, hiMS)
+	} else {
+		h = stats.NewHistogram(ms, latencyBins)
+	}
 	out.Histogram = make([]HistogramBin, len(h.Counts))
 	for i, c := range h.Counts {
 		out.Histogram[i] = HistogramBin{LoMS: h.Edges[i], HiMS: h.Edges[i+1], Count: c}
@@ -109,12 +144,15 @@ func latencyStats(r *sampleRing) LatencyStats {
 
 // JobCounts is the job-lifecycle section of a metrics snapshot.
 type JobCounts struct {
-	Submitted uint64 `json:"submitted"`
-	Queued    int    `json:"queued"`
-	Running   int64  `json:"running"`
-	Done      uint64 `json:"done"`
-	Failed    uint64 `json:"failed"`
-	Rejected  uint64 `json:"rejected"`
+	Submitted   uint64 `json:"submitted"`
+	Queued      int    `json:"queued"`
+	Running     int64  `json:"running"`
+	Done        uint64 `json:"done"`
+	Failed      uint64 `json:"failed"`
+	Dead        uint64 `json:"dead"`
+	Rejected    uint64 `json:"rejected"`
+	RateLimited uint64 `json:"rate_limited"`
+	Retries     uint64 `json:"retries"`
 }
 
 // CacheStats is the capture-cache section of a metrics snapshot.
@@ -127,13 +165,51 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// TenantSnapshot is one tenant's section of a metrics snapshot: lifecycle
+// counters, queue occupancy against its share, its queue-wait distribution
+// (binned over the global range so tenants compare directly) and its
+// capture-cache partition.
+type TenantSnapshot struct {
+	Name        string       `json:"name"`
+	Weight      int          `json:"weight"`
+	Queued      int          `json:"queued"`
+	MaxQueue    int          `json:"max_queue"`
+	Submitted   uint64       `json:"submitted"`
+	Done        uint64       `json:"done"`
+	Failed      uint64       `json:"failed"`
+	Dead        uint64       `json:"dead"`
+	Rejected    uint64       `json:"rejected"`
+	RateLimited uint64       `json:"rate_limited"`
+	Retries     uint64       `json:"retries"`
+	QueueWait   LatencyStats `json:"queue_wait"`
+	Cache       CacheStats   `json:"cache"`
+}
+
+// StoreStats is the journaled-store section of a metrics snapshot.
+type StoreStats struct {
+	// Durable reports whether a -data-dir store is attached.
+	Durable bool `json:"durable"`
+	// Seq is the journal's monotone record sequence number.
+	Seq uint64 `json:"seq,omitempty"`
+	// LogRecords counts records appended since the last compaction.
+	LogRecords int `json:"log_records,omitempty"`
+	// Compactions counts snapshot+truncate cycles this process ran.
+	Compactions uint64 `json:"compactions,omitempty"`
+	// Recovered/Restored report what startup recovery found: jobs
+	// re-queued for a re-run vs finished jobs restored with results.
+	Recovered int `json:"recovered,omitempty"`
+	Restored  int `json:"restored,omitempty"`
+}
+
 // MetricsSnapshot is the full /metrics document.
 type MetricsSnapshot struct {
-	UptimeMS   float64       `json:"uptime_ms"`
-	Draining   bool          `json:"draining"`
-	Jobs       JobCounts     `json:"jobs"`
-	Cache      CacheStats    `json:"cache"`
-	QueueWait  LatencyStats  `json:"queue_wait"`
-	Run        LatencyStats  `json:"run"`
-	Contention perf.Snapshot `json:"contention"`
+	UptimeMS   float64          `json:"uptime_ms"`
+	Draining   bool             `json:"draining"`
+	Jobs       JobCounts        `json:"jobs"`
+	Store      StoreStats       `json:"store"`
+	Tenants    []TenantSnapshot `json:"tenants,omitempty"`
+	Cache      CacheStats       `json:"cache"`
+	QueueWait  LatencyStats     `json:"queue_wait"`
+	Run        LatencyStats     `json:"run"`
+	Contention perf.Snapshot    `json:"contention"`
 }

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"supersim/internal/fault"
+)
+
+// transientSpec is a job whose every task fails transiently more times
+// than the engine retries it, so the run always fails with an error
+// chain containing fault.ErrInjected — the server-level retry trigger.
+func transientSpec() JobSpec {
+	return JobSpec{
+		Algorithm: "cholesky", NT: 2, NB: 8, Workers: 1,
+		Fault: &fault.Config{Default: fault.Rates{Transient: 1}, TransientFailures: 8},
+	}
+}
+
+// TestTransientFailureDeadLetters checks the retry pipeline end to end: a
+// deterministically transient job is re-run RetryMax times with backoff
+// and then dead-lettered, with the attempt count and the elapsed backoff
+// visible in the job record and the metrics.
+func TestTransientFailureDeadLetters(t *testing.T) {
+	const base = 20 * time.Millisecond
+	srv := newTestServer(t, Config{Pool: 1, RetryMax: 2, RetryBase: base, RetryCap: time.Second})
+	start := time.Now()
+	job, err := srv.Submit(transientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitFinished(t, job, 30*time.Second); st != StatusDead {
+		t.Fatalf("transient job finished %q, want dead", st)
+	}
+	elapsed := time.Since(start)
+	v := job.view()
+	if v.Attempts != 3 {
+		t.Fatalf("dead job ran %d attempts, want 3 (original + 2 retries)", v.Attempts)
+	}
+	if !strings.Contains(v.Error, "dead-lettered") {
+		t.Fatalf("dead job error %q does not mention dead-lettering", v.Error)
+	}
+	// Backoffs are jittered to [0.5, 1.5) of the exponential delay, so the
+	// two retries waited at least (20+40)/2 = 30ms combined.
+	if minWait := (base + 2*base) / 2; elapsed < minWait {
+		t.Fatalf("dead-lettered after %v, faster than the minimum backoff %v", elapsed, minWait)
+	}
+	m := srv.Metrics()
+	if m.Jobs.Dead != 1 || m.Jobs.Retries != 2 || m.Jobs.Failed != 0 {
+		t.Fatalf("retry metrics: dead=%d retries=%d failed=%d, want 1/2/0", m.Jobs.Dead, m.Jobs.Retries, m.Jobs.Failed)
+	}
+}
+
+// TestNonTransientFailureDoesNotRetry checks classification: a job that
+// fails for a reason other than an injected transient fault (here, a
+// deadline expiry) fails immediately with one attempt.
+func TestNonTransientFailureDoesNotRetry(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, RetryMax: 3, RetryBase: 10 * time.Millisecond})
+	spec := stallSpec(500 * time.Millisecond)
+	spec.DeadlineMS = 30 // the stalls burn the deadline long before completion
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitFinished(t, job, 30*time.Second); st != StatusFailed {
+		t.Fatalf("deadline-failed job finished %q, want failed", st)
+	}
+	v := job.view()
+	if v.Attempts != 1 {
+		t.Fatalf("non-transient failure ran %d attempts, want 1", v.Attempts)
+	}
+	if srv.Metrics().Jobs.Retries != 0 {
+		t.Fatalf("non-transient failure scheduled %d retries", srv.Metrics().Jobs.Retries)
+	}
+}
+
+// TestRetryDisabled checks RetryMax < 0: transient failures dead-letter
+// immediately without re-runs.
+func TestRetryDisabled(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, RetryMax: -1})
+	job, err := srv.Submit(transientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitFinished(t, job, 30*time.Second); st != StatusDead {
+		t.Fatalf("transient job finished %q, want dead", st)
+	}
+	if v := job.view(); v.Attempts != 1 {
+		t.Fatalf("retry-disabled job ran %d attempts, want 1", v.Attempts)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"supersim/internal/bench"
@@ -62,7 +63,52 @@ func (s *Server) runSweep(ctx context.Context, spec *JobSpec) (*JobResult, error
 		res.MeanMakespan = last.MeanMakespan
 		res.GFlops = last.GFlops
 	}
+	res.Fingerprint = sweepFingerprint(points)
 	return res, nil
+}
+
+// Result fingerprints digest each execution path's deterministic
+// observable, so crash recovery can prove a re-run reproduced the
+// original result:
+//
+//   - cached (replay) jobs hash the full rep-0 trace (trace.Fingerprint):
+//     replay is bit-identical, so the whole schedule is the identity;
+//   - direct jobs hash the makespans vector: the real scheduler's virtual
+//     makespans are deterministic, but its task→worker assignment (and so
+//     the trace's event layout) legitimately races;
+//   - sweep jobs hash the whole curve (NT and makespans per point).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// makespanFingerprint folds a repetition's makespans into a hex digest.
+func makespanFingerprint(makespans []float64) string {
+	h := uint64(fnvOffset64)
+	for _, m := range makespans {
+		h = fnvMix(h, math.Float64bits(m))
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// sweepFingerprint folds a sweep curve into a hex digest.
+func sweepFingerprint(points []bench.SweepPoint) string {
+	h := uint64(fnvOffset64)
+	for _, p := range points {
+		h = fnvMix(h, uint64(p.NT))
+		for _, m := range p.Makespans {
+			h = fnvMix(h, math.Float64bits(m))
+		}
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // runCached serves a simulate job through the capture cache: the DAG is
@@ -72,7 +118,10 @@ func (s *Server) runSweep(ctx context.Context, spec *JobSpec) (*JobResult, error
 func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Trace, string, error) {
 	spec := &job.Spec
 	bspec := spec.benchSpec()
-	dag, hit, err := s.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
+	// Each tenant replays out of its own cache partition: one tenant's
+	// working set cannot evict another's, and partition budgets are
+	// independent LRU knobs (TenantConfig.CacheCapacity).
+	dag, hit, err := job.tenant.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
 		return bench.CaptureSpec(bspec)
 	})
 	disposition := "miss"
@@ -111,6 +160,10 @@ func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Tr
 			if res.Makespan > 0 {
 				res.GFlops = kernels.AlgorithmFlops(spec.Algorithm, spec.NT*spec.NB) / res.Makespan / 1e9
 			}
+			// The rep-0 trace fingerprint is computed whether or not the
+			// trace is retained: it is the identity crash recovery compares
+			// a re-run against.
+			res.Fingerprint = fmt.Sprintf("%016x", tr.Fingerprint())
 			if spec.keepTrace() {
 				kept = tr
 			}
@@ -151,6 +204,10 @@ func (s *Server) runDirect(ctx context.Context, job *Job) (*JobResult, *trace.Tr
 		}
 	}
 	finishMakespans(res)
+	// Direct runs fingerprint the makespans vector, not the trace: the
+	// real scheduler's task→worker assignment legitimately races, but its
+	// virtual makespans are deterministic.
+	res.Fingerprint = makespanFingerprint(res.Makespans)
 	return res, kept, nil
 }
 

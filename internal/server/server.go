@@ -1,12 +1,17 @@
 // Package server wraps the simulation library in a long-running service:
-// a job queue with admission control, a bounded worker pool, a capture
-// cache that serves repeated workloads through the replay fast path, and
-// live observability endpoints (/healthz, /metrics, job polling).
+// a multi-tenant job queue with admission control (API-key tenants,
+// token-bucket rate limits, queue-share quotas), a bounded worker pool
+// served by deficit round robin, per-tenant capture caches that serve
+// repeated workloads through the replay fast path, a journaled job store
+// that makes acknowledged jobs survive SIGKILL, retry with exponential
+// backoff for transiently-failed jobs, cron-style recurring templates,
+// and live observability endpoints (/healthz, /metrics, job polling).
 //
 // Everything inside the jobs it runs stays in virtual time; the server
 // itself legitimately lives on the wall clock (queue-wait and run-latency
-// metrics, per-job deadlines, HTTP timeouts) and is registered as a
-// wall-clock package with simlint (analysis.WallClockPackages).
+// metrics, per-job deadlines, rate limiting, retry backoff, HTTP
+// timeouts) and is registered as a wall-clock package with simlint
+// (analysis.WallClockPackages).
 package server
 
 import (
@@ -18,26 +23,52 @@ import (
 	"sync/atomic"
 	"time"
 
+	"supersim/internal/fault"
 	"supersim/internal/perf"
+	"supersim/internal/rng"
 )
 
-// Config parameterizes a Server. The zero value serves with defaults.
+// Config parameterizes a Server. The zero value serves with defaults: one
+// anonymous tenant, no durability, retry enabled.
 type Config struct {
 	// Pool is the number of concurrent job runners (default 2). Each
 	// runner executes one job at a time; a job may itself use many
 	// goroutines (scheduler workers, sweep shards).
 	Pool int
-	// QueueDepth bounds the submission queue; a submit beyond it is
-	// rejected with 429 (default 64).
+	// QueueDepth bounds the submission queue across all tenants; a submit
+	// beyond it is rejected with 429 (default 64).
 	QueueDepth int
 	// JobDeadline is the default per-job wall-clock budget, overridable
 	// per job via deadline_ms (default 60s).
 	JobDeadline time.Duration
-	// CacheCapacity bounds the capture cache (DAG count, default 64).
+	// CacheCapacity bounds each tenant's capture-cache partition (DAG
+	// count, default 64; override per tenant via TenantConfig).
 	CacheCapacity int
 	// RetainJobs bounds the finished jobs kept for polling; the oldest
 	// finished jobs are evicted first (default 256).
 	RetainJobs int
+
+	// Tenants declares the API-key tenants. Empty means one anonymous
+	// "default" tenant with no rate limit and the whole queue.
+	Tenants []TenantConfig
+
+	// DataDir enables the journaled job store: acknowledged jobs are
+	// fsynced to an append-only log under this directory and recovered
+	// exactly once after a crash or restart. Empty = in-memory only.
+	DataDir string
+	// CompactEvery is the number of finish records between journal
+	// compactions (default 256).
+	CompactEvery int
+
+	// RetryMax is how many backoff re-runs a job failing on a transient
+	// fault-injected error gets before the dead-letter state (default 2;
+	// negative disables retry).
+	RetryMax int
+	// RetryBase is the first backoff delay; attempt n waits
+	// RetryBase * 2^(n-1), jittered ±50% (default 250ms).
+	RetryBase time.Duration
+	// RetryCap bounds the backoff delay (default 10s).
+	RetryCap time.Duration
 }
 
 func (c *Config) fill() {
@@ -56,66 +87,241 @@ func (c *Config) fill() {
 	if c.RetainJobs < 1 {
 		c.RetainJobs = 256
 	}
+	if c.CompactEvery < 1 {
+		c.CompactEvery = 256
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 10 * time.Second
+	}
 }
 
-// Submission errors, surfaced by Submit and mapped to HTTP statuses by the
-// handlers (429 and 503; both are retryable).
+// Submission errors, surfaced by Submit and mapped to HTTP statuses by
+// the handlers (429 for the first three, 503 for draining; all four are
+// retryable).
 var (
-	// ErrQueueFull reports that admission control rejected the job.
+	// ErrQueueFull reports that global admission control rejected the job.
 	ErrQueueFull = errors.New("server: job queue full, retry later")
+	// ErrTenantShare reports that the tenant's queue-share quota is spent.
+	ErrTenantShare = errors.New("server: tenant queue share exhausted, retry later")
+	// ErrRateLimited reports that the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("server: tenant rate limit exceeded, retry later")
 	// ErrDraining reports that the server is shutting down.
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrUnknownTenant reports a missing or unknown API key.
+	ErrUnknownTenant = errors.New("server: unknown or missing API key")
 )
 
 // Server is the simulation service: construct with New, mount Handler on
 // an http.Server (or use cmd/simd), submit jobs programmatically with
-// Submit, and stop with Shutdown.
+// Submit/SubmitAs, and stop with Shutdown.
 type Server struct {
-	cfg      Config
-	queue    *jobQueue
-	cache    *captureCache
-	metrics  metrics
-	counters *perf.Counters // shared across jobs; exposed by /metrics
-	mux      *http.ServeMux
-	start    time.Time
-	wg       sync.WaitGroup
+	cfg          Config
+	queue        *drrQueue
+	tenants      []*tenant
+	tenantsByKey map[string]*tenant
+	anonTenant   *tenant // tenant with no key; nil when every tenant requires one
+	store        *store  // nil without DataDir
+	cron         *cronRunner
+	metrics      metrics
+	counters     *perf.Counters // shared across jobs; exposed by /metrics
+	mux          *http.ServeMux
+	start        time.Time
+	wg           sync.WaitGroup
 
-	nextID   atomic.Uint64
-	draining atomic.Bool
-	shutdown sync.Once
+	nextID    atomic.Uint64
+	nextCron  atomic.Uint64
+	recovered int // jobs re-queued by crash recovery at startup
+	restored  int // finished jobs restored from the store at startup
+	draining  atomic.Bool
+	shutdown  sync.Once
 
-	mu    sync.Mutex
-	jobs  map[string]*Job // guarded-by: mu
-	order []string        // guarded-by: mu — insertion order, for eviction
+	jitterMu sync.Mutex
+	jitter   *rng.Source // guarded-by: jitterMu — Retry-After and backoff jitter
+
+	mu      sync.Mutex
+	jobs    map[string]*Job        // guarded-by: mu
+	order   []string               // guarded-by: mu — insertion order, for eviction
+	retries map[string]*time.Timer // guarded-by: mu — pending backoff re-runs
 }
 
-// New constructs a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New constructs a Server, recovers the journaled store when Config.DataDir
+// is set (acknowledged-but-unfinished jobs are re-queued, finished jobs and
+// cron templates restored), and starts its worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	s := &Server{
-		cfg:      cfg,
-		queue:    newJobQueue(cfg.QueueDepth),
-		cache:    newCaptureCache(cfg.CacheCapacity),
-		counters: &perf.Counters{},
-		jobs:     make(map[string]*Job),
-		start:    time.Now(), //simlint:allow vclock — service uptime, not simulated time
+	tenants, err := buildTenants(&cfg)
+	if err != nil {
+		return nil, err
 	}
+	s := &Server{
+		cfg:          cfg,
+		tenants:      tenants,
+		tenantsByKey: make(map[string]*tenant),
+		counters:     &perf.Counters{},
+		jobs:         make(map[string]*Job),
+		retries:      make(map[string]*time.Timer),
+		start:        time.Now(), //simlint:allow vclock — service uptime, not simulated time
+		jitter:       rng.New(uint64(time.Now().UnixNano())), //simlint:allow vclock — jitter seed
+	}
+	for _, t := range tenants {
+		if t.cfg.Key == "" {
+			s.anonTenant = t
+		} else {
+			s.tenantsByKey[t.cfg.Key] = t
+		}
+	}
+	s.queue = newDRRQueue(tenants, cfg.QueueDepth)
+	s.cron = newCronRunner(s)
 	s.mux = s.routes()
+
+	if cfg.DataDir != "" {
+		if err := s.recover(); err != nil {
+			s.cron.shutdown()
+			return nil, err
+		}
+	}
+
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
+
+// recover opens the journal and folds its history back into the live
+// server: finished jobs become retained records, unfinished acknowledged
+// jobs are re-queued (replay determinism makes their re-runs
+// bit-identical), cron templates are re-armed, and the recovered state is
+// immediately compacted so the log starts clean.
+//
+//simlint:allow guarded — construction precedes publication: recovered jobs are not shared until remember()
+func (s *Server) recover() error {
+	st, state, err := openStore(s.cfg.DataDir, s.cfg.CompactEvery)
+	if err != nil {
+		return err
+	}
+	s.store = st
+	// The snapshot's counters lag behind accepts journaled after the last
+	// compaction; fold the recovered IDs back in so a recovered server
+	// never re-mints an existing ID.
+	nextID, nextCron := state.NextID, state.NextCron
+	for _, js := range state.Jobs {
+		if n, ok := idSeq(js.ID, "j-"); ok && n > nextID {
+			nextID = n
+		}
+	}
+	for _, c := range state.Crons {
+		if n, ok := idSeq(c.ID, "c-"); ok && n > nextCron {
+			nextCron = n
+		}
+	}
+	s.nextID.Store(nextID)
+	s.nextCron.Store(nextCron)
+
+	for i := range state.Jobs {
+		js := &state.Jobs[i]
+		t := s.tenantNamed(js.Tenant)
+		if t == nil {
+			// The tenant was removed from the config between restarts; its
+			// jobs still belong to someone, so the default tenant adopts
+			// them rather than recovery dropping acknowledged work.
+			t = s.defaultTenant()
+		}
+		job := &Job{
+			ID:        js.ID,
+			Spec:      js.Spec,
+			tenant:    t,
+			recovered: true,
+			submitted: time.Now(), //simlint:allow vclock — queue-wait restarts at recovery
+		}
+		switch js.Status {
+		case StatusDone, StatusFailed, StatusDead:
+			job.status = js.Status
+			job.err = js.Error
+			job.cache = js.Cache
+			job.attempts = js.Attempts
+			job.result = js.Result
+			s.remember(job)
+			s.restored++
+		default:
+			// Acknowledged but unfinished at crash/drain time: re-queue and
+			// re-run exactly once.
+			job.status = StatusQueued
+			s.remember(job)
+			if err := s.queue.push(t, job); err != nil {
+				// Recovered load exceeding the configured queue depth would
+				// silently drop acknowledged jobs; refuse to start instead.
+				return fmt.Errorf("server: re-queueing recovered job %s: %w", job.ID, err)
+			}
+			s.recovered++
+		}
+	}
+	for _, c := range state.Crons {
+		s.cron.add(c)
+	}
+	if err := s.compactNow(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// idSeq parses the numeric suffix of a generated ID ("j-000042", ...).
+func idSeq(id, prefix string) (uint64, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, prefix+"%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Recovered reports how many acknowledged jobs recovery re-queued and how
+// many finished jobs it restored at startup.
+func (s *Server) Recovered() (requeued, restored int) { return s.recovered, s.restored }
 
 // Handler returns the service's HTTP handler (mount it on any mux or
 // http.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Submit validates and enqueues a job spec. It returns ErrQueueFull when
-// admission control rejects it, ErrDraining during shutdown, or a spec
-// validation error; otherwise the queued job.
+// defaultTenant is the tenant used for programmatic submissions and
+// adopted orphans: the anonymous tenant when one exists, else the first
+// configured tenant.
+func (s *Server) defaultTenant() *tenant {
+	if s.anonTenant != nil {
+		return s.anonTenant
+	}
+	return s.tenants[0]
+}
+
+// Submit validates and enqueues a job spec under the default tenant. It
+// returns ErrQueueFull/ErrTenantShare/ErrRateLimited when admission
+// control rejects it, ErrDraining during shutdown, or a spec validation
+// error; otherwise the queued job.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.submitAs(s.defaultTenant(), spec, "")
+}
+
+// SubmitAs is Submit under a named tenant.
+func (s *Server) SubmitAs(tenantName string, spec JobSpec) (*Job, error) {
+	t := s.tenantNamed(tenantName)
+	if t == nil {
+		return nil, ErrUnknownTenant
+	}
+	return s.submitAs(t, spec, "")
+}
+
+// submitAs runs the full admission path for one tenant: spec validation,
+// token bucket, queue-share and global-depth checks, then the fsynced
+// accept record — the job is acknowledged only once it is on disk.
+func (s *Server) submitAs(t *tenant, spec JobSpec, source string) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("server: invalid job spec: %w", err)
 	}
@@ -123,24 +329,43 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.metrics.rejected.Add(1)
 		return nil, ErrDraining
 	}
+	if ok, _ := t.bucket.take(); !ok {
+		s.metrics.rateLimited.Add(1)
+		t.m.rateLimited.Add(1)
+		return nil, ErrRateLimited
+	}
 	job := &Job{
 		ID:        fmt.Sprintf("j-%06d", s.nextID.Add(1)),
 		Spec:      spec,
+		tenant:    t,
+		source:    source,
 		status:    StatusQueued,
 		submitted: time.Now(), //simlint:allow vclock — queue-wait latency metric
 	}
 	s.remember(job)
-	if err := s.queue.push(job); err != nil {
+	if err := s.queue.push(t, job); err != nil {
 		s.metrics.rejected.Add(1)
+		t.m.rejected.Add(1)
 		s.forget(job.ID)
 		switch {
 		case errors.Is(err, errDraining):
 			return nil, ErrDraining
+		case errors.Is(err, errTenantShare):
+			return nil, ErrTenantShare
 		default:
 			return nil, ErrQueueFull
 		}
 	}
+	// The accept record is the durability contract: fsynced before the
+	// submission is acknowledged, so an acked job survives SIGKILL.
+	if err := s.store.accept(job); err != nil {
+		s.metrics.rejected.Add(1)
+		t.m.rejected.Add(1)
+		s.forget(job.ID)
+		return nil, err
+	}
 	s.metrics.submitted.Add(1)
+	t.m.submitted.Add(1)
 	return job, nil
 }
 
@@ -205,7 +430,7 @@ func (s *Server) forget(id string) {
 
 func finished(status string) bool {
 	switch status {
-	case StatusDone, StatusFailed, StatusRejected:
+	case StatusDone, StatusFailed, StatusDead, StatusRejected, StatusRequeued:
 		return true
 	}
 	return false
@@ -225,7 +450,9 @@ func (s *Server) worker() {
 
 // runJob executes one job end to end: stamps the queue wait, enforces the
 // deadline, dispatches to the cached/direct/sweep path and records the
-// outcome in the job record and the metrics.
+// outcome in the job record, the journal and the metrics. Transient
+// fault-injected failures are retried with exponential backoff before the
+// dead-letter state.
 func (s *Server) runJob(job *Job) {
 	//simlint:allow vclock — queue-wait and run-latency measurement is the
 	// service's own observability; the simulated timelines inside the job
@@ -236,8 +463,11 @@ func (s *Server) runJob(job *Job) {
 	job.status = StatusRunning
 	job.started = pickup
 	job.queueWait = wait
+	job.attempts++
+	attempt := job.attempts
 	job.mu.Unlock()
 	s.metrics.queueWait.observe(wait)
+	job.tenant.m.queueWait.observe(wait)
 	s.metrics.running.Add(1)
 	defer s.metrics.running.Add(-1)
 
@@ -260,6 +490,24 @@ func (s *Server) runJob(job *Job) {
 		s.metrics.cacheBypass.Add(1)
 	}
 
+	if err != nil && errors.Is(err, fault.ErrInjected) && !s.draining.Load() {
+		if attempt <= s.cfg.RetryMax {
+			s.scheduleRetry(job, attempt, err)
+			return
+		}
+		// Dead-letter: the transient failure survived every backoff re-run.
+		job.mu.Lock()
+		job.runTime = run
+		job.cache = disposition
+		job.status = StatusDead
+		job.err = fmt.Sprintf("dead-lettered after %d attempts: %v", attempt, err)
+		job.mu.Unlock()
+		s.metrics.dead.Add(1)
+		job.tenant.m.dead.Add(1)
+		s.finishJob(job)
+		return
+	}
+
 	job.mu.Lock()
 	job.runTime = run
 	job.cache = disposition
@@ -274,27 +522,174 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 	if err != nil {
 		s.metrics.failed.Add(1)
+		job.tenant.m.failed.Add(1)
 	} else {
 		s.metrics.done.Add(1)
+		job.tenant.m.done.Add(1)
+	}
+	s.finishJob(job)
+}
+
+// finishJob journals a terminal transition and compacts when due.
+func (s *Server) finishJob(job *Job) {
+	if s.store.finish(job) {
+		_ = s.compactNow() // compaction failure degrades to a longer log, not data loss
 	}
 }
 
+// compactNow snapshots the current retained state into the journal.
+func (s *Server) compactNow() error {
+	if s.store == nil {
+		return nil
+	}
+	state := storeState{
+		NextID:   s.nextID.Load(),
+		NextCron: s.nextCron.Load(),
+		Crons:    s.cron.specs(),
+	}
+	for _, job := range s.Jobs() {
+		job.mu.Lock()
+		js := jobState{
+			ID:       job.ID,
+			Tenant:   job.tenantName(),
+			Spec:     job.Spec,
+			Status:   job.status,
+			Error:    job.err,
+			Cache:    job.cache,
+			Attempts: job.attempts,
+			Result:   job.result,
+		}
+		job.mu.Unlock()
+		switch js.Status {
+		case StatusDone, StatusFailed, StatusDead:
+			if js.Result != nil {
+				js.Fingerprint = js.Result.Fingerprint
+			}
+		default:
+			// Unfinished states (queued/running/retrying/requeued) snapshot
+			// as queued: they re-run on recovery.
+			js.Status = StatusQueued
+			js.Error, js.Cache, js.Attempts, js.Result = "", "", 0, nil
+		}
+		state.Jobs = append(state.Jobs, js)
+	}
+	return s.store.compact(state)
+}
+
+// scheduleRetry arms a backoff re-run for a transiently-failed job:
+// attempt n waits RetryBase * 2^(n-1) (capped at RetryCap), jittered to
+// 50–150% so synchronized failures do not re-converge on the queue.
+func (s *Server) scheduleRetry(job *Job, attempt int, cause error) {
+	delay := s.cfg.RetryBase << (attempt - 1)
+	if delay > s.cfg.RetryCap || delay <= 0 {
+		delay = s.cfg.RetryCap
+	}
+	delay = time.Duration(float64(delay) * (0.5 + s.jitterFloat()))
+	job.mu.Lock()
+	job.status = StatusRetrying
+	job.err = fmt.Sprintf("attempt %d failed transiently, retrying in %v: %v", attempt, delay.Round(time.Millisecond), cause)
+	job.mu.Unlock()
+	s.metrics.retries.Add(1)
+	job.tenant.m.retries.Add(1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		s.parkJob(job)
+		return
+	}
+	//simlint:allow vclock — retry backoff is wall-clock service logic
+	s.retries[job.ID] = time.AfterFunc(delay, func() { s.retryFire(job) })
+}
+
+// retryFire re-queues a job whose backoff elapsed. If the queue refuses
+// it (drain won the race, or the tenant's share is momentarily full) the
+// job is parked or re-armed rather than lost.
+func (s *Server) retryFire(job *Job) {
+	s.mu.Lock()
+	delete(s.retries, job.ID)
+	s.mu.Unlock()
+
+	job.mu.Lock()
+	job.status = StatusQueued
+	job.mu.Unlock()
+	if err := s.queue.push(job.tenant, job); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if errors.Is(err, errDraining) || s.draining.Load() {
+			s.parkJob(job)
+			return
+		}
+		// Queue momentarily full: try again one base delay later without
+		// consuming a retry attempt.
+		//simlint:allow vclock — retry backoff is wall-clock service logic
+		s.retries[job.ID] = time.AfterFunc(s.cfg.RetryBase, func() { s.retryFire(job) })
+	}
+}
+
+// parkJob records that a job cannot run again in this process: with a
+// store it becomes requeued (accepted-without-finish in the journal, so
+// the next boot re-runs it — the SIGTERM/SIGKILL convergence point);
+// without one it is rejected as retryable. Caller holds s.mu.
+func (s *Server) parkJob(job *Job) {
+	job.mu.Lock()
+	if s.store != nil {
+		job.status = StatusRequeued
+		job.err = "server shut down before the job could run; it will re-run on restart"
+	} else {
+		job.status = StatusRejected
+		job.err = "server shutting down before the job started; resubmit"
+	}
+	job.retryable = true
+	job.mu.Unlock()
+	s.metrics.rejected.Add(1)
+	job.tenant.m.rejected.Add(1)
+}
+
+// jitterFloat returns a uniform float64 in [0, 1) from the server's
+// seeded jitter stream.
+func (s *Server) jitterFloat() float64 {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return s.jitter.Float64()
+}
+
 // Shutdown drains the service: new submissions are rejected with
-// ErrDraining, jobs still queued are rejected as retryable, and in-flight
-// jobs run to completion. It returns ctx.Err() if the pool does not drain
-// in time. Idempotent; concurrent calls share the first drain.
+// ErrDraining, cron firing stops, pending retries and still-queued jobs
+// are parked (requeued into the journal with a store, rejected-retryable
+// without), and in-flight jobs run to completion. With a store, the
+// journal is flushed and compacted before return, so a SIGTERM drain and
+// a SIGKILL converge on the same recovered state. It returns ctx.Err() if
+// the pool does not drain in time. Idempotent; concurrent calls share the
+// first drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.shutdown.Do(func() {
 		s.draining.Store(true)
-		for _, job := range s.queue.drain() {
-			job.mu.Lock()
-			job.status = StatusRejected
-			job.err = "server shutting down before the job started; resubmit"
-			job.retryable = true
-			job.mu.Unlock()
-			s.metrics.rejected.Add(1)
+		s.cron.shutdown()
+
+		// Cancel pending backoff re-runs and park those jobs.
+		s.mu.Lock()
+		var parked []string
+		for id, timer := range s.retries {
+			timer.Stop()
+			delete(s.retries, id)
+			if job, ok := s.jobs[id]; ok {
+				s.parkJob(job)
+				parked = append(parked, id)
+			}
 		}
+		s.mu.Unlock()
+
+		// Drain the queues atomically and park every job never picked up.
+		s.mu.Lock()
+		for _, job := range s.queue.drain() {
+			s.parkJob(job)
+			parked = append(parked, job.ID)
+		}
+		s.mu.Unlock()
+		s.store.drainMark(parked)
+
 		done := make(chan struct{})
 		go func() {
 			s.wg.Wait()
@@ -305,6 +700,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			err = fmt.Errorf("server: shutdown interrupted with jobs in flight: %w", ctx.Err())
 		}
+
+		// Flush the journal: compact the final state (in-flight results
+		// included) and close. Failures degrade to a longer recovery replay.
+		if cerr := s.compactNow(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := s.store.close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	})
 	return err
 }
@@ -312,31 +716,105 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// AddCron validates, journals and arms a recurring template under the
+// given tenant, assigning its ID.
+func (s *Server) AddCron(tenantName string, spec CronSpec) (CronView, error) {
+	t := s.tenantNamed(tenantName)
+	if t == nil {
+		return CronView{}, ErrUnknownTenant
+	}
+	if s.draining.Load() {
+		return CronView{}, ErrDraining
+	}
+	spec.Tenant = t.cfg.Name
+	if err := spec.validate(); err != nil {
+		return CronView{}, fmt.Errorf("server: invalid cron spec: %w", err)
+	}
+	spec.ID = fmt.Sprintf("c-%06d", s.nextCron.Add(1))
+	if err := s.store.cron(spec, false); err != nil {
+		return CronView{}, err
+	}
+	s.cron.add(spec)
+	view, _ := s.cron.get(spec.ID)
+	return view, nil
+}
+
+// RemoveCron disarms and journals the removal of a recurring template.
+func (s *Server) RemoveCron(id string) (bool, error) {
+	view, ok := s.cron.get(id)
+	if !ok {
+		return false, nil
+	}
+	if err := s.store.cron(view.CronSpec, true); err != nil {
+		return false, err
+	}
+	return s.cron.remove(id), nil
+}
+
+// Crons lists the armed recurring templates.
+func (s *Server) Crons() []CronView { return s.cron.list() }
+
 // Metrics assembles the current observability snapshot.
 func (s *Server) Metrics() MetricsSnapshot {
-	entries, captures, evictions := s.cache.stats()
-	return MetricsSnapshot{
+	seq, logRecs, compactions := s.store.stats()
+	snap := MetricsSnapshot{
 		//simlint:allow vclock — service uptime
 		UptimeMS: time.Since(s.start).Seconds() * 1e3,
 		Draining: s.draining.Load(),
 		Jobs: JobCounts{
-			Submitted: s.metrics.submitted.Load(),
-			Queued:    s.queue.depthNow(),
-			Running:   s.metrics.running.Load(),
-			Done:      s.metrics.done.Load(),
-			Failed:    s.metrics.failed.Load(),
-			Rejected:  s.metrics.rejected.Load(),
+			Submitted:   s.metrics.submitted.Load(),
+			Queued:      s.queue.depthNow(),
+			Running:     s.metrics.running.Load(),
+			Done:        s.metrics.done.Load(),
+			Failed:      s.metrics.failed.Load(),
+			Dead:        s.metrics.dead.Load(),
+			Rejected:    s.metrics.rejected.Load(),
+			RateLimited: s.metrics.rateLimited.Load(),
+			Retries:     s.metrics.retries.Load(),
 		},
-		Cache: CacheStats{
-			Hits:      s.metrics.cacheHits.Load(),
-			Misses:    s.metrics.cacheMisses.Load(),
-			Bypass:    s.metrics.cacheBypass.Load(),
-			Captures:  captures,
-			Entries:   entries,
-			Evictions: evictions,
+		Store: StoreStats{
+			Durable:     s.store != nil,
+			Seq:         seq,
+			LogRecords:  logRecs,
+			Compactions: compactions,
+			Recovered:   s.recovered,
+			Restored:    s.restored,
 		},
 		QueueWait:  latencyStats(&s.metrics.queueWait),
 		Run:        latencyStats(&s.metrics.runTime),
 		Contention: s.counters.Snapshot(),
 	}
+	var cache CacheStats
+	// Per-tenant histograms share bin edges (the global queue-wait range)
+	// so tenant latency distributions are directly comparable.
+	lo, hi := s.metrics.queueWait.rangeMS()
+	for _, t := range s.tenants {
+		entries, captures, evictions := t.cache.stats()
+		// Hit/miss attribution is global (a hit is a property of a job, not
+		// a partition); tenants report their partition's occupancy.
+		tc := CacheStats{Captures: captures, Entries: entries, Evictions: evictions}
+		cache.Captures += captures
+		cache.Entries += entries
+		cache.Evictions += evictions
+		snap.Tenants = append(snap.Tenants, TenantSnapshot{
+			Name:        t.cfg.Name,
+			Weight:      t.cfg.Weight,
+			Queued:      s.queue.tenantDepth(t),
+			MaxQueue:    t.maxQueue,
+			Submitted:   t.m.submitted.Load(),
+			Done:        t.m.done.Load(),
+			Failed:      t.m.failed.Load(),
+			Dead:        t.m.dead.Load(),
+			Rejected:    t.m.rejected.Load(),
+			RateLimited: t.m.rateLimited.Load(),
+			Retries:     t.m.retries.Load(),
+			QueueWait:   latencyStatsRange(&t.m.queueWait, lo, hi),
+			Cache:       tc,
+		})
+	}
+	cache.Hits = s.metrics.cacheHits.Load()
+	cache.Misses = s.metrics.cacheMisses.Load()
+	cache.Bypass = s.metrics.cacheBypass.Load()
+	snap.Cache = cache
+	return snap
 }

@@ -19,7 +19,10 @@ import (
 // job is rejected with a retryable error, and every later submission is
 // refused as draining.
 func TestGracefulShutdown(t *testing.T) {
-	srv := New(Config{Pool: 1, QueueDepth: 8})
+	srv, err := New(Config{Pool: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

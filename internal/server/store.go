@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"supersim/internal/journal"
+)
+
+// The durable job store journals the service's state transitions so that
+// acknowledged work survives SIGKILL:
+//
+//	accept — fsynced BEFORE Submit acknowledges the job: an acked job is
+//	         on disk, always. Carries the job's ID, tenant and full spec.
+//	finish — appended (without fsync) when a job reaches a terminal
+//	         state (done/failed/dead) with its result summary and trace
+//	         fingerprint. Losing one is harmless: recovery re-queues the
+//	         job and replay determinism makes the re-run bit-identical.
+//	cron   — fsynced on every recurring-template add/remove.
+//	drain  — appended at graceful shutdown, marking the jobs the drain
+//	         re-queued; purely informational (they are accepted-without-
+//	         finish either way), it makes SIGTERM and SIGKILL converge on
+//	         the same recovered state by construction.
+//
+// Recovery (openStore) folds snapshot + log into one storeState: every
+// accepted job without a finish record is re-queued and re-run exactly
+// once; finished jobs are restored as retained records. The store
+// compacts the log into a snapshot every CompactEvery finishes.
+const (
+	recAccept = "accept"
+	recFinish = "finish"
+	recCron   = "cron"
+	recDrain  = "drain"
+)
+
+// acceptRecord journals one acknowledged submission.
+type acceptRecord struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant"`
+	Spec   JobSpec `json:"spec"`
+}
+
+// finishRecord journals one terminal job transition.
+type finishRecord struct {
+	ID          string     `json:"id"`
+	Status      string     `json:"status"` // done | failed | dead
+	Error       string     `json:"error,omitempty"`
+	Cache       string     `json:"cache,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// cronRecord journals a recurring-template change.
+type cronRecord struct {
+	Remove bool     `json:"remove,omitempty"`
+	Cron   CronSpec `json:"cron"`
+}
+
+// drainRecord journals the IDs a graceful drain re-queued.
+type drainRecord struct {
+	Requeued []string `json:"requeued,omitempty"`
+}
+
+// jobState is one job's durable state inside a snapshot (and the folded
+// form of accept+finish during recovery).
+type jobState struct {
+	ID          string     `json:"id"`
+	Tenant      string     `json:"tenant"`
+	Spec        JobSpec    `json:"spec"`
+	Status      string     `json:"status"`
+	Error       string     `json:"error,omitempty"`
+	Cache       string     `json:"cache,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// storeState is the snapshot blob: everything needed to rebuild the
+// service after a restart.
+type storeState struct {
+	NextID   uint64     `json:"next_id"`
+	NextCron uint64     `json:"next_cron,omitempty"`
+	Jobs     []jobState `json:"jobs,omitempty"`
+	Crons    []CronSpec `json:"crons,omitempty"`
+}
+
+// store owns the journal on behalf of the server. nil *store methods are
+// safe no-ops, so the in-memory (no -data-dir) server calls them
+// unconditionally.
+type store struct {
+	j            *journal.Journal
+	compactEvery int
+
+	mu       sync.Mutex
+	finishes int // guarded-by: mu — finish records since the last compaction
+}
+
+// openStore opens the journal under dir and folds its history into the
+// recovered state.
+func openStore(dir string, compactEvery int) (*store, storeState, error) {
+	j, rec, err := journal.Open(dir)
+	if err != nil {
+		return nil, storeState{}, err
+	}
+	var state storeState
+	if rec.State != nil {
+		if err := json.Unmarshal(rec.State, &state); err != nil {
+			j.Close()
+			return nil, storeState{}, fmt.Errorf("server: corrupt store snapshot: %w", err)
+		}
+	}
+	index := make(map[string]int, len(state.Jobs))
+	for i, js := range state.Jobs {
+		index[js.ID] = i
+	}
+	cronIndex := make(map[string]int, len(state.Crons))
+	for i, c := range state.Crons {
+		cronIndex[c.ID] = i
+	}
+	for _, r := range rec.Records {
+		switch r.Type {
+		case recAccept:
+			var a acceptRecord
+			if err := json.Unmarshal(r.Data, &a); err != nil {
+				continue // CRC passed, so this is a version skew; skip, don't crash recovery
+			}
+			if _, dup := index[a.ID]; dup {
+				continue
+			}
+			index[a.ID] = len(state.Jobs)
+			state.Jobs = append(state.Jobs, jobState{ID: a.ID, Tenant: a.Tenant, Spec: a.Spec, Status: StatusQueued})
+		case recFinish:
+			var f finishRecord
+			if err := json.Unmarshal(r.Data, &f); err != nil {
+				continue
+			}
+			if i, ok := index[f.ID]; ok {
+				js := &state.Jobs[i]
+				js.Status = f.Status
+				js.Error = f.Error
+				js.Cache = f.Cache
+				js.Attempts = f.Attempts
+				js.Fingerprint = f.Fingerprint
+				js.Result = f.Result
+			}
+		case recCron:
+			var c cronRecord
+			if err := json.Unmarshal(r.Data, &c); err != nil {
+				continue
+			}
+			if i, ok := cronIndex[c.Cron.ID]; ok {
+				if c.Remove {
+					state.Crons = append(state.Crons[:i], state.Crons[i+1:]...)
+					delete(cronIndex, c.Cron.ID)
+					for id, idx := range cronIndex {
+						if idx > i {
+							cronIndex[id] = idx - 1
+						}
+					}
+				} else {
+					state.Crons[i] = c.Cron
+				}
+			} else if !c.Remove {
+				cronIndex[c.Cron.ID] = len(state.Crons)
+				state.Crons = append(state.Crons, c.Cron)
+			}
+		case recDrain:
+			// Informational: drained jobs are accepted-without-finish and
+			// already recover as queued.
+		}
+	}
+	return &store{j: j, compactEvery: compactEvery}, state, nil
+}
+
+// accept journals an acknowledged submission, fsynced: when it returns
+// nil the job survives SIGKILL.
+func (st *store) accept(job *Job) error {
+	if st == nil {
+		return nil
+	}
+	_, err := st.j.AppendSync(recAccept, acceptRecord{ID: job.ID, Tenant: job.tenantName(), Spec: job.Spec})
+	if err != nil {
+		return fmt.Errorf("server: journalling accept of %s: %w", job.ID, err)
+	}
+	return nil
+}
+
+// finish journals a terminal transition. It reports whether the caller
+// should compact (every compactEvery finishes).
+func (st *store) finish(job *Job) (compactDue bool) {
+	if st == nil {
+		return false
+	}
+	job.mu.Lock()
+	f := finishRecord{
+		ID:       job.ID,
+		Status:   job.status,
+		Error:    job.err,
+		Cache:    job.cache,
+		Attempts: job.attempts,
+		Result:   job.result,
+	}
+	if job.result != nil {
+		f.Fingerprint = job.result.Fingerprint
+	}
+	job.mu.Unlock()
+	if _, err := st.j.Append(recFinish, f); err != nil {
+		return false // the re-run on recovery is bit-identical; nothing to escalate
+	}
+	st.mu.Lock()
+	st.finishes++
+	due := st.finishes >= st.compactEvery
+	if due {
+		st.finishes = 0
+	}
+	st.mu.Unlock()
+	return due
+}
+
+// cron journals a recurring-template change, fsynced.
+func (st *store) cron(spec CronSpec, remove bool) error {
+	if st == nil {
+		return nil
+	}
+	if _, err := st.j.AppendSync(recCron, cronRecord{Remove: remove, Cron: spec}); err != nil {
+		return fmt.Errorf("server: journalling cron change: %w", err)
+	}
+	return nil
+}
+
+// drainMark journals the IDs a graceful drain re-queued.
+func (st *store) drainMark(ids []string) {
+	if st == nil || len(ids) == 0 {
+		return
+	}
+	_, _ = st.j.Append(recDrain, drainRecord{Requeued: ids})
+}
+
+// compact snapshots the given state and truncates the log.
+func (st *store) compact(state storeState) error {
+	if st == nil {
+		return nil
+	}
+	return st.j.Compact(state)
+}
+
+// close flushes and closes the journal.
+func (st *store) close() error {
+	if st == nil {
+		return nil
+	}
+	return st.j.Close()
+}
+
+// stats reports journal counters for /metrics.
+func (st *store) stats() (seq uint64, logRecords int, compactions uint64) {
+	if st == nil {
+		return 0, 0, 0
+	}
+	return st.j.Seq(), st.j.LogRecords(), st.j.Compactions()
+}

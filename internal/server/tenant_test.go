@@ -1,0 +1,246 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDRRFairnessUnderAsymmetricLoad pins the PR's fairness criterion: a
+// tenant submitting at 10× another's rate cannot reduce the other's
+// worker share below its DRR quota. With one pool slot pinned by a stall
+// job, heavy queues ten jobs before light queues one — FIFO would make
+// light wait behind all ten, but DRR (equal weights, equal job costs)
+// alternates, so light's job is picked up within the first two grants.
+func TestDRRFairnessUnderAsymmetricLoad(t *testing.T) {
+	srv := newTestServer(t, Config{
+		Pool:       1,
+		QueueDepth: 32,
+		Tenants: []TenantConfig{
+			{Name: "heavy", Key: "k-heavy"},
+			{Name: "light", Key: "k-light"},
+		},
+	})
+	occupant := submitStallJob(t, srv, 60*time.Millisecond)
+	waitStatus(t, occupant, StatusRunning, 5*time.Second)
+
+	var heavy []*Job
+	for i := 0; i < 10; i++ {
+		j, err := srv.SubmitAs("heavy", JobSpec{Algorithm: "cholesky", NT: 2, NB: 8, Workers: 1, Seed: uint64(i)})
+		if err != nil {
+			t.Fatalf("heavy submit %d: %v", i, err)
+		}
+		heavy = append(heavy, j)
+	}
+	light, err := srv.SubmitAs("light", JobSpec{Algorithm: "cholesky", NT: 2, NB: 8, Workers: 1, Seed: 99})
+	if err != nil {
+		t.Fatalf("light submit: %v", err)
+	}
+
+	if st := waitFinished(t, light, 30*time.Second); st != StatusDone {
+		t.Fatalf("light job finished %q", st)
+	}
+	for _, j := range heavy {
+		if st := waitFinished(t, j, 30*time.Second); st != StatusDone {
+			t.Fatalf("heavy job finished %q", st)
+		}
+	}
+
+	// The single worker serializes pickups, so started times give the
+	// service order. At most one heavy job may start before light's —
+	// under FIFO all ten would.
+	lightStart := light.started
+	before := 0
+	for _, j := range heavy {
+		if j.started.Before(lightStart) {
+			before++
+		}
+	}
+	if before > 1 {
+		t.Fatalf("%d of 10 heavy jobs served before the light tenant's job; DRR should interleave (at most 1)", before)
+	}
+}
+
+// TestTenantAuth checks API-key resolution: with no anonymous tenant a
+// keyless or unknown-key request is 401, and each key maps to its tenant.
+func TestTenantAuth(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, Tenants: []TenantConfig{
+		{Name: "a", Key: "key-a"},
+		{Name: "b", Key: "key-b"},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"algorithm": "cholesky", "nt": 2, "nb": 8}`
+	post := func(key string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless submit: %d, want 401", resp.StatusCode)
+	}
+	if resp := post("nope"); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown-key submit: %d, want 401", resp.StatusCode)
+	}
+	if resp := post("key-b"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("valid-key submit: %d, want 202", resp.StatusCode)
+	}
+	jobs := srv.Jobs()
+	if len(jobs) != 1 || jobs[0].view().Tenant != "b" {
+		t.Fatalf("job attributed to %q, want tenant b", jobs[0].view().Tenant)
+	}
+}
+
+// TestRateLimitJitteredRetryAfter pins the 429 satellite: a rate-limited
+// tenant gets 429s whose Retry-After values are valid positive integers
+// AND vary across responses — a constant hint re-synchronizes every
+// refused client into a retry stampede.
+func TestRateLimitJitteredRetryAfter(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, Tenants: []TenantConfig{
+		// 1 token/s, burst 1: the first submit drains the bucket for ~1s.
+		{Name: "limited", Key: "k", RatePerSec: 1, Burst: 1},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs",
+			strings.NewReader(`{"algorithm": "cholesky", "nt": 2, "nb": 8}`))
+		req.Header.Set("X-API-Key", "k")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d, want 202", resp.StatusCode)
+	}
+	hints := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		resp := post()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("rate-limited submit %d: %d, want 429", i, resp.StatusCode)
+		}
+		secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			t.Fatalf("Retry-After %q: not a positive integer", resp.Header.Get("Retry-After"))
+		}
+		hints[secs] = true
+	}
+	if len(hints) < 2 {
+		t.Fatalf("50 rate-limited responses all hinted Retry-After=%v; want jittered values", hints)
+	}
+	if srv.Metrics().Jobs.RateLimited != 50 {
+		t.Fatalf("rate-limited counter %d, want 50", srv.Metrics().Jobs.RateLimited)
+	}
+}
+
+// TestTenantQueueShare checks the queue-share quota: a tenant capped at a
+// quarter of an 8-deep queue is refused its third queued job even though
+// the global queue has room.
+func TestTenantQueueShare(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, QueueDepth: 8, Tenants: []TenantConfig{
+		{Name: "capped", QueueShare: 0.25},
+	}})
+	occupant := submitStallJob(t, srv, 40*time.Millisecond)
+	waitStatus(t, occupant, StatusRunning, 5*time.Second)
+
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(JobSpec{Algorithm: "cholesky", NT: 2, NB: 8}); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if _, err := srv.Submit(JobSpec{Algorithm: "cholesky", NT: 2, NB: 8}); err != ErrTenantShare {
+		t.Fatalf("over-share submit: %v, want ErrTenantShare", err)
+	}
+}
+
+// TestTenantCachePartitions checks capture-cache isolation: the same
+// cacheable spec submitted by two tenants captures twice (one partition
+// each), and a tenant's second submission replays its own partition.
+func TestTenantCachePartitions(t *testing.T) {
+	srv := newTestServer(t, Config{Pool: 1, Tenants: []TenantConfig{
+		{Name: "a", Key: "key-a"},
+		{Name: "b", Key: "key-b"},
+	}})
+	spec := JobSpec{Algorithm: "cholesky", NT: 4, NB: 8, Workers: 4, Seed: 5}
+	run := func(tenant string) string {
+		j, err := srv.SubmitAs(tenant, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitFinished(t, j, 30*time.Second); st != StatusDone {
+			t.Fatalf("job finished %q", st)
+		}
+		return j.view().Cache
+	}
+	if d := run("a"); d != "miss" {
+		t.Fatalf("tenant a first run: %q, want miss", d)
+	}
+	if d := run("b"); d != "miss" {
+		t.Fatalf("tenant b first run: %q, want miss (own partition)", d)
+	}
+	if d := run("a"); d != "hit" {
+		t.Fatalf("tenant a second run: %q, want hit", d)
+	}
+	for _, ts := range srv.Metrics().Tenants {
+		if ts.Cache.Captures != 1 {
+			t.Fatalf("tenant %s partition ran %d captures, want 1", ts.Name, ts.Cache.Captures)
+		}
+	}
+}
+
+// TestConcurrentSubmitDrain exercises the tenant buckets and the DRR
+// queue under concurrent submission racing a drain — run under -race this
+// is the PR's data-race coverage of the admission path.
+func TestConcurrentSubmitDrain(t *testing.T) {
+	srv, err := New(Config{Pool: 2, QueueDepth: 16, Tenants: []TenantConfig{
+		{Name: "a", Key: "key-a", RatePerSec: 500, Burst: 8},
+		{Name: "b", Key: "key-b", Weight: 3},
+		{Name: "anon"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b", "anon"} {
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(name string, g int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					// Errors (rate limit, share, draining) are expected; the
+					// race detector is the assertion here.
+					_, _ = srv.SubmitAs(name, JobSpec{Algorithm: "cholesky", NT: 2, NB: 8, Seed: uint64(g*100 + i)})
+				}
+			}(tenant, g)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		ctx, cancel := contextWithTimeout(30 * time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	wg.Wait()
+	_ = srv.Metrics() // snapshot also races against late pickups without locks
+}

@@ -156,6 +156,45 @@ func NewHistogram(xs []float64, bins int) *Histogram {
 	return h
 }
 
+// NewHistogramRange bins xs into bins equal-width bins spanning the given
+// [lo, hi] instead of the sample's own range, so several samples bin onto
+// identical edges and their histograms compare bin for bin. Observations
+// outside the range clamp into the first or last bin. It panics if xs is
+// empty, bins < 1, or hi <= lo.
+func NewHistogramRange(xs []float64, bins int, lo, hi float64) *Histogram {
+	if len(xs) == 0 {
+		panic("stats: NewHistogramRange of empty sample")
+	}
+	if bins < 1 {
+		panic("stats: NewHistogramRange with bins < 1")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogramRange with hi <= lo")
+	}
+	h := &Histogram{
+		Lo:     lo,
+		Hi:     hi,
+		Width:  (hi - lo) / float64(bins),
+		Counts: make([]int, bins),
+		N:      len(xs),
+		Edges:  make([]float64, bins+1),
+	}
+	for i := 0; i <= bins; i++ {
+		h.Edges[i] = lo + float64(i)*h.Width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / h.Width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
 // Density returns the normalized density of bin i, so that the histogram
 // integrates to 1 (matching a PDF's scale).
 func (h *Histogram) Density(i int) float64 {

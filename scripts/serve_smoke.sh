@@ -1,80 +1,178 @@
 #!/usr/bin/env sh
-# Smoke test for the simulation daemon: boot simd on an ephemeral port,
-# submit a small Cholesky job over HTTP, poll it to completion, check the
-# observability endpoints, then drain with SIGTERM and require a clean
-# exit. CI runs this in the serve-smoke step; locally: make serve-smoke.
+# Smoke and chaos tests for the simulation daemon.
 #
-# Needs only curl + sed (no jq), so it runs on a bare runner.
+# Usage: serve_smoke.sh [smoke|chaos|all]   (default: smoke)
+#
+#   smoke — boot simd on an ephemeral port, submit a small Cholesky job
+#           over HTTP, poll it to completion, check the observability
+#           endpoints, then drain with SIGTERM and require a clean exit.
+#   chaos — restart-recovery: boot simd with a journaled data dir, submit
+#           jobs (one pinned behind a deliberately slow occupant so it is
+#           still queued), SIGKILL the daemon mid-load, restart it on the
+#           same data dir, and require every acknowledged job to finish
+#           exactly once with a fingerprint identical to the pre-kill
+#           reference.
+#
+# CI runs smoke in the serve-smoke job and chaos in the chaos job;
+# locally: make serve-smoke. Needs only curl + sed (no jq), so it runs on
+# a bare runner.
 set -eu
+
+stage="${1:-smoke}"
 
 workdir=$(mktemp -d)
 bin="$workdir/simd"
-addrfile="$workdir/addr"
-logfile="$workdir/simd.log"
+pid=""
 
 cleanup() {
-    kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     rm -rf "$workdir"
 }
+trap cleanup EXIT
 
 go build -o "$bin" ./cmd/simd
 
-"$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" -pool 2 >"$logfile" 2>&1 &
-pid=$!
-trap cleanup EXIT
+# boot <extra flags...> — start simd, wait for its address file, set $pid
+# and $base.
+boot() {
+    addrfile="$workdir/addr"
+    logfile="$workdir/simd.log"
+    rm -f "$addrfile"
+    "$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" "$@" >"$logfile" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$addrfile" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "simd died during startup"; cat "$logfile"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$addrfile" ] || { echo "simd never published its address"; cat "$logfile"; exit 1; }
+    base="http://$(cat "$addrfile")"
+}
 
-# Wait for the daemon to write its bound address.
-for _ in $(seq 1 100); do
-    [ -s "$addrfile" ] && break
-    kill -0 "$pid" 2>/dev/null || { echo "simd died during startup"; cat "$logfile"; exit 1; }
-    sleep 0.1
-done
-[ -s "$addrfile" ] || { echo "simd never published its address"; cat "$logfile"; exit 1; }
-base="http://$(cat "$addrfile")"
-echo "simd listening on $base"
+# submit <json> — POST a job spec, print its id.
+submit() {
+    out=$(curl -fsS -X POST "$base/jobs" -H 'Content-Type: application/json' -d "$1")
+    id=$(printf '%s' "$out" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+    [ -n "$id" ] || { echo "submit returned no job id: $out" >&2; exit 1; }
+    printf '%s' "$id"
+}
 
-curl -fsS "$base/healthz" >/dev/null
+# field <id> <key> — poll one job and print a top-level string field.
+field() {
+    curl -fsS "$base/jobs/$1" | sed -n 's/.*"'"$2"'":"\([^"]*\)".*/\1/p'
+}
 
-# Submit a small Cholesky job and pull the id out of the 202 body.
-job=$(curl -fsS -X POST "$base/jobs" \
-    -H 'Content-Type: application/json' \
-    -d '{"algorithm": "cholesky", "nt": 6, "nb": 8, "workers": 4, "seed": 1}')
-id=$(printf '%s' "$job" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
-[ -n "$id" ] || { echo "submit returned no job id: $job"; exit 1; }
-echo "submitted $id"
+# wait_done <id> — poll a job until done (fails on failed/rejected/dead).
+wait_done() {
+    st=""
+    for _ in $(seq 1 200); do
+        doc=$(curl -fsS "$base/jobs/$1")
+        st=$(printf '%s' "$doc" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+        [ "$st" = "done" ] && return 0
+        case "$st" in failed|rejected|dead) echo "job $1 $st: $doc"; exit 1;; esac
+        sleep 0.1
+    done
+    echo "job $1 stuck at '$st'"
+    exit 1
+}
 
-# Poll to completion.
-status=""
-for _ in $(seq 1 100); do
+smoke_stage() {
+    boot -pool 2
+    echo "simd listening on $base"
+
+    curl -fsS "$base/healthz" >/dev/null
+
+    id=$(submit '{"algorithm": "cholesky", "nt": 6, "nb": 8, "workers": 4, "seed": 1}')
+    echo "submitted $id"
+    wait_done "$id"
     doc=$(curl -fsS "$base/jobs/$id")
-    status=$(printf '%s' "$doc" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
-    [ "$status" = "done" ] && break
-    case "$status" in failed|rejected) echo "job $status: $doc"; exit 1;; esac
-    sleep 0.1
-done
-[ "$status" = "done" ] || { echo "job stuck at '$status'"; exit 1; }
-printf '%s' "$doc" | grep -q '"makespan":' || { echo "done job has no makespan: $doc"; exit 1; }
-echo "job done"
+    printf '%s' "$doc" | grep -q '"makespan":' || { echo "done job has no makespan: $doc"; exit 1; }
+    echo "job done"
 
-# The trace endpoints serve the virtual trace both ways. (grep without -q
-# so it drains the body; -q quits early and curl reports a broken pipe.)
-curl -fsS "$base/jobs/$id/trace" | grep '"events":' >/dev/null || { echo "trace endpoint broken"; exit 1; }
-curl -fsS "$base/jobs/$id/trace.svg" | grep '<svg' >/dev/null || { echo "trace.svg endpoint broken"; exit 1; }
+    # The trace endpoints serve the virtual trace both ways. (grep without
+    # -q so it drains the body; -q quits early and curl reports a broken
+    # pipe.)
+    curl -fsS "$base/jobs/$id/trace" | grep '"events":' >/dev/null || { echo "trace endpoint broken"; exit 1; }
+    curl -fsS "$base/jobs/$id/trace.svg" | grep '<svg' >/dev/null || { echo "trace.svg endpoint broken"; exit 1; }
 
-# Metrics reflect the finished job.
-metrics=$(curl -fsS "$base/metrics")
-printf '%s' "$metrics" | grep -q '"done":1' || { echo "metrics missing the job: $metrics"; exit 1; }
-echo "metrics ok"
+    # Metrics reflect the finished job.
+    metrics=$(curl -fsS "$base/metrics")
+    printf '%s' "$metrics" | grep -q '"done":1' || { echo "metrics missing the job: $metrics"; exit 1; }
+    echo "metrics ok"
 
-# Graceful drain: SIGTERM must produce a clean exit.
-kill -TERM "$pid"
-i=0
-while kill -0 "$pid" 2>/dev/null; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && { echo "simd ignored SIGTERM"; cat "$logfile"; exit 1; }
-    sleep 0.1
-done
-wait "$pid" 2>/dev/null && rc=0 || rc=$?
-[ "$rc" -eq 0 ] || { echo "simd exited rc=$rc after SIGTERM"; cat "$logfile"; exit 1; }
-grep -q 'drained' "$logfile" || { echo "no drain summary in the log"; cat "$logfile"; exit 1; }
-echo "serve smoke passed"
+    # Graceful drain: SIGTERM must produce a clean exit.
+    kill -TERM "$pid"
+    i=0
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "simd ignored SIGTERM"; cat "$logfile"; exit 1; }
+        sleep 0.1
+    done
+    wait "$pid" 2>/dev/null && rc=0 || rc=$?
+    pid=""
+    [ "$rc" -eq 0 ] || { echo "simd exited rc=$rc after SIGTERM"; cat "$logfile"; exit 1; }
+    grep -q 'drained' "$logfile" || { echo "no drain summary in the log"; cat "$logfile"; exit 1; }
+    echo "serve smoke passed"
+}
+
+chaos_stage() {
+    datadir="$workdir/data"
+
+    # Reference run: finish the probe jobs cleanly and record fingerprints.
+    boot -pool 2
+    ref1=$(submit '{"algorithm": "cholesky", "nt": 5, "nb": 8, "workers": 4, "seed": 42}')
+    ref2=$(submit '{"algorithm": "qr", "nt": 4, "nb": 8, "workers": 2, "seed": 43, "reps": 2}')
+    wait_done "$ref1"; wait_done "$ref2"
+    fp1=$(field "$ref1" fingerprint)
+    fp2=$(field "$ref2" fingerprint)
+    [ -n "$fp1" ] && [ -n "$fp2" ] || { echo "reference jobs missing fingerprints"; exit 1; }
+    kill -TERM "$pid"; wait "$pid" 2>/dev/null || true; pid=""
+    echo "reference fingerprints: $fp1 $fp2"
+
+    # Durable run: pin the single pool slot with a slow stall-fault
+    # occupant so the probe jobs are acknowledged but still queued, then
+    # SIGKILL mid-load.
+    boot -pool 1 -data-dir "$datadir"
+    echo "chaos daemon on $base (data dir $datadir)"
+    occ=$(submit '{"algorithm": "cholesky", "nt": 2, "nb": 8, "workers": 1, "fault": {"default": {"stall": 1}, "stall_wall_ns": 200000000}}')
+    j1=$(submit '{"algorithm": "cholesky", "nt": 5, "nb": 8, "workers": 4, "seed": 42}')
+    j2=$(submit '{"algorithm": "qr", "nt": 4, "nb": 8, "workers": 2, "seed": 43, "reps": 2}')
+    echo "acked $occ $j1 $j2; killing with SIGKILL"
+    kill -KILL "$pid"
+    wait "$pid" 2>/dev/null || true
+    pid=""
+
+    # Restart on the same data dir: every acknowledged job must recover
+    # and finish with the reference fingerprint.
+    boot -pool 2 -data-dir "$datadir"
+    grep -q 'recovered from' "$logfile" || { echo "restart did not report recovery"; cat "$logfile"; exit 1; }
+    wait_done "$occ"; wait_done "$j1"; wait_done "$j2"
+    rfp1=$(field "$j1" fingerprint)
+    rfp2=$(field "$j2" fingerprint)
+    [ "$rfp1" = "$fp1" ] || { echo "job $j1 recovered with fingerprint $rfp1, want $fp1"; exit 1; }
+    [ "$rfp2" = "$fp2" ] || { echo "job $j2 recovered with fingerprint $rfp2, want $fp2"; exit 1; }
+
+    # Exactly once: each recovered ID appears once in the job list.
+    jobs=$(curl -fsS "$base/jobs")
+    for id in "$occ" "$j1" "$j2"; do
+        n=$(printf '%s' "$jobs" | grep -o "\"id\":\"$id\"" | wc -l)
+        [ "$n" -eq 1 ] || { echo "job $id appears $n times after recovery, want 1"; exit 1; }
+    done
+
+    # The store section reports durability and the recovery counts.
+    metrics=$(curl -fsS "$base/metrics")
+    printf '%s' "$metrics" | grep -q '"durable":true' || { echo "metrics missing durable store: $metrics"; exit 1; }
+
+    kill -TERM "$pid"
+    wait "$pid" 2>/dev/null && rc=0 || rc=$?
+    pid=""
+    [ "$rc" -eq 0 ] || { echo "simd exited rc=$rc after chaos drain"; cat "$logfile"; exit 1; }
+    echo "chaos recovery passed"
+}
+
+case "$stage" in
+smoke) smoke_stage ;;
+chaos) chaos_stage ;;
+all) smoke_stage; chaos_stage ;;
+*) echo "usage: $0 [smoke|chaos|all]"; exit 2 ;;
+esac
