@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench serve-smoke chaos check
+.PHONY: build test race race-pdes lint bench serve-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ test:
 
 race:
 	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server ./internal/journal
+
+# The PDES executor's LP/channel protocol, hammered repeatedly without
+# -short so the full stress matrix runs under the race detector.
+race-pdes:
+	$(GO) test -race -run 'PDES' -count 2 ./internal/replay
 
 lint:
 	$(GO) vet ./...
@@ -27,4 +32,4 @@ serve-smoke:
 chaos:
 	sh scripts/serve_smoke.sh chaos
 
-check: lint build test race serve-smoke chaos
+check: lint build test race race-pdes serve-smoke chaos

@@ -147,7 +147,9 @@ type CapturedDAG = replay.DAG
 type DAGRecorder = replay.Recorder
 
 // ReplayOptions parameterizes one replay of a captured DAG: worker count,
-// duration model, sampling seed and ready-queue ordering.
+// duration model, sampling seed, ready-queue ordering and the executor —
+// Parallelism 0 is the serial greedy list scheduler, >= 1 the
+// partition-invariant PDES executor.
 type ReplayOptions = replay.Options
 
 // CaptureDAG attaches a DAG recorder to a runtime. Call before inserting
@@ -160,7 +162,10 @@ func CaptureDAG(rt Runtime, label string) (*DAGRecorder, error) {
 
 // ReplayDAG re-simulates a captured DAG by virtual-time list scheduling —
 // no scheduler, no hazard tracking, no worker goroutines — and returns the
-// resulting trace. Identical inputs produce bit-identical traces.
+// resulting trace. Identical inputs produce bit-identical traces. With
+// opts.Parallelism >= 1 the replay runs on the conservative PDES executor
+// across that many logical processes; results are bit-identical for every
+// parallelism value (DESIGN.md §12).
 func ReplayDAG(d *CapturedDAG, opts ReplayOptions) (*Trace, error) {
 	return replay.Run(d, opts)
 }

@@ -50,6 +50,10 @@ type comparison struct {
 	CurrentNsPerOp  float64 `json:"current_ns_per_op"`
 	// DeltaPct is (current - baseline) / baseline * 100; negative = faster.
 	DeltaPct float64 `json:"delta_pct"`
+	// BaselineMissing marks a benchmark absent from the baseline file — a
+	// newly added entry. Never counted as a regression: the first run after
+	// adding a benchmark records its number instead of failing the gate.
+	BaselineMissing bool `json:"baseline_missing,omitempty"`
 }
 
 func main() {
@@ -64,6 +68,7 @@ func main() {
 		run          = flag.String("run", "", "regexp selecting benchmarks by name (default: all)")
 		contention   = flag.Bool("contention", true, "collect and emit the contention-counter profile")
 		compare      = flag.String("compare", "", "regression gate: -baseline PATH with -check 10 (unless -check is set)")
+		parallelism  = flag.Int("parallelism", 0, "cap the ReplayParallelN benchmarks at this degree (0 = run all)")
 	)
 	flag.Parse()
 	if *compare != "" {
@@ -94,7 +99,7 @@ func main() {
 	if *contention {
 		counters = &perf.Counters{}
 	}
-	results := bench.RunMicro(filter, counters)
+	results := bench.RunMicroMax(filter, counters, *parallelism)
 	if len(results) == 0 {
 		log.Fatalf("no benchmarks match -run %q", *run)
 	}
@@ -120,6 +125,12 @@ func main() {
 		for _, r := range results {
 			b, ok := base[r.Name]
 			if !ok {
+				// New benchmark with no committed number yet: report it so
+				// the delta shows up next run, but never gate on it.
+				rep.Comparison = append(rep.Comparison, comparison{
+					Name: r.Name, CurrentNsPerOp: r.NsPerOp, BaselineMissing: true,
+				})
+				fmt.Fprintf(os.Stderr, "%-28s   baseline missing -> %10.1f ns/op  (new benchmark)\n", r.Name, r.NsPerOp)
 				continue
 			}
 			delta := (r.NsPerOp - b) / b * 100

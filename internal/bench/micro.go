@@ -2,6 +2,7 @@ package bench
 
 import (
 	"regexp"
+	"sync"
 	"testing"
 
 	"supersim/internal/core"
@@ -43,6 +44,46 @@ const microWindow = 4096
 // nil) is attached to every engine and simulator in the suite, so a run
 // accumulates the contention profile alongside the timings.
 func MicroSuite(counters *perf.Counters) []MicroBench {
+	return MicroSuiteMax(counters, 0)
+}
+
+// MicroSuiteMax is MicroSuite with the ReplayParallelN entries capped:
+// maxParallel 0 keeps the whole suite, otherwise entries with N >
+// maxParallel are dropped. CI runs the suite at -parallelism 1 and 4 so
+// both the serial executor and the parallel speedup are gated without
+// oversubscribing small runners.
+func MicroSuiteMax(counters *perf.Counters, maxParallel int) []MicroBench {
+	suite := microSuite(counters)
+	if maxParallel <= 0 {
+		return suite
+	}
+	out := suite[:0]
+	for _, mb := range suite {
+		if p, ok := replayParallelDegree(mb.Name); ok && p > maxParallel {
+			continue
+		}
+		out = append(out, mb)
+	}
+	return out
+}
+
+// replayParallelDegree extracts N from a "ReplayParallelN" name.
+func replayParallelDegree(name string) (int, bool) {
+	const prefix = "ReplayParallel"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for _, c := range name[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func microSuite(counters *perf.Counters) []MicroBench {
 	return []MicroBench{
 		{Name: "InsertIndependentTasks", Bench: func(b *testing.B) {
 			benchEngineInsert(b, counters, func(i int) *sched.Task {
@@ -128,6 +169,69 @@ func MicroSuite(counters *perf.Counters) []MicroBench {
 				rt.Shutdown()
 			}
 		}},
+		{Name: "ReplayLargeSerial", Bench: func(b *testing.B) {
+			benchLargeReplay(b, 0)
+		}},
+		{Name: "ReplayParallel1", Bench: func(b *testing.B) {
+			benchLargeReplay(b, 1)
+		}},
+		{Name: "ReplayParallel2", Bench: func(b *testing.B) {
+			benchLargeReplay(b, 2)
+		}},
+		{Name: "ReplayParallel4", Bench: func(b *testing.B) {
+			benchLargeReplay(b, 4)
+		}},
+		{Name: "ReplayParallel8", Bench: func(b *testing.B) {
+			benchLargeReplay(b, 8)
+		}},
+	}
+}
+
+// largeReplaySpec sizes the ReplayLargeSerial/ReplayParallelN workload: a
+// >100k-task Cholesky DAG (NT=85 → 113k tasks) at 8 virtual workers, the
+// scale where the PDES executor is meant to win. The capture runs once
+// per process and is shared by every benchmark in the group.
+var largeReplaySpec = Spec{
+	Algorithm: "cholesky", Scheduler: "ompss",
+	NT: 85, NB: 8, Workers: 8, Seed: 1,
+}
+
+var (
+	largeReplayOnce sync.Once
+	largeReplayDAG  *replay.DAG
+	largeReplayErr  error
+)
+
+func largeReplay() (*replay.DAG, error) {
+	largeReplayOnce.Do(func() {
+		largeReplayDAG, largeReplayErr = CaptureSpec(largeReplaySpec)
+	})
+	return largeReplayDAG, largeReplayErr
+}
+
+// benchLargeReplay measures one replay of the large DAG per op.
+// parallelism 0 is the serial greedy executor (the pre-PDES baseline
+// path); 1 is the PDES schedule executed serially; >= 2 runs the
+// LP channel protocol. ReplayParallelN vs ReplayLargeSerial is the
+// ISSUE's speedup gate; ReplayParallelN vs ReplayParallel1 isolates the
+// parallel-execution speedup at identical semantics.
+func benchLargeReplay(b *testing.B, parallelism int) {
+	dag, err := largeReplay()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Run(dag, replay.Options{
+			Workers:          largeReplaySpec.Workers,
+			Model:            replayJitter{},
+			Seed:             uint64(i) + 1,
+			IgnorePriorities: true,
+			Parallelism:      parallelism,
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -188,8 +292,14 @@ func benchSimulatedChurn(b *testing.B, workers int, counters *perf.Counters, arg
 // follow the standard -test.benchtime setting (callers can adjust it via
 // flag.Set after testing.Init).
 func RunMicro(filter *regexp.Regexp, counters *perf.Counters) []MicroResult {
+	return RunMicroMax(filter, counters, 0)
+}
+
+// RunMicroMax is RunMicro over MicroSuiteMax: maxParallel > 0 drops the
+// ReplayParallelN entries above that degree before running.
+func RunMicroMax(filter *regexp.Regexp, counters *perf.Counters, maxParallel int) []MicroResult {
 	var out []MicroResult
-	for _, mb := range MicroSuite(counters) {
+	for _, mb := range MicroSuiteMax(counters, maxParallel) {
 		if filter != nil && !filter.MatchString(mb.Name) {
 			continue
 		}

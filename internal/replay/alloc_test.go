@@ -1,0 +1,66 @@
+package replay
+
+import (
+	"testing"
+
+	"supersim/internal/core"
+)
+
+// serialRunAllocCeiling bounds the steady-state heap allocations of one
+// serial replay.Run. The scratch arena (wait counts, CSR successors,
+// scheduling heaps, rng sources) is pooled, so what remains per op is the
+// returned trace (header + event buffer) and a handful of pool/interface
+// artifacts. The committed baseline before the arena was 89 allocs/op;
+// the ISSUE gate is < 40.
+const serialRunAllocCeiling = 16
+
+func TestSerialRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation calibration is slow")
+	}
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 7)
+	model := jitterModel{base: 1e-3}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(dag, Options{Workers: 4, Model: model, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if a := res.AllocsPerOp(); a > serialRunAllocCeiling {
+		t.Errorf("serial replay.Run allocates %d objects/op, ceiling %d (%s)",
+			a, serialRunAllocCeiling, res.MemString())
+	}
+}
+
+// pdesRunAllocCeiling bounds the serial-execution PDES path (Parallelism
+// >= 1 below the crossover): the plan is pooled, so per op it is again the
+// returned trace plus pool artifacts.
+const pdesRunAllocCeiling = 16
+
+func TestPDESSerialPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation calibration is slow")
+	}
+	dag, _ := captureRun(t, core.FixedModel(1e-3), 7)
+	model := jitterModel{base: 1e-3}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(dag, Options{Workers: 4, Model: model, Seed: uint64(i), Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if a := res.AllocsPerOp(); a > pdesRunAllocCeiling {
+		t.Errorf("PDES serial-path replay.Run allocates %d objects/op, ceiling %d (%s)",
+			a, pdesRunAllocCeiling, res.MemString())
+	}
+}

@@ -1,0 +1,110 @@
+package replay
+
+// partitionLanes groups w worker lanes into p logical processes (p < w),
+// writing the lane→group assignment (dense group ids 0..p-1) into part.
+//
+// weight is a flattened w×w matrix: weight[a*w+b] counts captured
+// dependence edges from a task on lane a to a task on lane b. Cross-group
+// edges are the PDES executor's only synchronization cost (each one may
+// become a channel message), so the grouper is edge-cut-aware: starting
+// from singleton groups it repeatedly merges the pair of groups joined by
+// the heaviest edge weight whose combined size stays within ceil(w/p)
+// lanes — keeping chatty lanes on the same LP while bounding imbalance.
+// When no pair fits under the cap it merges the two smallest groups, so
+// the loop always terminates with exactly p groups. Every tie breaks
+// toward the lowest index and final ids are renumbered in order of first
+// member lane, making the partition a deterministic function of the
+// weight matrix alone.
+func partitionLanes(w, p int, weight []int32, part []int32) {
+	if p >= w {
+		for i := 0; i < w; i++ {
+			part[i] = int32(i)
+		}
+		return
+	}
+	capSize := (w + p - 1) / p
+	active := make([]bool, w)
+	size := make([]int, w)
+	gw := make([]int64, w*w)
+	for i := 0; i < w; i++ {
+		active[i] = true
+		size[i] = 1
+		part[i] = int32(i)
+	}
+	for a := 0; a < w; a++ {
+		for b := 0; b < w; b++ {
+			if a != b {
+				gw[a*w+b] = int64(weight[a*w+b]) + int64(weight[b*w+a])
+			}
+		}
+	}
+	merge := func(a, b int) {
+		size[a] += size[b]
+		active[b] = false
+		for c := 0; c < w; c++ {
+			if c == a || !active[c] {
+				continue
+			}
+			gw[a*w+c] += gw[b*w+c]
+			gw[c*w+a] = gw[a*w+c]
+		}
+		for l := 0; l < w; l++ {
+			if part[l] == int32(b) {
+				part[l] = int32(a)
+			}
+		}
+	}
+	for groups := w; groups > p; groups-- {
+		bestA, bestB, bestW := -1, -1, int64(-1)
+		for a := 0; a < w; a++ {
+			if !active[a] {
+				continue
+			}
+			for b := a + 1; b < w; b++ {
+				if !active[b] || size[a]+size[b] > capSize {
+					continue
+				}
+				if gw[a*w+b] > bestW {
+					bestA, bestB, bestW = a, b, gw[a*w+b]
+				}
+			}
+		}
+		if bestA < 0 {
+			// Every pair would exceed the size cap; merge the two smallest
+			// groups to guarantee progress (the cap is a balance heuristic,
+			// ending with exactly p groups is the contract).
+			s1, s2 := -1, -1
+			for a := 0; a < w; a++ {
+				if !active[a] {
+					continue
+				}
+				switch {
+				case s1 < 0 || size[a] < size[s1]:
+					s2 = s1
+					s1 = a
+				case s2 < 0 || size[a] < size[s2]:
+					s2 = a
+				}
+			}
+			if s1 > s2 {
+				s1, s2 = s2, s1
+			}
+			bestA, bestB = s1, s2
+		}
+		merge(bestA, bestB)
+	}
+	// Renumber groups densely, in order of their first member lane.
+	next := int32(0)
+	newID := make([]int32, w)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for l := 0; l < w; l++ {
+		g := part[l]
+		if newID[g] < 0 {
+			newID[g] = next
+			next++
+		}
+		part[l] = newID[g]
+	}
+}

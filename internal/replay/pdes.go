@@ -1,0 +1,570 @@
+// Conservative parallel discrete-event replay of captured DAGs.
+//
+// The serial executor in replay.go re-derives the engine's *dynamic*
+// greedy list schedule — a decision process whose every step depends on
+// the completion before it, which is why it is inherently sequential.
+// The PDES executor (Options.Parallelism >= 1) instead executes a
+// *static cyclic list schedule* that is a pure function of
+// (DAG, Workers, Model, Seed):
+//
+//   - every task gets a rank: its position in the capture run's ready
+//     order when that order is a valid topological permutation (it is,
+//     for any complete 1-worker capture), else its insertion id (also
+//     topological — Validate requires predecessors to precede);
+//   - task t runs on worker lane rank(t) mod Workers; each lane executes
+//     its tasks in rank order;
+//   - start(t) = max(lane clock, max over predecessors end(p));
+//   - durations are sampled from per-lane streams seeded exactly like
+//     the serial per-worker streams, consumed in lane-rank order.
+//
+// Because nothing above mentions the partition count, the schedule — and
+// therefore the merged trace and its Fingerprint — is bit-identical for
+// every Parallelism value; partitioning only changes which goroutine
+// computes which lane. This is the same invariance-by-construction move
+// the sweep driver makes with ReplicaSeed (logical coordinates, not
+// execution placement, determine results).
+//
+// Parallel execution is classic conservative PDES specialized to a known
+// DAG: lanes are grouped into P logical processes by an edge-cut-aware
+// partitioner (partition.go); each LP advances its lanes on virtual time
+// and exchanges completion notifications over bounded channels. The
+// captured dependence edges give exact event horizons — a lane blocks
+// only on the precise predecessor completions it awaits — so no null
+// messages or global clock windows are needed: lookahead is the explicit
+// edge set. Bounded inboxes bound the virtual-time skew any LP can run
+// ahead of its consumers (the Korniss et al. motivation); a blocked send
+// drains the sender's own inbox so the channel graph cannot deadlock.
+// See DESIGN.md §12 for the full protocol and determinism argument.
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"supersim/internal/pq"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// pdesCrossover is the task count below which the PDES schedule executes
+// on the calling goroutine instead of spawning logical processes. The
+// schedule is partition-invariant, so this changes wall-clock only, never
+// results. A var so tests can force the parallel protocol on tiny DAGs.
+var pdesCrossover = 1024
+
+const (
+	// pdesMaxLPs caps the logical-process count: beyond the lane count
+	// (or core count) extra LPs only add channel traffic.
+	pdesMaxLPs = 64
+	// pdesBatchCap is the notification batch size: completions bound for
+	// the same LP coalesce into one channel send of up to this many ids.
+	pdesBatchCap = 256
+	// pdesInboxCap bounds each LP's inbox (in batches). A full inbox
+	// blocks producers, bounding how far any LP's virtual clock can run
+	// ahead of a consumer.
+	pdesInboxCap = 64
+)
+
+// mergeHead is one lane's read position during the stamp-ordered merge.
+type mergeHead struct {
+	pos int32 // current index into pdesPlan.events
+	hi  int32 // end of this lane's region
+}
+
+// pdesPlan is the pooled flat struct-of-arrays state of one PDES replay:
+// the static schedule (ranks, lanes, CSR edges) plus the execution
+// scratch (wait counts, end times, per-lane clocks/cursors, event slots).
+// All slices are reused across runs; nothing here survives into the
+// returned trace except copied events.
+type pdesPlan struct {
+	n       int
+	workers int
+
+	rank  []int32 // task -> schedule rank
+	order []int32 // rank -> task (inverse permutation)
+	lane  []int32 // task -> worker lane (rank mod workers)
+
+	laneOff   []int32 // lane -> start of its region in laneTasks/events; len workers+1
+	laneTasks []int32 // tasks grouped by lane, rank-ascending within a lane
+
+	predOff  []int32 // CSR predecessors
+	predList []int32
+	succOff  []int32 // CSR successors
+	succList []int32
+	scratch  []int32 // CSR fill cursors / permutation check
+
+	remWait    []int32   // unnotified predecessor count; owner-LP writes only
+	endTime    []float64 // completion time; written by owner before publication
+	laneClock  []float64
+	laneCursor []int32 // absolute index into laneTasks/events
+
+	events  []trace.Event // per-lane regions at laneOff, filled in rank order
+	sources []*rng.Source // per-lane duration streams, reseeded each run
+	merge   *pq.Heap[mergeHead]
+}
+
+var pdesPool = sync.Pool{New: func() any {
+	pl := &pdesPlan{}
+	pl.merge = pq.New(func(a, b mergeHead) bool {
+		ea, eb := &pl.events[a.pos], &pl.events[b.pos]
+		if ea.End != eb.End {
+			return ea.End < eb.End
+		}
+		return pl.rank[ea.TaskID] < pl.rank[eb.TaskID]
+	})
+	return pl
+}}
+
+// runPDES executes the deterministic PDES schedule. Called from Run when
+// Options.Parallelism >= 1.
+func runPDES(d *DAG, opt *Options) (*trace.Trace, error) {
+	workers := replayWorkers(d, opt)
+	label := replayLabel(d, opt)
+	n := len(d.Tasks)
+
+	pl := pdesPool.Get().(*pdesPlan)
+	defer func() {
+		pl.merge.Clear()
+		pdesPool.Put(pl)
+	}()
+	if err := pl.build(d, opt, workers); err != nil {
+		return nil, err
+	}
+
+	p := opt.Parallelism
+	if p > workers {
+		p = workers
+	}
+	if p > pdesMaxLPs {
+		p = pdesMaxLPs
+	}
+	if p <= 1 || n < pdesCrossover {
+		// Below the crossover (or at P=1) the fan-out cost exceeds the win;
+		// execute the identical schedule on the calling goroutine.
+		pl.runSerial(d, opt)
+	} else {
+		pl.runParallel(d, opt, p)
+	}
+	return pl.mergeTrace(label), nil
+}
+
+// build compiles the DAG into the static schedule and sizes the scratch.
+func (pl *pdesPlan) build(d *DAG, opt *Options, workers int) error {
+	n := len(d.Tasks)
+	pl.n, pl.workers = n, workers
+	pl.rank = growInt32(pl.rank, n)
+	pl.order = growInt32(pl.order, n)
+	pl.lane = growInt32(pl.lane, n)
+	pl.laneOff = growInt32(pl.laneOff, workers+1)
+	pl.laneTasks = growInt32(pl.laneTasks, n)
+	pl.remWait = growInt32(pl.remWait, n)
+	pl.scratch = growInt32(pl.scratch, n)
+	pl.laneCursor = growInt32(pl.laneCursor, workers)
+	pl.laneClock = growFloat64(pl.laneClock, workers)
+	pl.endTime = growFloat64(pl.endTime, n)
+	if cap(pl.events) < n {
+		pl.events = make([]trace.Event, n)
+	} else {
+		pl.events = pl.events[:n]
+	}
+
+	edges := 0
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		if err := checkTask(i, t); err != nil {
+			return err
+		}
+		if opt.Model == nil && t.Duration < 0 {
+			return fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given", t.ID, t.Label)
+		}
+		for _, dep := range t.Deps {
+			if dep.Pred < 0 || dep.Pred >= i {
+				return fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
+			}
+		}
+		pl.remWait[i] = int32(len(t.Deps))
+		edges += len(t.Deps)
+	}
+
+	// Predecessor CSR straight off the captured deps.
+	pl.predOff = growInt32(pl.predOff, n+1)
+	pl.predList = growInt32(pl.predList, edges)
+	off := int32(0)
+	for i := range d.Tasks {
+		pl.predOff[i] = off
+		for _, dep := range d.Tasks[i].Deps {
+			pl.predList[off] = int32(dep.Pred)
+			off++
+		}
+	}
+	pl.predOff[n] = off
+
+	// Successor CSR: count, prefix-sum, fill in ascending task order.
+	pl.succOff = growInt32(pl.succOff, n+1)
+	pl.succList = growInt32(pl.succList, edges)
+	for i := 0; i < n; i++ {
+		pl.scratch[i] = 0
+	}
+	for i := 0; i < int(off); i++ {
+		pl.scratch[pl.predList[i]]++
+	}
+	o := int32(0)
+	for i := 0; i < n; i++ {
+		pl.succOff[i] = o
+		o += pl.scratch[i]
+		pl.scratch[i] = pl.succOff[i]
+	}
+	pl.succOff[n] = o
+	for i := range d.Tasks {
+		for _, dep := range d.Tasks[i].Deps {
+			pl.succList[pl.scratch[dep.Pred]] = int32(i)
+			pl.scratch[dep.Pred]++
+		}
+	}
+
+	// Rank: the capture run's ready order when it is a valid topological
+	// permutation (scratch doubles as the duplicate check), else task id.
+	usable := true
+	for i := 0; i < n; i++ {
+		pl.scratch[i] = -1
+	}
+	for i := range d.Tasks {
+		r := d.Tasks[i].Ready
+		if r < 0 || r >= n || pl.scratch[r] >= 0 {
+			usable = false
+			break
+		}
+		pl.scratch[r] = int32(i)
+	}
+	if usable {
+		for i := range d.Tasks {
+			pl.rank[i] = int32(d.Tasks[i].Ready)
+		}
+	check:
+		for i := 0; i < n; i++ {
+			ri := pl.rank[i]
+			for _, p := range pl.predList[pl.predOff[i]:pl.predOff[i+1]] {
+				if pl.rank[p] >= ri {
+					usable = false
+					break check
+				}
+			}
+		}
+	}
+	if !usable {
+		for i := 0; i < n; i++ {
+			pl.rank[i] = int32(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		pl.order[pl.rank[i]] = int32(i)
+	}
+
+	// Lane assignment and counting sort of tasks into lane regions
+	// (rank-ascending within each lane, because the fill walks ranks).
+	w32 := int32(workers)
+	for i := 0; i < n; i++ {
+		pl.lane[i] = pl.rank[i] % w32
+	}
+	for w := 0; w <= workers; w++ {
+		pl.laneOff[w] = 0
+	}
+	for i := 0; i < n; i++ {
+		pl.laneOff[pl.lane[i]+1]++
+	}
+	for w := 0; w < workers; w++ {
+		pl.laneOff[w+1] += pl.laneOff[w]
+	}
+	for w := 0; w < workers; w++ {
+		pl.laneCursor[w] = pl.laneOff[w]
+		pl.laneClock[w] = 0
+	}
+	for r := 0; r < n; r++ {
+		t := pl.order[r]
+		w := pl.lane[t]
+		pl.laneTasks[pl.laneCursor[w]] = t
+		pl.laneCursor[w]++
+	}
+	for w := 0; w < workers; w++ {
+		pl.laneCursor[w] = pl.laneOff[w]
+	}
+
+	// Per-lane sampling streams: same derivation as the serial executor's
+	// per-worker streams, retained across runs and reseeded.
+	if len(pl.sources) < workers {
+		grown := make([]*rng.Source, workers)
+		copy(grown, pl.sources)
+		pl.sources = grown
+	}
+	for w := 0; w < workers; w++ {
+		seed := opt.Seed ^ (seedMix * (uint64(w) + 1))
+		if pl.sources[w] == nil {
+			pl.sources[w] = rng.New(seed)
+		} else {
+			pl.sources[w].Seed(seed)
+		}
+	}
+	return nil
+}
+
+// execTask runs one task on its lane: computes its start from the lane
+// clock and its predecessors' end times (all published by the time the
+// owner sees remWait reach zero), samples or replays its duration, and
+// records the event into the lane's region. Caller (the lane's owner)
+// guarantees exclusivity.
+func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
+	w := pl.lane[t]
+	start := pl.laneClock[w]
+	for _, p := range pl.predList[pl.predOff[t]:pl.predOff[t+1]] {
+		if e := pl.endTime[p]; e > start {
+			start = e
+		}
+	}
+	tk := &d.Tasks[t]
+	var dur float64
+	if opt.Model != nil {
+		dur = opt.Model.Duration(tk.Class, sched.KindCPU, pl.sources[w])
+		if dur < 0 {
+			dur = 0
+		}
+	} else {
+		dur = tk.Duration
+	}
+	end := start + dur
+	pl.endTime[t] = end
+	pl.laneClock[w] = end
+	pl.events[pl.laneCursor[w]] = trace.Event{
+		Worker: int(w),
+		Class:  tk.Class,
+		Label:  tk.Label,
+		TaskID: tk.ID,
+		Start:  start,
+		End:    end,
+	}
+	pl.laneCursor[w]++
+}
+
+// runSerial executes the schedule on the calling goroutine. Global rank
+// order restricted to any lane is that lane's rank order, and ranks are
+// topological, so every predecessor's end time exists when read — this
+// loop is the executable definition of the schedule the parallel path
+// must reproduce bit for bit.
+func (pl *pdesPlan) runSerial(d *DAG, opt *Options) {
+	for r := 0; r < pl.n; r++ {
+		pl.execTask(d, opt, pl.order[r])
+	}
+}
+
+// lpMsg is one completion-notification batch: ids of tasks owned by the
+// receiver that just had one predecessor complete (one id per crossed
+// edge, so a plain counter decrement suffices on receipt).
+type lpMsg []int32
+
+// lpRunner is one logical process: a set of lanes advanced by one
+// goroutine. Shared plan state is ownership-partitioned — an LP writes
+// remWait only for tasks it owns and endTime/laneClock/laneCursor/events
+// only for its lanes; cross-LP reads of endTime are ordered by the
+// channel delivery of the corresponding notification.
+type lpRunner struct {
+	id        int32
+	plan      *pdesPlan
+	d         *DAG
+	opt       *Options
+	part      []int32 // lane -> LP id
+	lanes     []int32
+	inbox     chan lpMsg
+	inboxes   []chan lpMsg
+	outBuf    []lpMsg // pending notifications per destination LP
+	remaining int
+}
+
+func (lp *lpRunner) run() {
+	for lp.remaining > 0 {
+		progress := 0
+		for _, w := range lp.lanes {
+			progress += lp.advanceLane(w)
+		}
+		lp.remaining -= progress
+		if lp.remaining == 0 {
+			break
+		}
+		// Publish this round's completions before possibly blocking, so a
+		// peer waiting on them can always proceed.
+		lp.flushAll()
+		drained := 0
+		for {
+			select {
+			case m := <-lp.inbox:
+				lp.process(m)
+				drained++
+				continue
+			default:
+			}
+			break
+		}
+		if progress == 0 && drained == 0 {
+			// Every unfinished lane waits on a remote predecessor and all
+			// outgoing notifications are flushed: some peer owns the
+			// globally minimal-rank unexecuted task and will advance, so a
+			// notification for us is in flight or forthcoming.
+			lp.process(<-lp.inbox)
+		}
+	}
+	lp.flushAll()
+}
+
+// advanceLane executes the lane's tasks in rank order until its cursor
+// task still awaits a predecessor notification; returns the number
+// executed.
+func (lp *lpRunner) advanceLane(w int32) int {
+	pl := lp.plan
+	hi := pl.laneOff[w+1]
+	done := 0
+	for pl.laneCursor[w] < hi {
+		t := pl.laneTasks[pl.laneCursor[w]]
+		if pl.remWait[t] != 0 {
+			break
+		}
+		pl.execTask(lp.d, lp.opt, t)
+		done++
+		for _, s := range pl.succList[pl.succOff[t]:pl.succOff[t+1]] {
+			owner := lp.part[pl.lane[s]]
+			if owner == lp.id {
+				pl.remWait[s]--
+			} else {
+				lp.post(owner, s)
+			}
+		}
+	}
+	return done
+}
+
+// post queues a notification for the owner of successor s, flushing the
+// batch when full.
+func (lp *lpRunner) post(dst, s int32) {
+	buf := lp.outBuf[dst]
+	if buf == nil {
+		buf = make(lpMsg, 0, pdesBatchCap)
+	}
+	buf = append(buf, s)
+	if len(buf) >= pdesBatchCap {
+		lp.send(dst, buf)
+		buf = nil
+	}
+	lp.outBuf[dst] = buf
+}
+
+// send delivers one batch, draining our own inbox while the destination
+// inbox is full — two LPs flushing into each other therefore always make
+// progress, and the bounded inboxes cannot deadlock.
+func (lp *lpRunner) send(dst int32, batch lpMsg) {
+	for {
+		select {
+		case lp.inboxes[dst] <- batch:
+			return
+		case m := <-lp.inbox:
+			lp.process(m)
+		}
+	}
+}
+
+func (lp *lpRunner) flushAll() {
+	for dst := range lp.outBuf {
+		if len(lp.outBuf[dst]) > 0 {
+			buf := lp.outBuf[dst]
+			lp.outBuf[dst] = nil
+			lp.send(int32(dst), buf)
+		}
+	}
+}
+
+// process applies one inbound batch: every id is an owned task with one
+// more predecessor now complete. The channel receive orders this LP's
+// later endTime reads after the sender's writes.
+func (lp *lpRunner) process(m lpMsg) {
+	pl := lp.plan
+	for _, s := range m {
+		pl.remWait[s]--
+	}
+}
+
+// runParallel partitions the lanes over p logical processes and runs the
+// channel protocol to completion.
+func (pl *pdesPlan) runParallel(d *DAG, opt *Options, p int) {
+	w := pl.workers
+	// Inter-lane dependence-edge weights feed the edge-cut partitioner.
+	weight := make([]int32, w*w)
+	for i := 0; i < pl.n; i++ {
+		li := pl.lane[i]
+		for _, pr := range pl.predList[pl.predOff[i]:pl.predOff[i+1]] {
+			if lp := pl.lane[pr]; lp != li {
+				weight[int(lp)*w+int(li)]++
+			}
+		}
+	}
+	part := make([]int32, w)
+	partitionLanes(w, p, weight, part)
+
+	inboxes := make([]chan lpMsg, p)
+	for i := range inboxes {
+		inboxes[i] = make(chan lpMsg, pdesInboxCap)
+	}
+	lps := make([]lpRunner, p)
+	for i := range lps {
+		lps[i] = lpRunner{
+			id:      int32(i),
+			plan:    pl,
+			d:       d,
+			opt:     opt,
+			part:    part,
+			inbox:   inboxes[i],
+			inboxes: inboxes,
+			outBuf:  make([]lpMsg, p),
+		}
+	}
+	for lane := 0; lane < w; lane++ {
+		g := part[lane]
+		lps[g].lanes = append(lps[g].lanes, int32(lane))
+		lps[g].remaining += int(pl.laneOff[lane+1] - pl.laneOff[lane])
+	}
+	var wg sync.WaitGroup
+	for i := range lps {
+		wg.Add(1)
+		go func(r *lpRunner) {
+			defer wg.Done()
+			r.run()
+		}(&lps[i])
+	}
+	wg.Wait()
+}
+
+// mergeTrace emits the per-lane event regions in canonical stamp order:
+// (end time, rank) ascending. Each lane's region is already sorted by
+// that key (lane clocks are monotone and ranks ascend within a lane), so
+// a W-way heap merge suffices. The order depends only on the schedule,
+// never on the partitioning, so fingerprints match across all
+// parallelism values.
+func (pl *pdesPlan) mergeTrace(label string) *trace.Trace {
+	tr := trace.New(label, pl.workers)
+	tr.Reserve(pl.n)
+	h := pl.merge
+	for w := 0; w < pl.workers; w++ {
+		if lo, hi := pl.laneOff[w], pl.laneOff[w+1]; lo < hi {
+			h.Push(mergeHead{pos: lo, hi: hi})
+		}
+	}
+	for {
+		head, ok := h.Peek()
+		if !ok {
+			break
+		}
+		tr.Append(pl.events[head.pos])
+		if head.pos+1 < head.hi {
+			h.ReplaceTop(mergeHead{pos: head.pos + 1, hi: head.hi})
+		} else {
+			h.Pop()
+		}
+	}
+	return tr
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package replay
+
+// raceEnabled guards allocation-ceiling assertions; see race_enabled_test.go.
+const raceEnabled = false

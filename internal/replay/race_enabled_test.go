@@ -1,0 +1,8 @@
+//go:build race
+
+package replay
+
+// raceEnabled guards allocation-ceiling assertions: the race detector
+// instruments allocations and pools, so per-op counts are not meaningful
+// under -race.
+const raceEnabled = true

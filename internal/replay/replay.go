@@ -3,7 +3,9 @@
 // cheap part: stochastic re-execution of a fixed task graph. A Recorder
 // (capture.go) records the fully-resolved task DAG from one instrumented
 // scheduler run; Run then re-simulates that DAG under any duration model,
-// worker count and seed via single-goroutine virtual-time list scheduling.
+// worker count and seed via single-goroutine virtual-time list scheduling,
+// or — for large DAGs, with Options.Parallelism — via a conservative
+// multi-goroutine PDES executor (pdes.go).
 //
 // This is the paper's design-space-exploration use case (Section VI-B) made
 // cheap: the DAG of a tile algorithm does not depend on the duration model,
@@ -14,11 +16,12 @@
 // before any later completion advances the clock) because the loop below is
 // exactly that protocol with the scheduler's bookkeeping compiled away; see
 // DESIGN.md §9 for the equivalence argument and its limits (insertion
-// windows, end-time ties).
+// windows, end-time ties) and §12 for the parallel executor.
 package replay
 
 import (
 	"fmt"
+	"sync"
 
 	"supersim/internal/core"
 	"supersim/internal/hazard"
@@ -53,8 +56,10 @@ type Task struct {
 	// tracker's derivation order.
 	Deps []sched.Dep
 	// Ready is the task's position in the capture run's ready order, or -1
-	// if the capture ended before the task became ready. Diagnostic: the
-	// replay executor re-derives readiness from Deps.
+	// if the capture ended before the task became ready. The serial replay
+	// executor re-derives readiness from Deps; the PDES executor uses the
+	// ready order as its static task→lane mapping when it is a valid
+	// topological permutation (pdes.go).
 	Ready int
 	// Duration is the observed virtual duration from the capture run's
 	// completion hook, or -1 when the capture ran without a simulator.
@@ -131,7 +136,11 @@ type Options struct {
 	// Workers is the virtual core count; 0 uses the capture run's.
 	Workers int
 	// Model supplies virtual durations. nil replays the capture run's
-	// observed durations (every task must then carry one).
+	// observed durations (every task must then carry one). With
+	// Parallelism >= 1 the model is sampled from multiple goroutines
+	// (each with its own stream), so it must be safe for concurrent use —
+	// every model in this repository is: they read only fitted parameters
+	// and draw from the per-worker stream they are handed.
 	Model core.DurationModel
 	// Seed derives the per-worker sampling streams (same derivation as
 	// core.NewTasker, so a 1-worker replay draws the sample sequence of
@@ -144,7 +153,19 @@ type Options struct {
 	// priority clause, StarPU eager). The default mirrors
 	// sched.PriorityPolicy: priority descending, readiness order as the
 	// tiebreak — which degenerates to FIFO when no task sets a priority.
+	// The PDES executor (Parallelism >= 1) ignores this knob: its static
+	// schedule orders tasks by capture readiness rank (see pdes.go).
 	IgnorePriorities bool
+	// Parallelism selects the executor. 0 (the default) runs the serial
+	// greedy list scheduler above — the path whose 1-worker traces match
+	// direct simulation bit for bit. P >= 1 runs the deterministic PDES
+	// schedule over P logical processes (pdes.go): results are a pure
+	// function of (DAG, Workers, Model, Seed) and bit-identical for every
+	// P, but the schedule is the static-lane PDES schedule, not the
+	// dynamic greedy one, so P >= 1 and P == 0 traces legitimately
+	// differ. DAGs below the crossover threshold execute the PDES
+	// schedule on the calling goroutine (same bits, no goroutines).
+	Parallelism int
 }
 
 // seedMix mirrors core's per-worker stream derivation (rngPool): worker w
@@ -153,9 +174,109 @@ type Options struct {
 // sequences for the same (seed, worker) pair.
 const seedMix = 0x9e3779b97f4a7c15
 
-// Run re-simulates the captured DAG by greedy virtual-time list
-// scheduling, the schedule the real engine produces for an unbounded
-// insertion window (see DESIGN.md §9):
+// readyItem is one entry of the serial executor's ready heap.
+type readyItem struct {
+	id   int32
+	prio int32
+	seq  int32
+}
+
+// runEntry is one entry of the serial executor's replay Task Execution
+// Queue: completions are processed in (end, start order).
+type runEntry struct {
+	end    float64
+	seq    uint64
+	start  float64
+	id     int32
+	worker int32
+}
+
+// serialScratch is the reusable per-run state of the serial executor:
+// flat struct-of-arrays buffers (CSR successor lists, wait counts) and
+// the three scheduling heaps, pooled so steady-state replay allocates
+// only the returned trace (the alloc-ceiling test pins this). The
+// per-worker rng Sources are also retained and reseeded per run.
+type serialScratch struct {
+	waits    []int32
+	succOff  []int32 // CSR offsets, len n+1
+	succList []int32 // CSR successor ids, len = edges
+	cursor   []int32 // CSR fill cursors
+	seeded   []bool  // per-worker: source reseeded this run
+	sources  []*rng.Source
+	ready    *pq.Heap[readyItem]
+	running  *pq.Heap[runEntry]
+	free     *pq.Heap[int32]
+}
+
+var serialPool = sync.Pool{New: func() any {
+	return &serialScratch{
+		ready: pq.New(func(a, b readyItem) bool {
+			if a.prio != b.prio {
+				return a.prio > b.prio // higher priority first (PriorityPolicy)
+			}
+			return a.seq < b.seq // FIFO tiebreak
+		}),
+		running: pq.New(func(a, b runEntry) bool {
+			if a.end != b.end {
+				return a.end < b.end
+			}
+			return a.seq < b.seq
+		}),
+		free: pq.New(func(a, b int32) bool { return a < b }),
+	}
+}}
+
+// growInt32 returns buf with length n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite every element they read.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growFloat64 is growInt32 for float64 slices.
+func growFloat64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// replayLabel resolves the trace label of one replay.
+func replayLabel(d *DAG, opt *Options) string {
+	if opt.Label != "" {
+		return opt.Label
+	}
+	return d.Label + "-replay"
+}
+
+// replayWorkers resolves the virtual core count of one replay.
+func replayWorkers(d *DAG, opt *Options) int {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = d.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// checkTask rejects tasks the replay executors cannot represent.
+func checkTask(i int, t *Task) error {
+	if t.NumThreads > 1 {
+		return fmt.Errorf("replay: task %d (%s) is a gang task (NumThreads=%d); replay supports single-threaded tasks", i, t.Label, t.NumThreads)
+	}
+	if !t.Where.Allows(sched.KindCPU) {
+		return fmt.Errorf("replay: task %d (%s) cannot run on CPU workers (Where=%#x)", i, t.Label, t.Where)
+	}
+	return nil
+}
+
+// Run re-simulates the captured DAG. With Options.Parallelism unset it is
+// greedy virtual-time list scheduling, the schedule the real engine
+// produces for an unbounded insertion window (see DESIGN.md §9):
 //
 //   - a task becomes ready when all its captured predecessors completed;
 //   - ready tasks are ordered by (priority desc, readiness order) — the
@@ -171,64 +292,99 @@ const seedMix = 0x9e3779b97f4a7c15
 // The whole loop runs on the calling goroutine: no scheduler, no hazard
 // tracking, no mutex handoffs. Identical (DAG, Options) inputs produce
 // bit-identical traces.
+//
+// With Options.Parallelism >= 1, Run instead executes the deterministic
+// PDES schedule over that many logical processes — see pdes.go and
+// DESIGN.md §12. Results are bit-identical across all parallelism values
+// but are a different (static-lane) schedule than the greedy default.
 func Run(d *DAG, opt Options) (*trace.Trace, error) {
 	n := len(d.Tasks)
 	if n == 0 {
 		return nil, fmt.Errorf("replay: empty DAG")
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = d.Workers
+	if opt.Parallelism >= 1 {
+		return runPDES(d, &opt)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	label := opt.Label
-	if label == "" {
-		label = d.Label + "-replay"
-	}
+	workers := replayWorkers(d, &opt)
+	label := replayLabel(d, &opt)
 
-	waits := make([]int, n)
-	succs := make([][]int32, n)
+	sc := serialPool.Get().(*serialScratch)
+	defer func() {
+		sc.ready.Clear()
+		sc.running.Clear()
+		sc.free.Clear()
+		serialPool.Put(sc)
+	}()
+
+	// CSR successor lists and wait counts, rebuilt into reused flat
+	// buffers: one counting pass, a prefix sum, one fill pass. Filling in
+	// ascending task order reproduces the engine's succs-append
+	// (insertion) release order.
+	sc.waits = growInt32(sc.waits, n)
+	sc.succOff = growInt32(sc.succOff, n+1)
+	sc.cursor = growInt32(sc.cursor, n)
+	edges := 0
 	for i := range d.Tasks {
 		t := &d.Tasks[i]
-		if t.NumThreads > 1 {
-			return nil, fmt.Errorf("replay: task %d (%s) is a gang task (NumThreads=%d); replay supports single-threaded tasks", i, t.Label, t.NumThreads)
+		if err := checkTask(i, t); err != nil {
+			return nil, err
 		}
-		if !t.Where.Allows(sched.KindCPU) {
-			return nil, fmt.Errorf("replay: task %d (%s) cannot run on CPU workers (Where=%#x)", i, t.Label, t.Where)
-		}
-		for _, dep := range t.Deps {
+		sc.waits[i] = int32(len(t.Deps))
+		sc.cursor[i] = 0
+		edges += len(t.Deps)
+	}
+	for i := range d.Tasks {
+		for _, dep := range d.Tasks[i].Deps {
 			if dep.Pred < 0 || dep.Pred >= i {
 				return nil, fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
 			}
-			// Successor lists fill in task-id order, reproducing the
-			// engine's succs-append (insertion) release order.
-			succs[dep.Pred] = append(succs[dep.Pred], int32(i))
-			waits[i]++
+			sc.cursor[dep.Pred]++
+		}
+	}
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		sc.succOff[i] = off
+		off += sc.cursor[i]
+		sc.cursor[i] = 0
+	}
+	sc.succOff[n] = off
+	sc.succList = growInt32(sc.succList, edges)
+	for i := range d.Tasks {
+		for _, dep := range d.Tasks[i].Deps {
+			p := dep.Pred
+			sc.succList[sc.succOff[p]+sc.cursor[p]] = int32(i)
+			sc.cursor[p]++
 		}
 	}
 
-	// Per-worker sampling streams, created lazily like core's rngPool.
-	sources := make([]*rng.Source, workers)
+	// Per-worker sampling streams: Source objects are retained across
+	// runs and reseeded lazily, preserving both the stream derivation and
+	// the lazy-creation behavior of core's rngPool.
+	if len(sc.sources) < workers {
+		grown := make([]*rng.Source, workers)
+		copy(grown, sc.sources)
+		sc.sources = grown
+	}
+	if cap(sc.seeded) < workers {
+		sc.seeded = make([]bool, workers)
+	}
+	sc.seeded = sc.seeded[:workers]
+	for w := range sc.seeded {
+		sc.seeded[w] = false
+	}
 	src := func(w int) *rng.Source {
-		if sources[w] == nil {
-			sources[w] = rng.New(opt.Seed ^ (seedMix * (uint64(w) + 1)))
+		if !sc.seeded[w] {
+			if sc.sources[w] == nil {
+				sc.sources[w] = rng.New(opt.Seed ^ (seedMix * (uint64(w) + 1)))
+			} else {
+				sc.sources[w].Seed(opt.Seed ^ (seedMix * (uint64(w) + 1)))
+			}
+			sc.seeded[w] = true
 		}
-		return sources[w]
+		return sc.sources[w]
 	}
 
-	type readyItem struct {
-		id   int32
-		prio int32
-		seq  int32
-	}
-	ready := pq.NewWithCapacity(func(a, b readyItem) bool {
-		if a.prio != b.prio {
-			return a.prio > b.prio // higher priority first (PriorityPolicy)
-		}
-		return a.seq < b.seq // FIFO tiebreak
-	}, workers+8)
+	ready := sc.ready
 	var pushSeq int32
 	pushReady := func(id int32) {
 		prio := int32(d.Tasks[id].Priority)
@@ -239,33 +395,20 @@ func Run(d *DAG, opt Options) (*trace.Trace, error) {
 		pushSeq++
 	}
 
-	// The replay Task Execution Queue: completions in (end, start order).
-	type runEntry struct {
-		end    float64
-		seq    uint64
-		start  float64
-		id     int32
-		worker int32
-	}
-	running := pq.NewWithCapacity(func(a, b runEntry) bool {
-		if a.end != b.end {
-			return a.end < b.end
-		}
-		return a.seq < b.seq
-	}, workers)
+	running := sc.running
 	var startSeq uint64
 
-	free := pq.NewWithCapacity(func(a, b int) bool { return a < b }, workers)
+	free := sc.free
 	for w := 0; w < workers; w++ {
-		free.Push(w)
+		free.Push(int32(w))
 	}
 
 	var clock float64
-	mkEntry := func(it readyItem, w int) (runEntry, error) {
+	mkEntry := func(it readyItem, w int32) (runEntry, error) {
 		t := &d.Tasks[it.id]
 		var dur float64
 		if opt.Model != nil {
-			dur = opt.Model.Duration(t.Class, sched.KindCPU, src(w))
+			dur = opt.Model.Duration(t.Class, sched.KindCPU, src(int(w)))
 			if dur < 0 {
 				dur = 0
 			}
@@ -275,7 +418,7 @@ func Run(d *DAG, opt Options) (*trace.Trace, error) {
 			}
 			dur = t.Duration
 		}
-		e := runEntry{end: clock + dur, seq: startSeq, start: clock, id: it.id, worker: int32(w)}
+		e := runEntry{end: clock + dur, seq: startSeq, start: clock, id: it.id, worker: w}
 		startSeq++
 		return e, nil
 	}
@@ -284,7 +427,7 @@ func Run(d *DAG, opt Options) (*trace.Trace, error) {
 	tr.Reserve(n)
 
 	for id := 0; id < n; id++ {
-		if waits[id] == 0 {
+		if sc.waits[id] == 0 {
 			pushReady(int32(id))
 		}
 	}
@@ -315,23 +458,23 @@ func Run(d *DAG, opt Options) (*trace.Trace, error) {
 			Start:  e.start,
 			End:    e.end,
 		})
-		for _, s := range succs[e.id] {
-			waits[s]--
-			if waits[s] == 0 {
+		for _, s := range sc.succList[sc.succOff[e.id]:sc.succOff[e.id+1]] {
+			sc.waits[s]--
+			if sc.waits[s] == 0 {
 				pushReady(s)
 			}
 		}
 		// Chain handoff: the completing task's worker takes the best ready
 		// task in place, one sift instead of two.
 		if it, ok := ready.Pop(); ok {
-			ne, err := mkEntry(it, int(e.worker))
+			ne, err := mkEntry(it, e.worker)
 			if err != nil {
 				return nil, err
 			}
 			running.ReplaceTop(ne)
 		} else {
 			running.Pop()
-			free.Push(int(e.worker))
+			free.Push(e.worker)
 		}
 		for !ready.Empty() && !free.Empty() {
 			w, _ := free.Pop()

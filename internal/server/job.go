@@ -60,6 +60,12 @@ type JobSpec struct {
 	// MaxNT across Shards replay goroutines (0 = GOMAXPROCS).
 	MaxNT  int `json:"max_nt,omitempty"`
 	Shards int `json:"shards,omitempty"`
+	// Parallelism selects the replay executor on the cached and sweep
+	// paths (replay.Options.Parallelism): 0 (default) replays with the
+	// serial greedy executor; >= 1 uses the PDES executor, whose results
+	// are identical for every value >= 1 but follow the static PDES
+	// schedule, not the greedy one. Direct (non-cached) runs ignore it.
+	Parallelism int `json:"parallelism,omitempty"`
 	// NoCache forces the direct path even for cache-eligible jobs.
 	NoCache bool `json:"no_cache,omitempty"`
 	// Trace controls whether the job retains its virtual trace for the
@@ -163,6 +169,9 @@ func (s *JobSpec) validate() error {
 	}
 	if s.Reps < 1 || s.Reps > 1000 {
 		return fmt.Errorf("reps must be in [1, 1000] (got %d)", s.Reps)
+	}
+	if s.Parallelism < 0 || s.Parallelism > 1024 {
+		return fmt.Errorf("parallelism must be in [0, 1024] (got %d)", s.Parallelism)
 	}
 	switch s.Wait {
 	case "", "quiescence", "sleep-yield", "none":

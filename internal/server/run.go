@@ -43,10 +43,11 @@ func (s *Server) runSweep(ctx context.Context, spec *JobSpec) (*JobResult, error
 		return nil, fmt.Errorf("deadline expired before sweep started: %w", err)
 	}
 	points, _, err := bench.SweepParallel(spec.Scheduler, spec.Algorithm, spec.NB, spec.MaxNT, spec.Workers, bench.SweepOptions{
-		Reps:   spec.Reps,
-		Shards: spec.Shards,
-		Model:  buildModel(spec.Model),
-		Seed:   spec.Seed,
+		Reps:        spec.Reps,
+		Shards:      spec.Shards,
+		Model:       buildModel(spec.Model),
+		Seed:        spec.Seed,
+		Parallelism: spec.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -149,6 +150,7 @@ func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Tr
 			Seed:             bench.ReplicaSeed(spec.Seed, spec.NT, rep),
 			IgnorePriorities: fifo,
 			Label:            job.ID,
+			Parallelism:      spec.Parallelism,
 		})
 		if err != nil {
 			return nil, nil, disposition, fmt.Errorf("replay rep %d: %w", rep, err)
