@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-pdes lint bench serve-smoke chaos check
+.PHONY: build test race race-pdes lint lint-fix-check bench serve-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/simlint ./...
 
+# lint-fix-check asserts the tree is simlint-clean the same way CI's
+# static job does: the machine-readable diagnostic pass (exit 1 on any
+# finding) plus the //simlint:allow reason audit (exit 1 on any
+# suppression without a justification). Run it after fixing or
+# allowing a diagnostic to prove the tree is green again before push.
+lint-fix-check:
+	$(GO) run ./cmd/simlint -json ./...
+	$(GO) run ./cmd/simlint -allowlist ./...
+
 bench:
 	$(GO) run ./cmd/simbench -benchtime 200ms
 
@@ -32,4 +41,4 @@ serve-smoke:
 chaos:
 	sh scripts/serve_smoke.sh chaos
 
-check: lint build test race race-pdes serve-smoke chaos
+check: lint lint-fix-check build test race race-pdes serve-smoke chaos

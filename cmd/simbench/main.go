@@ -116,32 +116,14 @@ func main() {
 		rep.Contention = &snap
 	}
 
-	regressions := 0
+	var outcome compareOutcome
 	if *baselinePath != "" {
 		base, err := loadBaseline(*baselinePath)
 		if err != nil {
 			log.Fatalf("baseline: %v", err)
 		}
-		for _, r := range results {
-			b, ok := base[r.Name]
-			if !ok {
-				// New benchmark with no committed number yet: report it so
-				// the delta shows up next run, but never gate on it.
-				rep.Comparison = append(rep.Comparison, comparison{
-					Name: r.Name, CurrentNsPerOp: r.NsPerOp, BaselineMissing: true,
-				})
-				fmt.Fprintf(os.Stderr, "%-28s   baseline missing -> %10.1f ns/op  (new benchmark)\n", r.Name, r.NsPerOp)
-				continue
-			}
-			delta := (r.NsPerOp - b) / b * 100
-			rep.Comparison = append(rep.Comparison, comparison{
-				Name: r.Name, BaselineNsPerOp: b, CurrentNsPerOp: r.NsPerOp, DeltaPct: delta,
-			})
-			fmt.Fprintf(os.Stderr, "%-28s %10.1f -> %10.1f ns/op  (%+.1f%%)\n", r.Name, b, r.NsPerOp, delta)
-			if *check > 0 && delta > *check {
-				regressions++
-			}
-		}
+		outcome = compareAgainstBaseline(results, base, *check, os.Stderr)
+		rep.Comparison = outcome.Comparison
 	}
 	for _, r := range results {
 		fmt.Fprintf(os.Stderr, "%-28s %12d iters %10.1f ns/op %8d B/op %4d allocs/op\n",
@@ -158,8 +140,9 @@ func main() {
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatalf("write %s: %v", *out, err)
 	}
-	if regressions > 0 {
-		log.Fatalf("%d benchmark(s) regressed more than %.1f%% vs %s", regressions, *check, *baselinePath)
+	outcome.summarizeMissing(os.Stderr, *baselinePath)
+	if outcome.Regressions > 0 {
+		log.Fatalf("%d benchmark(s) regressed more than %.1f%% vs %s", outcome.Regressions, *check, *baselinePath)
 	}
 }
 

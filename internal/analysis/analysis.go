@@ -61,8 +61,13 @@ func (d Diagnostic) String() string {
 }
 
 // A Pass provides one analyzer run over one type-checked package.
+// Prog is the whole-program view (call graph + facts) shared by every
+// pass of one simlint run; diagnostics and allow directives stay scoped
+// to the pass's own package.
 type Pass struct {
 	Analyzer  *Analyzer
+	Prog      *Program
+	Package   *Package
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
@@ -79,9 +84,18 @@ type allowRange struct {
 	names      map[string]bool
 }
 
-// NewPass assembles a pass for one package. Analyzers are run via Run.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
-	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+// NewPass assembles a pass applying a to pkg within prog. Analyzers are
+// run via Run.
+func NewPass(a *Analyzer, prog *Program, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Prog:      prog,
+		Package:   pkg,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
 	p.collectAllows()
 	return p
 }
@@ -149,7 +163,7 @@ func (p *Pass) collectAllows() {
 				continue
 			}
 			for _, c := range fd.Doc.List {
-				if names := parseAllow(c.Text); names != nil {
+				if names, _ := parseAllow(c.Text); names != nil {
 					p.allows = append(p.allows, allowRange{
 						file:  tf,
 						start: tf.Line(fd.Pos()),
@@ -163,7 +177,7 @@ func (p *Pass) collectAllows() {
 		// standalone comment line shields the statement below it).
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if names := parseAllow(c.Text); names != nil {
+				if names, _ := parseAllow(c.Text); names != nil {
 					line := tf.Line(c.Pos())
 					p.allows = append(p.allows, allowRange{
 						file:  tf,
@@ -177,29 +191,41 @@ func (p *Pass) collectAllows() {
 	}
 }
 
-// parseAllow extracts the analyzer names from one comment line, or nil if
-// the line is not an //simlint:allow directive. Grammar:
+// parseAllow extracts the analyzer names and the free-form reason from
+// one comment line, or (nil, "") if the line is not an //simlint:allow
+// directive. Grammar:
 //
 //	//simlint:allow name1[,name2...] [free-form justification]
-func parseAllow(text string) map[string]bool {
+//
+// The reason is everything after the name list, with a leading em-dash
+// or hyphen separator stripped (the repo convention writes
+// "//simlint:allow vclock — why").
+func parseAllow(text string) (map[string]bool, string) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
 	const prefix = "simlint:allow"
 	if !strings.HasPrefix(text, prefix) {
-		return nil
+		return nil, ""
 	}
 	rest := strings.TrimSpace(text[len(prefix):])
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil
+	nameList, reason, _ := strings.Cut(rest, " ")
+	if nameList == "" {
+		return nil, ""
 	}
 	names := make(map[string]bool)
-	for _, name := range strings.Split(fields[0], ",") {
+	for _, name := range strings.Split(nameList, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			names[name] = true
 		}
 	}
-	return names
+	reason = strings.TrimSpace(reason)
+	for _, sep := range []string{"—", "–", "-"} {
+		if strings.HasPrefix(reason, sep) {
+			reason = strings.TrimSpace(strings.TrimPrefix(reason, sep))
+			break
+		}
+	}
+	return names, reason
 }
 
 // funcDocMatches reports whether fn's doc comment contains the given

@@ -41,13 +41,34 @@ func getLoader() *analysis.Loader {
 	return loader
 }
 
+// A Fixture names one fixture package: the testdata directory holding
+// its files and the fabricated import path to type-check it under.
+type Fixture struct {
+	Dir  string
+	Path string
+}
+
 // Run analyzes the fixture package in dir under the fabricated import
 // path pkgPath and compares diagnostics against the fixtures' // want
 // comments.
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
-	diags := Diagnostics(t, a, dir, pkgPath)
-	wants, fset := parseWants(t, dir)
+	RunProgram(t, a, []Fixture{{Dir: dir, Path: pkgPath}})
+}
+
+// RunProgram type-checks the fixture packages in order (so later ones
+// may import earlier ones by their fabricated paths), builds one
+// Program spanning them all, runs the analyzer over every package, and
+// compares diagnostics against // want comments in every directory.
+// Multi-package fixtures exercise the transitive (call-graph) checks.
+func RunProgram(t *testing.T, a *analysis.Analyzer, fixtures []Fixture) {
+	t.Helper()
+	diags := ProgramDiagnostics(t, a, fixtures)
+	var wants []want
+	for _, fx := range fixtures {
+		w, _ := parseWants(t, fx.Dir)
+		wants = append(wants, w...)
+	}
 
 	matched := make([]bool, len(diags))
 	for _, w := range wants {
@@ -71,54 +92,90 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
 		}
 	}
-	_ = fset
 }
 
 // Diagnostics loads and type-checks the fixture package in dir under
 // pkgPath and returns the analyzer's raw diagnostics.
 func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) []analysis.Diagnostic {
 	t.Helper()
+	return ProgramDiagnostics(t, a, []Fixture{{Dir: dir, Path: pkgPath}})
+}
+
+// ProgramDiagnostics type-checks the fixture packages, assembles them
+// into one Program and returns the analyzer's combined diagnostics.
+func ProgramDiagnostics(t *testing.T, a *analysis.Analyzer, fixtures []Fixture) []analysis.Diagnostic {
+	t.Helper()
 	loaderMu.Lock()
 	defer loaderMu.Unlock()
 	l := getLoader()
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
-	}
-	var files []*ast.File
-	var imports []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.Fset(), filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+	var pkgs []*analysis.Package
+	for _, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			t.Fatalf("reading fixture dir: %v", err)
 		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		var files []*ast.File
+		var imports []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(l.Fset(), filepath.Join(fx.Dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+			}
 		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
-	if len(imports) > 0 {
-		sort.Strings(imports)
-		if err := l.LoadDeps(imports...); err != nil {
-			t.Fatalf("loading fixture dependencies: %v", err)
+		if len(files) == 0 {
+			t.Fatalf("no fixture files in %s", fx.Dir)
 		}
+		// Resolve imports that are not earlier fixture packages through
+		// `go list`; fabricated fixture paths come from the check cache.
+		var external []string
+		for _, imp := range imports {
+			fixtureLocal := false
+			for _, other := range fixtures {
+				if other.Path == imp {
+					fixtureLocal = true
+					break
+				}
+			}
+			if !fixtureLocal {
+				external = append(external, imp)
+			}
+		}
+		if len(external) > 0 {
+			sort.Strings(external)
+			if err := l.LoadDeps(external...); err != nil {
+				t.Fatalf("loading fixture dependencies: %v", err)
+			}
+		}
+		info := analysis.NewTypesInfo()
+		tp, err := l.CheckFiles(fx.Path, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture: %v", err)
+		}
+		pkgs = append(pkgs, &analysis.Package{
+			PkgPath:   fx.Path,
+			Fset:      l.Fset(),
+			Files:     files,
+			Types:     tp,
+			TypesInfo: info,
+		})
 	}
-	info := analysis.NewTypesInfo()
-	tp, err := l.CheckFiles(pkgPath, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
-	}
-	pass := analysis.NewPass(a, l.Fset(), files, tp, info)
-	diags, err := pass.Run()
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+	prog := analysis.NewProgram(pkgs)
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		pass := analysis.NewPass(a, prog, pkg)
+		got, err := pass.Run()
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		diags = append(diags, got...)
 	}
 	return diags
 }

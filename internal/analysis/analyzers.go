@@ -10,5 +10,9 @@ func DefaultAnalyzers() []*Analyzer {
 		NewGuarded(),
 		NewWakeup(cfg),
 		NewDetRand(),
+		NewChanProto(DefaultChanProtoRoots),
+		NewDurable(DefaultDurableScope),
+		NewHotAlloc(),
+		NewDetMap(DefaultDetMapSinks),
 	}
 }

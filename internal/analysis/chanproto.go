@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefaultChanProtoRoots are the package prefixes whose reachable code
+// the chanproto analyzer audits: the conservative PDES executor, where
+// a blocking send between logical processes is a deadlock (two LPs
+// sending into each other's full inboxes stall the whole replay).
+var DefaultChanProtoRoots = []string{"supersim/internal/replay"}
+
+// NewChanProto returns the chanproto analyzer: every channel send in
+// code reachable from the root packages must be provably non-blocking.
+// The proof has three parts, matching the executor's self-draining
+// batch protocol (DESIGN.md §12):
+//
+//  1. the send is a select communication clause with a receive or
+//     default sibling, so a full peer inbox diverts the sender into
+//     draining its own inbox instead of stalling;
+//  2. the channel's element type is created somewhere in the audited
+//     region by make(chan T, c) with a constant capacity > 0 — an
+//     unbuffered or unboundable channel cannot be reasoned about;
+//  3. the send does not execute with a mutex held (a blocked send under
+//     a lock wedges every other goroutine that needs it).
+func NewChanProto(rootPrefixes []string) *Analyzer {
+	a := &Analyzer{
+		Name: "chanproto",
+		Doc: "channel sends reachable from the PDES executor must be non-blocking: " +
+			"select with a draining receive or default arm, bounded (constant-capacity) " +
+			"channels, and never under a lock",
+	}
+	var (
+		cachedProg *Program
+		reachable  map[*types.Func]bool
+		capsByElem map[string][]chanMake
+	)
+	a.Run = func(pass *Pass) error {
+		if pass.Prog == nil || pass.Package == nil {
+			return nil
+		}
+		if pass.Prog != cachedProg {
+			cachedProg = pass.Prog
+			reachable = pass.Prog.Reachable(rootPrefixes)
+			capsByElem = collectChanMakes(pass.Prog, reachable)
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil || !reachable[obj.Origin()] {
+					continue
+				}
+				checkChanProto(pass, fd, capsByElem)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// chanMake records one make(chan T, c) site in the audited region.
+type chanMake struct {
+	pos     token.Pos
+	bounded bool // constant capacity > 0
+}
+
+// collectChanMakes indexes every make(chan ...) in reachable functions
+// by the channel's element type string, so sends can be matched to the
+// construction sites that could have produced their channel.
+func collectChanMakes(prog *Program, reachable map[*types.Func]bool) map[string][]chanMake {
+	caps := make(map[string][]chanMake)
+	for fn := range reachable {
+		fi := prog.FuncOf(fn)
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		info := fi.Pkg.TypesInfo
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			ch, ok := info.TypeOf(call).Underlying().(*types.Chan)
+			if !ok {
+				return true
+			}
+			bounded := false
+			if len(call.Args) >= 2 {
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+					bounded = constIntPositive(tv)
+				}
+			}
+			key := ch.Elem().String()
+			caps[key] = append(caps[key], chanMake{pos: call.Pos(), bounded: bounded})
+			return true
+		})
+	}
+	return caps
+}
+
+// checkChanProto applies the three-part proof to every send in fd.
+func checkChanProto(pass *Pass, fd *ast.FuncDecl, capsByElem map[string][]chanMake) {
+	info := pass.TypesInfo
+
+	// Index the sends appearing as select comm clauses, and whether their
+	// select has a draining sibling (receive or default).
+	selectSends := make(map[*ast.SendStmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		var sends []*ast.SendStmt
+		drains := false
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			switch comm := cc.Comm.(type) {
+			case nil:
+				drains = true // default arm
+			case *ast.SendStmt:
+				sends = append(sends, comm)
+			default:
+				drains = true // receive (ExprStmt or AssignStmt form)
+			}
+		}
+		for _, s := range sends {
+			selectSends[s] = drains
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		drains, inSelect := selectSends[send]
+		if !inSelect {
+			pass.Reportf(send.Pos(),
+				"bare channel send in PDES-reachable function %s may block: "+
+					"wrap it in a select with a draining receive or default arm "+
+					"(the executor's self-draining batch protocol)",
+				fd.Name.Name)
+			return true
+		}
+		if !drains {
+			pass.Reportf(send.Pos(),
+				"select send in PDES-reachable function %s has no receive or default "+
+					"sibling: a full peer inbox stalls this goroutine with no way to "+
+					"drain its own",
+				fd.Name.Name)
+			return true
+		}
+		ch, ok := info.TypeOf(send.Chan).Underlying().(*types.Chan)
+		if !ok {
+			return true
+		}
+		makes := capsByElem[ch.Elem().String()]
+		if len(makes) == 0 {
+			pass.Reportf(send.Pos(),
+				"cannot prove the channel sent on in %s is bounded: no "+
+					"make(chan %s, cap) in the audited PDES region",
+				fd.Name.Name, ch.Elem().String())
+			return true
+		}
+		for _, mk := range makes {
+			if !mk.bounded {
+				mkPos := pass.Fset.Position(mk.pos)
+				pass.Reportf(send.Pos(),
+					"channel sent on in %s may be unbuffered or unbounded: "+
+						"make at %s:%d lacks a constant capacity > 0",
+					fd.Name.Name, trimPathName(mkPos.Filename), mkPos.Line)
+				break
+			}
+		}
+		return true
+	})
+
+	// Part 3: no send while holding a lock. The flow-sensitive walker
+	// tracks the held set along each path.
+	walkFunc(pass, fd, callerHeldSeed(pass.TypesInfo, fd), flowHooks{
+		node: func(n ast.Node, held *heldSet) {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || held.empty() {
+				return
+			}
+			pass.Reportf(send.Pos(),
+				"channel send in PDES-reachable function %s while holding %s: a full "+
+					"inbox would wedge every goroutine contending for the lock",
+				fd.Name.Name, held.locks[len(held.locks)-1])
+		},
+	})
+}
+
+// constIntPositive reports whether tv is a constant integer > 0.
+func constIntPositive(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	s := tv.Value.ExactString()
+	if s == "" || s == "0" {
+		return false
+	}
+	return s[0] != '-'
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A SinkSpec names one ordering-sensitive sink function by package path
+// and bare name (function or method).
+type SinkSpec struct {
+	PkgPath string
+	Name    string
+}
+
+// DefaultDetMapSinks are the repo's ordering-sensitive sinks: anything
+// whose output order is part of a determinism contract. Values that flow
+// into them must not be produced by a bare map range — Go randomizes map
+// iteration per run, so the journal bytes, trace fingerprints and JSON
+// results would differ between identical simulations.
+var DefaultDetMapSinks = []SinkSpec{
+	{"encoding/json", "Marshal"},
+	{"encoding/json", "MarshalIndent"},
+	{"encoding/json", "Encode"},
+	{"supersim/internal/journal", "Append"},
+	{"supersim/internal/journal", "AppendSync"},
+	{"supersim/internal/trace", "Append"},
+	{"supersim/internal/trace", "Fingerprint"},
+	{"supersim/internal/server", "push"},
+}
+
+// NewDetMap returns the detmap analyzer: within one function, a map
+// range whose key/value (or data derived from them) reaches an
+// ordering-sensitive sink without an intervening sort is reported at the
+// sink call, citing the range. A call into sort or slices clears the
+// taint on the identifiers it mentions — sorting is exactly the repair
+// the analyzer wants to see. Sinks are matched transitively: a
+// module-local function that itself reaches a sink (Server.submitAs,
+// store.drainMark) counts as one.
+func NewDetMap(sinks []SinkSpec) *Analyzer {
+	a := &Analyzer{
+		Name: "detmap",
+		Doc: "map-range values must be sorted before they flow into ordering-sensitive " +
+			"sinks (journal records, trace lanes, fingerprints, JSON results, scheduler " +
+			"pickup) — map iteration order is randomized per run",
+	}
+	sinkSet := make(map[SinkSpec]bool, len(sinks))
+	for _, s := range sinks {
+		sinkSet[s] = true
+	}
+	isDirectSink := func(fn *types.Func) bool {
+		if fn.Pkg() == nil {
+			return false
+		}
+		return sinkSet[SinkSpec{fn.Pkg().Path(), fn.Name()}]
+	}
+	var (
+		cachedProg *Program
+		sinkFact   *Fact
+	)
+	a.Run = func(pass *Pass) error {
+		if pass.Prog == nil {
+			return nil
+		}
+		if pass.Prog != cachedProg {
+			cachedProg = pass.Prog
+			sinkFact = pass.Prog.NewFact(isDirectSink, nil)
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkDetMap(pass, fd, sinkFact)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// taintState tracks which objects hold map-iteration-ordered data and
+// the range statement that tainted each.
+type taintState struct {
+	origin map[types.Object]token.Pos // tainted object -> position of the map range
+}
+
+// checkDetMap walks fd's body in source order, propagating map-range
+// taint through assignments and derived ranges, clearing it at sort
+// calls, and reporting tainted arguments at sink calls.
+func checkDetMap(pass *Pass, fd *ast.FuncDecl, sinkFact *Fact) {
+	info := pass.TypesInfo
+	st := taintState{origin: make(map[types.Object]token.Pos)}
+
+	// events in source order: ranges, assignments, calls.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			xt := info.TypeOf(n.X)
+			if xt == nil {
+				return true
+			}
+			_, overMap := xt.Underlying().(*types.Map)
+			tainted := overMap
+			origin := n.Pos()
+			if !overMap {
+				// Ranging over an already-tainted slice keeps the taint.
+				if obj := rootObject(info, n.X); obj != nil {
+					if pos, ok := st.origin[obj]; ok {
+						tainted, origin = true, pos
+					}
+				}
+			}
+			if tainted {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							st.origin[obj] = origin
+						} else if obj := info.Uses[id]; obj != nil {
+							st.origin[obj] = origin
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Taint flows RHS -> LHS; len/cap of tainted data is order-free,
+			// and so is writing into a map (m[k] = v absorbs iteration order
+			// — the map is unordered regardless, and json sorts its keys).
+			var from token.Pos
+			dirty := false
+			for _, rhs := range n.Rhs {
+				if isLenOrCap(info, rhs) {
+					continue
+				}
+				forEachUsedObject(info, rhs, func(obj types.Object) {
+					if pos, ok := st.origin[obj]; ok && !dirty {
+						dirty, from = true, pos
+					}
+				})
+			}
+			if dirty {
+				for _, lhs := range n.Lhs {
+					if isMapIndex(info, lhs) {
+						continue
+					}
+					if obj := rootObject(info, lhs); obj != nil {
+						st.origin[obj] = from
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := resolveCallee(info, n)
+			if callee != nil && isSortCall(callee) {
+				// The sort re-establishes a canonical order: untaint every
+				// object the call mentions.
+				for _, arg := range n.Args {
+					forEachUsedObject(info, arg, func(obj types.Object) {
+						delete(st.origin, obj)
+					})
+				}
+				return true
+			}
+			if callee == nil || !sinkFact.Holds(callee) {
+				return true
+			}
+			for _, arg := range n.Args {
+				var hit types.Object
+				forEachUsedObject(info, arg, func(obj types.Object) {
+					if _, ok := st.origin[obj]; ok && hit == nil {
+						hit = obj
+					}
+				})
+				if hit != nil {
+					rangePos := pass.Fset.Position(st.origin[hit])
+					pass.Reportf(n.Pos(),
+						"map iteration order reaches ordering-sensitive sink %s through %q "+
+							"(map range at %s:%d): sort before the sink so identical runs "+
+							"produce identical bytes",
+						funcDisplayName(callee), hit.Name(),
+						trimPathName(rangePos.Filename), rangePos.Line)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSortCall reports calls into the sort or slices packages.
+func isSortCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sort" || pkg.Path() == "slices"
+}
+
+// isMapIndex reports whether e is an index expression into a map.
+func isMapIndex(info *types.Info, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	xt := info.TypeOf(ix.X)
+	if xt == nil {
+		return false
+	}
+	_, isMap := xt.Underlying().(*types.Map)
+	return isMap
+}
+
+// isLenOrCap reports a top-level len(...) or cap(...) call: counting
+// tainted data does not depend on its order.
+func isLenOrCap(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && (id.Name == "len" || id.Name == "cap")
+}
+
+// rootObject returns the object at the root of an lvalue or range
+// operand: x, x[i], x.f all root at x's object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Defs[v]; obj != nil {
+				return obj
+			}
+			return info.Uses[v]
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// forEachUsedObject visits every identifier object mentioned in e.
+func forEachUsedObject(info *types.Info, e ast.Expr, fn func(types.Object)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				fn(obj)
+			}
+		}
+		return true
+	})
+}
+
+// trimPathName shortens an absolute filename to its final two path
+// segments for compact diagnostics.
+func trimPathName(name string) string {
+	seps := 0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			seps++
+			if seps == 2 {
+				return name[i+1:]
+			}
+		}
+	}
+	return name
+}

@@ -32,7 +32,7 @@ func NewGuarded() *Analyzer {
 				if !ok {
 					continue
 				}
-				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+				walkFunc(pass, fn, callerHeldSeed(pass.TypesInfo, fn), flowHooks{
 					node: func(n ast.Node, held *heldSet) {
 						sel, ok := n.(*ast.SelectorExpr)
 						if !ok {

@@ -75,11 +75,19 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(listed) == 0 {
+		return nil, fmt.Errorf("go list %s: matched no packages (is %q inside a module?)",
+			strings.Join(patterns, " "), l.Dir)
+	}
 	// -deps lists dependencies before dependents, so a single in-order
 	// sweep type-checks everything; module-local packages keep full info.
 	var out []*Package
 	for _, lp := range listed {
-		if lp.Error != nil && lp.Standard {
+		if lp.Error != nil {
+			// `go list -e` reports broken packages in-band (unresolved
+			// imports, missing directories, malformed package clauses).
+			// Surface them as load errors instead of letting the type
+			// checker trip over half-listed inputs.
 			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
 		}
 		pkg, err := l.check(lp, !lp.Standard)
@@ -89,6 +97,10 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if !lp.Standard {
 			out = append(out, pkg)
 		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("go list %s: matched only standard-library packages; "+
+			"nothing to analyze", strings.Join(patterns, " "))
 	}
 	return out, nil
 }
@@ -184,9 +196,15 @@ func (l *Loader) check(lp *listedPackage, fullInfo bool) (*Package, error) {
 // CheckFiles type-checks a set of already parsed files as one package
 // under the given import path, resolving imports from the loader's cache
 // (populate it first via LoadDeps). The fixture harness uses it to check
-// testdata packages under fabricated import paths.
+// testdata packages under fabricated import paths; the result is cached
+// so later fixture packages can import earlier ones by that path.
 func (l *Loader) CheckFiles(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
-	return l.typeCheck(path, files, info)
+	tp, err := l.typeCheck(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[path] = tp
+	return tp, nil
 }
 
 func (l *Loader) typeCheck(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
@@ -240,13 +258,23 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
+// CollectAllows builds the call-graph-free part of a Program — the
+// //simlint:allow directive scan — over pkgs and returns every directive
+// sorted by position. `simlint -allowlist` uses it for the allow audit:
+// every suppression in the tree with its file:line and justification.
+func CollectAllows(pkgs []*Package) []AllowDirective {
+	return NewProgram(pkgs).Allows()
+}
+
 // RunAnalyzers applies every analyzer to every package and returns the
-// combined diagnostics in deterministic order.
+// combined diagnostics in deterministic order. One Program (call graph
+// + facts) spans all packages, so analyzers see cross-package calls.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			pass := NewPass(a, prog, pkg)
 			diags, err := pass.Run()
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)

@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supersim/internal/analysis"
+)
+
+// writeModule lays out a throwaway module in a temp dir: files maps
+// module-relative paths to contents; a go.mod is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module example.com/tmpmod\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// loadErr runs Load over patterns in dir and returns the error, failing
+// the test if the load unexpectedly succeeds.
+func loadErr(t *testing.T, dir string, patterns ...string) error {
+	t.Helper()
+	_, err := analysis.NewLoader(dir).Load(patterns...)
+	if err == nil {
+		t.Fatalf("Load(%v) in %s succeeded, want error", patterns, dir)
+	}
+	return err
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc f() {\n", // unclosed body
+	})
+	err := loadErr(t, dir, "./...")
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("syntax-error load should name the offending file, got: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ill/ill.go": "package ill\n\nvar x int = \"not an int\"\n",
+	})
+	err := loadErr(t, dir, "./...")
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("type-error load should surface the type checker, got: %v", err)
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	// `go list -e` reports the unresolvable pattern in-band via the
+	// package's Error field; Load must surface it instead of handing the
+	// type checker a half-listed input.
+	err := loadErr(t, dir, "./nosuchdir")
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("missing-package load should report a go list error, got: %v", err)
+	}
+}
+
+func TestLoadUnresolvedImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"dangling/dangling.go": "package dangling\n\nimport _ \"example.com/no/such/dep\"\n",
+	})
+	err := loadErr(t, dir, "./...")
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("unresolved-import load should report a go list error, got: %v", err)
+	}
+}
+
+func TestLoadMatchesNothing(t *testing.T) {
+	// A module with no Go files at all: `go list` emits no packages and
+	// Load must say so rather than returning an empty, useless program.
+	dir := writeModule(t, map[string]string{})
+	err := loadErr(t, dir, "./...")
+	if !strings.Contains(err.Error(), "matched no packages") {
+		t.Errorf("empty go list result should report 'matched no packages', got: %v", err)
+	}
+}
+
+func TestLoadOnlyStdlib(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	err := loadErr(t, dir, "fmt")
+	if !strings.Contains(err.Error(), "standard-library") {
+		t.Errorf("std-lib-only load should say there is nothing to analyze, got: %v", err)
+	}
+}

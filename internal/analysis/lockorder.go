@@ -2,28 +2,38 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
+	"sort"
 )
 
 // NewLockOrder returns the lockorder analyzer: nested mutex acquisitions
 // must follow the acquired-before order in lockorder.conf. The analysis
-// is intraprocedural and flow-sensitive (see lockstate.go); functions
+// is flow-sensitive (see lockstate.go) and, when a Program is available,
+// transitive: a call made while holding a lock is checked against the
+// callee's whole-call-graph acquire summary, so a helper that buries an
+// inverting Lock two calls deep is caught at the call site. Functions
 // documented with the "Caller holds x.mu" convention are analyzed with
 // that lock pre-held, so helper bodies are checked against the hierarchy
 // too.
 func NewLockOrder(cfg *LockConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "lockorder",
-		Doc: "flag nested Mutex.Lock acquisitions that invert the checked-in lock " +
-			"hierarchy (internal/analysis/lockorder.conf; see DESIGN.md §7)",
+		Doc: "flag nested Mutex.Lock acquisitions (direct or via the call graph) that " +
+			"invert the checked-in lock hierarchy (internal/analysis/lockorder.conf; " +
+			"see DESIGN.md §7)",
 	}
 	a.Run = func(pass *Pass) error {
+		var summary map[*types.Func]map[LockKey]bool
+		if pass.Prog != nil {
+			summary = pass.Prog.LockSummary()
+		}
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
 				if !ok {
 					continue
 				}
-				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+				walkFunc(pass, fn, callerHeldSeed(pass.TypesInfo, fn), flowHooks{
 					acquire: func(call *ast.CallExpr, key LockKey, held *heldSet) {
 						rank, ok := cfg.Rank(key)
 						if !ok {
@@ -38,6 +48,49 @@ func NewLockOrder(cfg *LockConfig) *Analyzer {
 								"lock order inversion: %s acquired while holding %s "+
 									"(lockorder.conf orders %s before %s)",
 								key, hk, key, hk)
+						}
+					},
+					node: func(n ast.Node, held *heldSet) {
+						if summary == nil || held.empty() {
+							return
+						}
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return
+						}
+						// Direct sync.Mutex operations are the acquire
+						// hook's job; here we only follow real call edges.
+						if _, op := classifySyncCall(pass.TypesInfo, call); op != opNone {
+							return
+						}
+						callee := resolveCallee(pass.TypesInfo, call)
+						if callee == nil {
+							return
+						}
+						set := summary[callee]
+						if len(set) == 0 {
+							return
+						}
+						keys := make([]LockKey, 0, len(set))
+						for k := range set {
+							keys = append(keys, k)
+						}
+						sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+						for _, key := range keys {
+							rank, ok := cfg.Rank(key)
+							if !ok {
+								continue
+							}
+							for _, hk := range held.locks {
+								hrank, ok := cfg.Rank(hk)
+								if !ok || hrank <= rank {
+									continue
+								}
+								pass.Reportf(call.Pos(),
+									"lock order inversion: call to %s may acquire %s while "+
+										"holding %s (lockorder.conf orders %s before %s)",
+									funcDisplayName(callee), key, hk, key, hk)
+							}
 						}
 					},
 				})

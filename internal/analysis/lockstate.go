@@ -301,7 +301,12 @@ func (w *flowWalker) execGoDefer(call *ast.CallExpr, h *heldSet, isGo bool) {
 	}
 	// defer x.mu.Unlock() and friends: intentionally not applied.
 	if w.hooks.node != nil {
-		w.hooks.node(call, h)
+		if isGo {
+			// The spawned call runs on its own goroutine, holding nothing.
+			w.hooks.node(call, &heldSet{})
+		} else {
+			w.hooks.node(call, h)
+		}
 	}
 }
 
@@ -334,7 +339,7 @@ func (w *flowWalker) execExpr(e ast.Expr, h *heldSet, inDefer bool) (panics bool
 				panics = true
 			}
 		}
-		key, op := classifySyncCall(w.pass, call)
+		key, op := classifySyncCall(w.pass.TypesInfo, call)
 		if op == opNone || inDefer {
 			return true
 		}
@@ -354,12 +359,12 @@ func (w *flowWalker) execExpr(e ast.Expr, h *heldSet, inDefer bool) (panics bool
 
 // classifySyncCall recognizes method calls on sync.Mutex/RWMutex/Cond and
 // resolves the lock identity of the receiver.
-func classifySyncCall(pass *Pass, call *ast.CallExpr) (LockKey, lockOp) {
+func classifySyncCall(info *types.Info, call *ast.CallExpr) (LockKey, lockOp) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", opNone
 	}
-	msel := pass.TypesInfo.Selections[sel]
+	msel := info.Selections[sel]
 	if msel == nil || msel.Kind() != types.MethodVal {
 		return "", opNone
 	}
@@ -382,7 +387,7 @@ func classifySyncCall(pass *Pass, call *ast.CallExpr) (LockKey, lockOp) {
 		default:
 			return "", opNone
 		}
-		key, ok := lockKeyOf(pass, sel.X)
+		key, ok := lockKeyOf(info, sel.X)
 		if !ok {
 			return "", opNone
 		}
@@ -402,10 +407,10 @@ func classifySyncCall(pass *Pass, call *ast.CallExpr) (LockKey, lockOp) {
 
 // lockKeyOf names the mutex denoted by expr ("x.mu" -> pkg.Type.mu,
 // package-level "mu" -> pkg.mu).
-func lockKeyOf(pass *Pass, expr ast.Expr) (LockKey, bool) {
+func lockKeyOf(info *types.Info, expr ast.Expr) (LockKey, bool) {
 	switch x := expr.(type) {
 	case *ast.SelectorExpr:
-		fsel := pass.TypesInfo.Selections[x]
+		fsel := info.Selections[x]
 		if fsel == nil || fsel.Kind() != types.FieldVal {
 			return "", false
 		}
@@ -415,13 +420,13 @@ func lockKeyOf(pass *Pass, expr ast.Expr) (LockKey, bool) {
 		}
 		return LockKey(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fsel.Obj().Name()), true
 	case *ast.Ident:
-		obj := pass.TypesInfo.Uses[x]
+		obj := info.Uses[x]
 		if obj == nil || obj.Pkg() == nil {
 			return "", false
 		}
 		return LockKey(obj.Pkg().Path() + "." + obj.Name()), true
 	case *ast.ParenExpr:
-		return lockKeyOf(pass, x.X)
+		return lockKeyOf(info, x.X)
 	}
 	return "", false
 }
@@ -454,13 +459,13 @@ var callerHoldsRE = regexp.MustCompile(`(?i)caller(?:s)? (?:must )?holds? ([A-Za
 // convention into the walker's initial held set: each "caller holds
 // <recv>.<field>" phrase whose <recv> matches the method's receiver name
 // seeds that receiver field's lock.
-func callerHeldSeed(pass *Pass, fn *ast.FuncDecl) []LockKey {
+func callerHeldSeed(info *types.Info, fn *ast.FuncDecl) []LockKey {
 	doc := funcDoc(fn)
 	if doc == "" || fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
 		return nil
 	}
 	recvName := fn.Recv.List[0].Names[0].Name
-	recvObj := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	recvObj := info.Defs[fn.Recv.List[0].Names[0]]
 	if recvObj == nil {
 		return nil
 	}

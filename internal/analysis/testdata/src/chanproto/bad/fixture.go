@@ -1,0 +1,51 @@
+// Fixture: channel sends that violate the PDES self-draining protocol
+// (the test loads this under a supersim/internal/replay/... import path,
+// so every function here is chanproto-reachable).
+package chanfix
+
+import "sync"
+
+type node struct {
+	mu    sync.Mutex
+	inbox chan int
+}
+
+// makeChans constructs the audited channels: the int inbox is bounded,
+// the string channel is deliberately unbuffered to defeat the bounded
+// proof for string sends.
+func makeChans() (*node, chan string) {
+	return &node{inbox: make(chan int, 64)}, make(chan string)
+}
+
+func bareSend(n *node, v int) {
+	n.inbox <- v // want `bare channel send .* may block`
+}
+
+func sendOnlySelect(n *node, v int) {
+	select {
+	case n.inbox <- v: // want `no receive or default`
+	}
+}
+
+func unboundedSend(ch chan string, v string) {
+	select {
+	case ch <- v: // want `may be unbuffered or unbounded`
+	default:
+	}
+}
+
+func unprovenSend(ch chan float64, v float64) {
+	select {
+	case ch <- v: // want `cannot prove the channel sent on .* is bounded`
+	default:
+	}
+}
+
+func lockedSend(n *node, v int) {
+	n.mu.Lock()
+	select {
+	case n.inbox <- v: // want `while holding`
+	default:
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Fixture: the executor's sanctioned protocol — bounded inboxes, select
+// sends with a draining receive or default arm, no locks held.
+package chanfix
+
+type lp struct {
+	inbox chan []int32
+	peers []chan []int32
+}
+
+func newLP(n int) *lp {
+	l := &lp{inbox: make(chan []int32, 64)}
+	for i := 0; i < n; i++ {
+		l.peers = append(l.peers, make(chan []int32, 64))
+	}
+	return l
+}
+
+// send is the self-draining delivery: while the destination inbox is
+// full, consume our own so two mutually flushing LPs always progress.
+func (l *lp) send(dst int, batch []int32) {
+	for {
+		select {
+		case l.peers[dst] <- batch:
+			return
+		case m := <-l.inbox:
+			consume(m)
+		}
+	}
+}
+
+// trySend is the non-blocking variant: a default arm proves the send
+// cannot stall.
+func (l *lp) trySend(dst int, batch []int32) bool {
+	select {
+	case l.peers[dst] <- batch:
+		return true
+	default:
+		return false
+	}
+}
+
+func consume(m []int32) {}

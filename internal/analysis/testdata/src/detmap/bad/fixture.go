@@ -1,0 +1,43 @@
+// Fixture: map iteration order leaking into ordering-sensitive sinks.
+package detfix
+
+import "encoding/json"
+
+// dumpRetries journals the retry ids in map order: two identical runs
+// produce different bytes.
+func dumpRetries(retries map[string]int) ([]byte, error) {
+	var ids []string
+	for id := range retries {
+		ids = append(ids, id)
+	}
+	return json.Marshal(ids) // want `map iteration order reaches`
+}
+
+// emit is a module-local sink: it reaches json.Marshal, so the fact
+// layer treats calls to it as sink calls.
+func emit(ids []string) {
+	data, _ := json.Marshal(ids)
+	_ = data
+}
+
+func fireAll(entries map[string]int) {
+	var due []string
+	for id := range entries {
+		due = append(due, id)
+	}
+	emit(due) // want `map iteration order reaches`
+}
+
+// relabel launders the taint through a second slice and a derived
+// range; the per-function flow still sees it.
+func relabel(m map[int]string) ([]byte, error) {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	var final []string
+	for _, v := range out {
+		final = append(final, v)
+	}
+	return json.Marshal(final) // want `map iteration order reaches`
+}

@@ -1,0 +1,35 @@
+// Fixture: the sanctioned shapes — sort before the sink, write into a
+// map (unordered regardless; json sorts keys), or consume only counts.
+package detfix
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+func dumpSorted(retries map[string]int) ([]byte, error) {
+	ids := make([]string, 0, len(retries))
+	for id := range retries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // re-establishes a canonical order
+	return json.Marshal(ids)
+}
+
+// rebuild writes into a map: m[k] = v absorbs iteration order.
+func rebuild(m map[string]int) ([]byte, error) {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return json.Marshal(out)
+}
+
+// count only counts: len-like consumption is order-free.
+func count(m map[string]int) ([]byte, error) {
+	var n int
+	for range m {
+		n++
+	}
+	return json.Marshal(n)
+}

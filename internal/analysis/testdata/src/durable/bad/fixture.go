@@ -1,0 +1,28 @@
+// Fixture: accept-path durability violations (loaded under a
+// supersim/internal/server/... import path, inside the durable scope).
+package durafix
+
+import "supersim/internal/journal"
+
+type store struct{ j *journal.Journal }
+
+type acceptRec struct{ ID string }
+
+// acceptAsync journals the accept record through the batched Append: a
+// crash between the ack and the flush loses the job.
+func (s *store) acceptAsync(id string) {
+	s.j.Append("accept", acceptRec{ID: id}) // want `accept record journaled with the async Append`
+}
+
+// ackFirst acknowledges before the journal write lands.
+func (s *store) ackFirst(id string) {
+	reply(202) // want `no journal.AppendSync earlier`
+	s.j.AppendSync("accept", acceptRec{ID: id})
+}
+
+// ackOnly acknowledges without any durable write in sight.
+func (s *store) ackOnly() {
+	reply(202) // want `no journal.AppendSync earlier`
+}
+
+func reply(code int) {}

@@ -1,0 +1,34 @@
+// Fixture: the sanctioned accept path — AppendSync happens-before the
+// 202, directly or through a helper the call-graph fact sees through.
+package durafix
+
+import "supersim/internal/journal"
+
+type store struct{ j *journal.Journal }
+
+type acceptRec struct{ ID string }
+type finishRec struct{ ID string }
+
+func (s *store) accept(id string) {
+	s.j.AppendSync("accept", acceptRec{ID: id})
+	reply(202)
+}
+
+// persist reaches AppendSync one call deep; callers of persist still
+// count as durable.
+func (s *store) persist(id string) {
+	s.j.AppendSync("accept", acceptRec{ID: id})
+}
+
+func (s *store) acceptViaHelper(id string) {
+	s.persist(id)
+	reply(202)
+}
+
+// finish records are async by design: a lost finish is reconstructed on
+// recovery by re-running the job, so the batched Append is correct here.
+func (s *store) finish(id string) {
+	s.j.Append("finish", finishRec{ID: id})
+}
+
+func reply(code int) {}

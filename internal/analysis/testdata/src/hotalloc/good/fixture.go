@@ -1,0 +1,50 @@
+// Fixture: the sanctioned hot-path shapes — index arithmetic, struct
+// value writes into pre-sized storage, hotpath-to-hotpath calls, and a
+// reasoned allow on the cold resize branch.
+package hotfix
+
+type event struct {
+	worker int
+	start  float64
+	end    float64
+}
+
+type plan struct {
+	events []event
+	clock  []float64
+}
+
+// execTask mirrors the replay inner loop: no allocation, only writes
+// into storage the caller pre-sized.
+//
+//simlint:hotpath
+func (p *plan) execTask(i, w int, dur float64) {
+	start := p.clock[w]
+	end := start + dur
+	p.clock[w] = end
+	p.events[i] = event{worker: w, start: start, end: end}
+	p.bump(w)
+}
+
+//simlint:hotpath
+func (p *plan) bump(w int) {
+	p.clock[w] += 0
+}
+
+// grow may allocate: it is not annotated, and hotpath callers must
+// justify calling it.
+func (p *plan) grow(n int) {
+	p.events = make([]event, n)
+	p.clock = make([]float64, n)
+}
+
+//simlint:hotpath
+func (p *plan) reset(n int) {
+	if n > len(p.events) {
+		//simlint:allow hotalloc — cold resize path; steady-state runs reuse the arrays
+		p.grow(n)
+	}
+	for i := range p.clock {
+		p.clock[i] = 0
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture: a lock-order inversion buried one call deep — the direct
+// flow-sensitive check cannot see it; the call-graph acquire summary
+// reports it at the call site.
+package lockfix
+
+import "sync"
+
+type Outer struct{ mu sync.Mutex }
+type Inner struct{ mu sync.Mutex }
+
+// grabOuter hides the Outer acquisition from callers.
+func grabOuter(o *Outer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+}
+
+func grabInner(i *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+func inverted(o *Outer, i *Inner) {
+	i.mu.Lock()
+	grabOuter(o) // want `call to lockfix\.grabOuter may acquire lockfix\.Outer\.mu while holding lockfix\.Inner\.mu`
+	i.mu.Unlock()
+}
+
+// ordered nests the same locks the sanctioned way around.
+func ordered(o *Outer, i *Inner) {
+	o.mu.Lock()
+	grabInner(i)
+	o.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+// Fixture: a virtual-time package reaching the wall clock through a
+// helper in another package — invisible to the direct check, caught by
+// the call-graph fact with a quotable witness chain.
+package fixture
+
+import "example.com/vhelper"
+
+func stampEvent() int64 {
+	return vhelper.Stamp() // want `reaches the wall clock: vhelper\.Stamp -> time\.Now`
+}

@@ -1,0 +1,8 @@
+// Fixture helper outside the virtual-time set: wraps a wall-clock read.
+// On its own this package is legal; calling it from a virtual-time
+// package is what the transitive vclock check must catch.
+package vhelper
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // DefaultVirtualTimePackages are the packages that live entirely in
@@ -31,6 +32,14 @@ var WallClockPackages = []string{
 	"supersim/cmd/simd",
 }
 
+// VClockBoundaryPackages are the audited wall-clock boundaries: the
+// transitive check does not follow calls into them, so a virtual-time
+// package may consume real time only by routing through one (DESIGN.md
+// §8 — every wall-time dependency greppable in one spot).
+var VClockBoundaryPackages = []string{
+	"supersim/internal/stopwatch",
+}
+
 // vclockBanned are the package time functions that read or consume the
 // wall clock. Pure types and constructors of values (time.Duration
 // arithmetic, time.Microsecond, ...) remain legal: the invariant is about
@@ -48,13 +57,25 @@ var vclockBanned = map[string]bool{
 }
 
 // NewVClock returns the vclock analyzer restricted to the given package
-// path prefixes.
+// path prefixes. The direct check flags wall-clock calls written inside a
+// restricted package; when a Program is available, the transitive check
+// additionally flags calls from restricted code to module-local helpers
+// (in any non-exempt package) that reach a wall-clock API through the
+// static call graph — routing through VClockBoundaryPackages stops the
+// traversal.
 func NewVClock(restricted []string) *Analyzer {
 	a := &Analyzer{
 		Name: "vclock",
 		Doc: "forbid wall-clock APIs (time.Now, time.Since, time.Sleep, time.After, ...) " +
-			"inside virtual-time packages; route deliberate wall-time use through " +
-			"internal/stopwatch or annotate it with //simlint:allow vclock",
+			"inside virtual-time packages, including transitively through module-local " +
+			"helpers; route deliberate wall-time use through internal/stopwatch or " +
+			"annotate it with //simlint:allow vclock",
+	}
+	isBannedTime := func(fn *types.Func) bool {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "time" && vclockBanned[fn.Name()]
+	}
+	exemptPkg := func(path string) bool {
+		return pkgPathMatches(path, VClockBoundaryPackages) || pkgPathMatches(path, WallClockPackages)
 	}
 	a.Run = func(pass *Pass) error {
 		if !pkgPathMatches(pass.Pkg.Path(), restricted) {
@@ -63,20 +84,49 @@ func NewVClock(restricted []string) *Analyzer {
 		if pkgPathMatches(pass.Pkg.Path(), WallClockPackages) {
 			return nil
 		}
+		var fact *Fact
+		if pass.Prog != nil {
+			fact = pass.Prog.NewFact(isBannedTime, func(fn *types.Func) bool {
+				return fn.Pkg() != nil && exemptPkg(fn.Pkg().Path())
+			})
+		}
 		for _, f := range pass.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+					if ok && isBannedTime(obj) {
+						pass.Reportf(sel.Pos(),
+							"wall-clock time.%s in virtual-time package %s: use the simulation clock, "+
+								"internal/stopwatch at an audited boundary, or //simlint:allow vclock with a reason",
+							obj.Name(), pass.Pkg.Path())
+					}
 					return true
 				}
-				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !vclockBanned[obj.Name()] {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || fact == nil {
 					return true
 				}
-				pass.Reportf(sel.Pos(),
-					"wall-clock time.%s in virtual-time package %s: use the simulation clock, "+
-						"internal/stopwatch at an audited boundary, or //simlint:allow vclock with a reason",
-					obj.Name(), pass.Pkg.Path())
+				callee := resolveCallee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				fi := pass.Prog.FuncOf(callee)
+				if fi == nil {
+					return true // std-lib / external: the direct check covers time.*
+				}
+				// Callees inside the restricted set are analyzed by their
+				// own pass; exempt packages are wall-clock by design.
+				if pkgPathMatches(fi.Pkg.PkgPath, restricted) || exemptPkg(fi.Pkg.PkgPath) {
+					return true
+				}
+				if !fact.Holds(callee) {
+					return true
+				}
+				chain := append([]string{funcDisplayName(callee)}, fact.Witness(callee)...)
+				pass.Reportf(call.Pos(),
+					"call from virtual-time package %s reaches the wall clock: %s; route it "+
+						"through internal/stopwatch or //simlint:allow vclock with a reason",
+					pass.Pkg.Path(), strings.Join(chain, " -> "))
 				return true
 			})
 		}

@@ -28,7 +28,7 @@ func NewWakeup(cfg *LockConfig) *Analyzer {
 				if !ok {
 					continue
 				}
-				walkFunc(pass, fn, callerHeldSeed(pass, fn), flowHooks{
+				walkFunc(pass, fn, callerHeldSeed(pass.TypesInfo, fn), flowHooks{
 					node: func(n ast.Node, held *heldSet) {
 						hot := hotHeld(cfg, held)
 						if hot == "" {
@@ -41,7 +41,7 @@ func NewWakeup(cfg *LockConfig) *Analyzer {
 									"wakeup outside the critical section, or //simlint:allow wakeup "+
 									"for a semantically collective site", hot)
 						case *ast.CallExpr:
-							if _, op := classifySyncCall(pass, n); op == opCondBroadcast {
+							if _, op := classifySyncCall(pass.TypesInfo, n); op == opCondBroadcast {
 								pass.Reportf(n.Pos(),
 									"sync.Cond.Broadcast while holding hot-path lock %s wakes every "+
 										"waiter (thundering herd): signal the one waiter that can make "+

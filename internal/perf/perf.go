@@ -15,7 +15,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
-	"time"
+
+	"supersim/internal/stopwatch"
 )
 
 // Counters aggregates hot-path events. All fields are atomics: producers
@@ -85,9 +86,9 @@ func (c *Counters) InsertTimer() func() {
 	if c == nil || !c.timing.Load() {
 		return noop
 	}
-	start := time.Now()
+	elapsed := stopwatch.StartNS()
 	return func() {
-		c.InsertHoldNS.Add(time.Since(start).Nanoseconds())
+		c.InsertHoldNS.Add(elapsed())
 		c.InsertHolds.Add(1)
 	}
 }
@@ -98,9 +99,9 @@ func (c *Counters) ExecuteTimer() func() {
 	if c == nil || !c.timing.Load() {
 		return noop
 	}
-	start := time.Now()
+	elapsed := stopwatch.StartNS()
 	return func() {
-		c.ExecuteHoldNS.Add(time.Since(start).Nanoseconds())
+		c.ExecuteHoldNS.Add(elapsed())
 		c.ExecuteHolds.Add(1)
 	}
 }

@@ -38,6 +38,8 @@ func (h *Heap[T]) Push(x T) {
 
 // Peek returns the minimum element without removing it.
 // The second result is false if the heap is empty.
+//
+//simlint:hotpath
 func (h *Heap[T]) Peek() (T, bool) {
 	if len(h.items) == 0 {
 		var zero T
@@ -48,6 +50,8 @@ func (h *Heap[T]) Peek() (T, bool) {
 
 // Pop removes and returns the minimum element.
 // The second result is false if the heap is empty.
+//
+//simlint:hotpath
 func (h *Heap[T]) Pop() (T, bool) {
 	if len(h.items) == 0 {
 		var zero T
@@ -70,8 +74,11 @@ func (h *Heap[T]) Pop() (T, bool) {
 // by a Push, saving one full sift. The replay executor's Task Execution
 // Queue uses it when a completing task immediately starts a successor on
 // the same worker. On an empty heap it degenerates to Push.
+//
+//simlint:hotpath
 func (h *Heap[T]) ReplaceTop(x T) {
 	if len(h.items) == 0 {
+		//simlint:allow hotalloc — empty-heap fallback only; steady-state callers replace into a non-empty heap
 		h.Push(x)
 		return
 	}
@@ -92,6 +99,7 @@ func (h *Heap[T]) Clear() {
 // The caller must not modify it. Intended for inspection and testing.
 func (h *Heap[T]) Items() []T { return h.items }
 
+//simlint:hotpath
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -103,6 +111,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//simlint:hotpath
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	for {

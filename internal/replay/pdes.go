@@ -313,6 +313,8 @@ func (pl *pdesPlan) build(d *DAG, opt *Options, workers int) error {
 // owner sees remWait reach zero), samples or replays its duration, and
 // records the event into the lane's region. Caller (the lane's owner)
 // guarantees exclusivity.
+//
+//simlint:hotpath
 func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
 	w := pl.lane[t]
 	start := pl.laneClock[w]
@@ -350,6 +352,8 @@ func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
 // topological, so every predecessor's end time exists when read — this
 // loop is the executable definition of the schedule the parallel path
 // must reproduce bit for bit.
+//
+//simlint:hotpath
 func (pl *pdesPlan) runSerial(d *DAG, opt *Options) {
 	for r := 0; r < pl.n; r++ {
 		pl.execTask(d, opt, pl.order[r])
@@ -360,6 +364,16 @@ func (pl *pdesPlan) runSerial(d *DAG, opt *Options) {
 // receiver that just had one predecessor complete (one id per crossed
 // edge, so a plain counter decrement suffices on receipt).
 type lpMsg []int32
+
+// lpMsgPool recycles notification batches: the receiver resets a drained
+// batch and returns it, so steady-state posting allocates nothing (the
+// simlint hotalloc analyzer checks the posting path statically; the
+// replay alloc-ceiling benchmark checks it dynamically). Batches travel
+// as *lpMsg so a Put never re-boxes.
+var lpMsgPool = sync.Pool{New: func() any {
+	m := make(lpMsg, 0, pdesBatchCap)
+	return &m
+}}
 
 // lpRunner is one logical process: a set of lanes advanced by one
 // goroutine. Shared plan state is ownership-partitioned — an LP writes
@@ -373,9 +387,9 @@ type lpRunner struct {
 	opt       *Options
 	part      []int32 // lane -> LP id
 	lanes     []int32
-	inbox     chan lpMsg
-	inboxes   []chan lpMsg
-	outBuf    []lpMsg // pending notifications per destination LP
+	inbox     chan *lpMsg
+	inboxes   []chan *lpMsg
+	outBuf    []*lpMsg // pending notifications per destination LP
 	remaining int
 }
 
@@ -417,6 +431,8 @@ func (lp *lpRunner) run() {
 // advanceLane executes the lane's tasks in rank order until its cursor
 // task still awaits a predecessor notification; returns the number
 // executed.
+//
+//simlint:hotpath
 func (lp *lpRunner) advanceLane(w int32) int {
 	pl := lp.plan
 	hi := pl.laneOff[w+1]
@@ -441,14 +457,19 @@ func (lp *lpRunner) advanceLane(w int32) int {
 }
 
 // post queues a notification for the owner of successor s, flushing the
-// batch when full.
+// batch when full. Batches come from lpMsgPool and are returned by the
+// receiving LP's process, so the steady state recycles instead of
+// allocating.
+//
+//simlint:hotpath
 func (lp *lpRunner) post(dst, s int32) {
 	buf := lp.outBuf[dst]
 	if buf == nil {
-		buf = make(lpMsg, 0, pdesBatchCap)
+		buf = lpMsgPool.Get().(*lpMsg)
 	}
-	buf = append(buf, s)
-	if len(buf) >= pdesBatchCap {
+	//simlint:allow hotalloc — cap is pdesBatchCap and full batches flush first, so this append never grows
+	*buf = append(*buf, s)
+	if len(*buf) >= pdesBatchCap {
 		lp.send(dst, buf)
 		buf = nil
 	}
@@ -458,7 +479,9 @@ func (lp *lpRunner) post(dst, s int32) {
 // send delivers one batch, draining our own inbox while the destination
 // inbox is full — two LPs flushing into each other therefore always make
 // progress, and the bounded inboxes cannot deadlock.
-func (lp *lpRunner) send(dst int32, batch lpMsg) {
+//
+//simlint:hotpath
+func (lp *lpRunner) send(dst int32, batch *lpMsg) {
 	for {
 		select {
 		case lp.inboxes[dst] <- batch:
@@ -471,8 +494,7 @@ func (lp *lpRunner) send(dst int32, batch lpMsg) {
 
 func (lp *lpRunner) flushAll() {
 	for dst := range lp.outBuf {
-		if len(lp.outBuf[dst]) > 0 {
-			buf := lp.outBuf[dst]
+		if buf := lp.outBuf[dst]; buf != nil && len(*buf) > 0 {
 			lp.outBuf[dst] = nil
 			lp.send(int32(dst), buf)
 		}
@@ -481,12 +503,17 @@ func (lp *lpRunner) flushAll() {
 
 // process applies one inbound batch: every id is an owned task with one
 // more predecessor now complete. The channel receive orders this LP's
-// later endTime reads after the sender's writes.
-func (lp *lpRunner) process(m lpMsg) {
+// later endTime reads after the sender's writes. The drained batch goes
+// back to lpMsgPool.
+//
+//simlint:hotpath
+func (lp *lpRunner) process(m *lpMsg) {
 	pl := lp.plan
-	for _, s := range m {
+	for _, s := range *m {
 		pl.remWait[s]--
 	}
+	*m = (*m)[:0]
+	lpMsgPool.Put(m)
 }
 
 // runParallel partitions the lanes over p logical processes and runs the
@@ -506,9 +533,9 @@ func (pl *pdesPlan) runParallel(d *DAG, opt *Options, p int) {
 	part := make([]int32, w)
 	partitionLanes(w, p, weight, part)
 
-	inboxes := make([]chan lpMsg, p)
+	inboxes := make([]chan *lpMsg, p)
 	for i := range inboxes {
-		inboxes[i] = make(chan lpMsg, pdesInboxCap)
+		inboxes[i] = make(chan *lpMsg, pdesInboxCap)
 	}
 	lps := make([]lpRunner, p)
 	for i := range lps {
@@ -520,7 +547,7 @@ func (pl *pdesPlan) runParallel(d *DAG, opt *Options, p int) {
 			part:    part,
 			inbox:   inboxes[i],
 			inboxes: inboxes,
-			outBuf:  make([]lpMsg, p),
+			outBuf:  make([]*lpMsg, p),
 		}
 	}
 	for lane := 0; lane < w; lane++ {

@@ -209,6 +209,11 @@ func (c *cronRunner) fireDue() {
 	}
 	c.mu.Unlock()
 
+	// c.entries is a map, so the due set arrives in randomized order; fire
+	// in spec-ID order so coincident templates enter the scheduler's
+	// pickup queue identically on every run (simlint detmap).
+	sort.Slice(due, func(i, j int) bool { return due[i].spec.ID < due[j].spec.ID })
+
 	for _, f := range due {
 		t := c.s.tenantNamed(f.spec.Tenant)
 		if t == nil {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -688,6 +689,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			parked = append(parked, job.ID)
 		}
 		s.mu.Unlock()
+		// parked accumulates from the retries map in randomized iteration
+		// order; sort so the journal's drain record is byte-identical
+		// across identical shutdowns (simlint detmap).
+		sort.Strings(parked)
 		s.store.drainMark(parked)
 
 		done := make(chan struct{})

@@ -26,3 +26,13 @@ func Start() func() float64 {
 // Sleep pauses the calling goroutine for d of wall-clock time. The
 // engine's retry backoff uses it; simulated durations never do.
 func Sleep(d time.Duration) { time.Sleep(d) }
+
+// StartNS begins timing a real critical section and returns a function
+// reporting the wall-clock nanoseconds elapsed since the call. The perf
+// counters' lock-hold timers use it so the virtual-time packages that
+// invoke them (simulator and engine hot paths) never touch package time
+// directly — the simlint vclock analyzer checks that transitively.
+func StartNS() func() int64 {
+	t0 := time.Now()
+	return func() int64 { return time.Since(t0).Nanoseconds() }
+}

@@ -55,7 +55,12 @@ func New(label string, workers int) *Trace {
 }
 
 // Append logs one event.
-func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+//
+//simlint:hotpath
+func (t *Trace) Append(e Event) {
+	//simlint:allow hotalloc — replay paths Reserve the full event count first, so this append never grows there
+	t.Events = append(t.Events, e)
+}
 
 // Reserve pre-sizes the event storage for n additional events, so a run
 // with a known task count (for example a tile factorization's op stream)
