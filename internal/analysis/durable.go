@@ -22,7 +22,11 @@ var DefaultDurableScope = []string{"supersim/internal/server"}
 //  2. within any function that writes a 202 (StatusAccepted) response,
 //     a synchronous journal append (AppendSync directly, or a
 //     module-local callee that reaches one) must appear earlier in
-//     source order — the happens-before edge that makes the ack honest.
+//     source order — the happens-before edge that makes the ack honest;
+//  3. files published under the data dir (cache frames, baselines) go
+//     through journal.WriteFileAtomic — a direct os.WriteFile or
+//     os.Create in the service layer can be torn by a crash mid-write,
+//     and a torn file read back on recovery is corruption, not a miss.
 //
 // The source-order check is intraprocedural by design: the repo routes
 // both the journal write and the ack through Server.handleSubmit, so a
@@ -76,6 +80,22 @@ func isJournalAppendAsync(fn *types.Func) bool {
 	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/journal") && fn.Name() == "Append"
 }
 
+// isRawFileWrite recognizes the os-package entry points that publish a
+// file non-atomically: WriteFile truncates in place, Create/OpenFile hand
+// back a writer that does. The sanctioned alternative in the durable
+// scope is journal.WriteFileAtomic (tmp + fsync + rename).
+func isRawFileWrite(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "WriteFile", "Create", "OpenFile":
+		return true
+	}
+	return false
+}
+
 // checkDurable applies both durability checks to one function.
 func checkDurable(pass *Pass, fd *ast.FuncDecl, syncFact *Fact) {
 	info := pass.TypesInfo
@@ -105,6 +125,14 @@ func checkDurable(pass *Pass, fd *ast.FuncDecl, syncFact *Fact) {
 						"202 response and the batched fsync loses an acknowledged job — "+
 						"use AppendSync on the accept path")
 			}
+		}
+		// Check 3: data-dir files are published atomically.
+		if isRawFileWrite(callee) {
+			pass.Reportf(call.Pos(),
+				"file written with os.%s in the durable scope: a crash mid-write "+
+					"publishes a torn file that recovery reads back as corruption — "+
+					"use journal.WriteFileAtomic",
+				callee.Name())
 		}
 		durable := isJournalAppendSync(callee) || syncFact.Holds(callee)
 		ack := callHasStatusAccepted(info, call)

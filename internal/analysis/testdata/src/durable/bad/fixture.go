@@ -2,7 +2,11 @@
 // supersim/internal/server/... import path, inside the durable scope).
 package durafix
 
-import "supersim/internal/journal"
+import (
+	"os"
+
+	"supersim/internal/journal"
+)
 
 type store struct{ j *journal.Journal }
 
@@ -23,6 +27,23 @@ func (s *store) ackFirst(id string) {
 // ackOnly acknowledges without any durable write in sight.
 func (s *store) ackOnly() {
 	reply(202) // want `no journal.AppendSync earlier`
+}
+
+// saveFrameTorn publishes a cache frame with an in-place write: a crash
+// mid-write leaves a torn file for recovery to trip over.
+func (s *store) saveFrameTorn(path string, frame []byte) error {
+	return os.WriteFile(path, frame, 0o644) // want `use journal.WriteFileAtomic`
+}
+
+// saveFrameCreate reaches the same tear through Create.
+func (s *store) saveFrameCreate(path string, frame []byte) error {
+	f, err := os.Create(path) // want `use journal.WriteFileAtomic`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(frame)
+	return err
 }
 
 func reply(code int) {}

@@ -31,4 +31,10 @@ func (s *store) finish(id string) {
 	s.j.Append("finish", finishRec{ID: id})
 }
 
+// saveFrame publishes a cache frame through the atomic helper: either no
+// file or a complete one, never a torn read on recovery.
+func (s *store) saveFrame(path string, frame []byte) error {
+	return journal.WriteFileAtomic(path, frame, 0o644)
+}
+
 func reply(code int) {}

@@ -67,20 +67,23 @@ func MicroSuiteMax(counters *perf.Counters, maxParallel int) []MicroBench {
 	return out
 }
 
-// replayParallelDegree extracts N from a "ReplayParallelN" name.
+// replayParallelDegree extracts N from a "ReplayParallelN" or
+// "ReplayArenaParallelN" name.
 func replayParallelDegree(name string) (int, bool) {
-	const prefix = "ReplayParallel"
-	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
-		return 0, false
-	}
-	n := 0
-	for _, c := range name[len(prefix):] {
-		if c < '0' || c > '9' {
-			return 0, false
+	for _, prefix := range []string{"ReplayParallel", "ReplayArenaParallel"} {
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
 		}
-		n = n*10 + int(c-'0')
+		n := 0
+		for _, c := range name[len(prefix):] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n, true
 	}
-	return n, true
+	return 0, false
 }
 
 func microSuite(counters *perf.Counters) []MicroBench {
@@ -169,6 +172,33 @@ func microSuite(counters *perf.Counters) []MicroBench {
 				rt.Shutdown()
 			}
 		}},
+		{Name: "ReplayArenaSerial", Bench: func(b *testing.B) {
+			// The ReplayVsDirect workload replayed straight off a compiled
+			// arena (the path a disk-cache hit takes): the gate that the
+			// arena representation costs nothing over the pointer DAG.
+			// Ordered before the 113k-task group so its timing is not
+			// billed for their heap.
+			dag, err := CaptureSpec(replayBenchSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arena, err := dag.Arena()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := replay.RunArena(arena, replay.Options{
+					Workers:          replayBenchSpec.Workers,
+					Model:            replayJitter{},
+					Seed:             uint64(i) + 1,
+					IgnorePriorities: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{Name: "ReplayLargeSerial", Bench: func(b *testing.B) {
 			benchLargeReplay(b, 0)
 		}},
@@ -183,6 +213,51 @@ func microSuite(counters *perf.Counters) []MicroBench {
 		}},
 		{Name: "ReplayParallel8", Bench: func(b *testing.B) {
 			benchLargeReplay(b, 8)
+		}},
+		{Name: "ReplayArenaParallel4", Bench: func(b *testing.B) {
+			// The 113k-task PDES replay driven from the arena directly.
+			dag, err := largeReplay()
+			if err != nil {
+				b.Fatal(err)
+			}
+			arena, err := dag.Arena()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := replay.RunArena(arena, replay.Options{
+					Workers:          largeReplaySpec.Workers,
+					Model:            replayJitter{},
+					Seed:             uint64(i) + 1,
+					IgnorePriorities: true,
+					Parallelism:      4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "DecodeLoad113k", Bench: func(b *testing.B) {
+			// Zero-copy adoption of the 113k-task .dag frame: full hostile-
+			// input validation plus column aliasing, the fixed cost a disk
+			// cache hit pays before its first replay.
+			dag, err := largeReplay()
+			if err != nil {
+				b.Fatal(err)
+			}
+			arena, err := dag.Arena()
+			if err != nil {
+				b.Fatal(err)
+			}
+			frame := arena.Encode()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := replay.Load(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}},
 	}
 }

@@ -254,10 +254,44 @@ func (j *Journal) Sync() error {
 	return j.log.Sync()
 }
 
+// WriteFileAtomic publishes data at path with full-file atomicity: the
+// bytes are written to a same-directory temp file, fsynced, and renamed
+// over path. A reader (or a crash) observes either the old file or the
+// complete new one, never a torn mix — the invariant every durable
+// artifact beside the journal (capture-cache frames, cron baselines)
+// must uphold, and the one simlint's durable analyzer enforces for
+// writes under a data dir.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("journal: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: fsyncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
 // Compact atomically replaces the record history with state: the snapshot
-// is written to a temp file, fsynced, renamed over snapshot.json, and the
-// log is truncated. A crash at any point recovers either the old history
-// or the new snapshot, never a mix.
+// is written via WriteFileAtomic (temp + fsync + rename over
+// snapshot.json), and the log is truncated. A crash at any point recovers
+// either the old history or the new snapshot, never a mix.
 func (j *Journal) Compact(state any) error {
 	raw, err := json.Marshal(state)
 	if err != nil {
@@ -272,24 +306,8 @@ func (j *Journal) Compact(state any) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshalling snapshot: %w", err)
 	}
-	tmp := filepath.Join(j.dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("journal: creating snapshot tmp: %w", err)
-	}
-	if _, err := f.Write(sn); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: writing snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: fsyncing snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("journal: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
-		return fmt.Errorf("journal: publishing snapshot: %w", err)
+	if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName), sn, 0o644); err != nil {
+		return err
 	}
 	// The snapshot now covers every appended record; drop the log. A crash
 	// before the truncate is fine: Open skips records with seq <= snapshot.

@@ -1,0 +1,610 @@
+// The struct-of-arrays arena: a captured DAG compiled into flat, dense,
+// cache-friendly columns that both replay executors iterate over.
+//
+// A *DAG is the capture-side representation — pointer-rich []Task slices
+// that are convenient to record and validate but expensive to walk: every
+// replay used to re-derive CSR successor lists from the Deps slices, and
+// the executors chased Task pointers for every field read. An *Arena is
+// the execution- and wire-side representation: one int32 slab holds every
+// index column (ids are implicit — task i is row i), one byte slab holds
+// the uint8 columns, durations sit in one float64 column, and all strings
+// are interned into a single table indexed by int32. Dependence and
+// footprint lists are CSR (offset + flat list) so the hot loops are pure
+// slice arithmetic with no per-task pointers at all.
+//
+// The arena also precomputes everything about a DAG that every run used
+// to recompute: the successor CSR, the PDES static rank/order permutation
+// (pdes.go), the default trace label, and whether every task carries a
+// captured duration. A run therefore touches only pooled per-run scratch
+// plus the returned trace — the alloc-ceiling tests pin the serial
+// executor at ≤ 2 allocations per run.
+//
+// Arenas are immutable once built and safe for concurrent replay, like
+// the DAGs they compile. DAG.Arena memoizes the compilation, so the DAG's
+// "do not mutate once shared" contract sharpens to: do not mutate a DAG
+// after its first Run or Arena call.
+
+package replay
+
+import (
+	"fmt"
+
+	"supersim/internal/graph"
+	"supersim/internal/hazard"
+	"supersim/internal/rng"
+	"supersim/internal/sched"
+	"supersim/internal/trace"
+)
+
+// Dependence-kind bytes: the wire/column encoding of graph.EdgeKind.
+// kindNone covers synthetic DAGs whose deps carry no kind.
+const (
+	kindNone uint8 = iota
+	kindRaW
+	kindWaR
+	kindWaW
+)
+
+func kindToByte(k graph.EdgeKind) (uint8, bool) {
+	switch k {
+	case "":
+		return kindNone, true
+	case graph.EdgeRaW:
+		return kindRaW, true
+	case graph.EdgeWaR:
+		return kindWaR, true
+	case graph.EdgeWaW:
+		return kindWaW, true
+	}
+	return 0, false
+}
+
+func kindFromByte(b uint8) graph.EdgeKind {
+	switch b {
+	case kindRaW:
+		return graph.EdgeRaW
+	case kindWaR:
+		return graph.EdgeWaR
+	case kindWaW:
+		return graph.EdgeWaW
+	}
+	return ""
+}
+
+// Arena is a captured DAG in struct-of-arrays form. All column slices of
+// one arena sub-slice two slabs (one []int32, one []byte) plus one
+// float64 column, so walking a column is a linear scan of contiguous
+// memory; an arena loaded from its binary encoding aliases the encoded
+// bytes directly (codec.go). Fields are unexported because the layout is
+// an execution format, not an API — use DAG() to get the structured form
+// back.
+type Arena struct {
+	label       string
+	replayLabel string // label + "-replay", precomputed for alloc-free runs
+	workers     int
+	handles     int
+	n           int
+
+	strTab   []string // interned strings; classIdx/labelIdx index here
+	classIdx []int32
+	labelIdx []int32
+	priority []int32
+	ready    []int32 // capture ready order, -1 when unknown
+	numThr   []int32
+	where    []uint8
+	duration []float64 // observed durations, -1 when captured without a simulator
+
+	depOff  []int32 // CSR dependences: len n+1
+	depPred []int32
+	depKind []uint8
+
+	fpOff    []int32 // CSR footprints: len n+1
+	fpHandle []int32
+	fpMode   []uint8
+
+	labelStr int32 // index of label in strTab (the codec stores labels by index)
+
+	// Derived at build/load time, never serialized.
+	succOff  []int32 // CSR successors (ascending id within each region)
+	succList []int32
+	rank     []int32 // PDES static rank (pdes.go): task -> rank
+	order    []int32 // rank -> task
+	hasDur   bool    // every task carries a captured duration
+	buf      []byte  // encoded bytes this arena aliases (Load), else nil
+}
+
+// NumTasks returns the task count.
+func (a *Arena) NumTasks() int { return a.n }
+
+// NumEdges returns the dependence edge count.
+func (a *Arena) NumEdges() int { return len(a.depPred) }
+
+// NumFootprints returns the total footprint entry count.
+func (a *Arena) NumFootprints() int { return len(a.fpHandle) }
+
+// NumStrings returns the interned string count.
+func (a *Arena) NumStrings() int { return len(a.strTab) }
+
+// Workers returns the capture run's worker count.
+func (a *Arena) Workers() int { return a.workers }
+
+// Handles returns the distinct data-handle count.
+func (a *Arena) Handles() int { return a.handles }
+
+// Label returns the DAG label.
+func (a *Arena) Label() string { return a.label }
+
+// HasDurations reports whether every task carries a captured duration
+// (i.e. the arena can replay without a duration model).
+func (a *Arena) HasDurations() bool { return a.hasDur }
+
+// internTable interns strings into a growing table during BuildArena.
+type internTable struct {
+	idx map[string]int32
+	tab []string
+}
+
+func (it *internTable) id(s string) int32 {
+	if i, ok := it.idx[s]; ok {
+		return i
+	}
+	i := int32(len(it.tab))
+	it.idx[s] = i
+	it.tab = append(it.tab, s)
+	return i
+}
+
+// BuildArena compiles a captured DAG into its struct-of-arrays form. It
+// performs the validation both executors relied on — dense non-gang
+// CPU-runnable tasks, predecessors strictly before successors — once, so
+// replays of the arena skip per-task checks entirely.
+func BuildArena(d *DAG) (*Arena, error) {
+	n := len(d.Tasks)
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty DAG")
+	}
+	edges := 0
+	feet := 0
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		if err := checkTask(i, t); err != nil {
+			return nil, err
+		}
+		for _, dep := range t.Deps {
+			if dep.Pred < 0 || dep.Pred >= i {
+				return nil, fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
+			}
+		}
+		edges += len(t.Deps)
+		feet += len(t.Footprint)
+	}
+
+	a := &Arena{
+		label:       d.Label,
+		replayLabel: d.Label + "-replay",
+		workers:     d.Workers,
+		handles:     d.Handles,
+		n:           n,
+	}
+	// One int32 slab for every index column, including the derived
+	// successor CSR and rank permutation; one byte slab for the uint8
+	// columns. Sub-slicing keeps each arena to a handful of allocations
+	// and each column walk a contiguous scan.
+	i32 := make([]int32, 7*n+2*(n+1)+2*edges+feet+(n+1)+edges)
+	next := func(ln int) []int32 {
+		s := i32[:ln:ln]
+		i32 = i32[ln:]
+		return s
+	}
+	a.classIdx = next(n)
+	a.labelIdx = next(n)
+	a.priority = next(n)
+	a.ready = next(n)
+	a.numThr = next(n)
+	a.depOff = next(n + 1)
+	a.depPred = next(edges)
+	a.fpOff = next(n + 1)
+	a.fpHandle = next(feet)
+	a.succOff = next(n + 1)
+	a.succList = next(edges)
+	a.rank = next(n)
+	a.order = next(n)
+	u8 := make([]uint8, n+edges+feet)
+	a.where = u8[:n:n]
+	a.depKind = u8[n : n+edges : n+edges]
+	a.fpMode = u8[n+edges:]
+	a.duration = make([]float64, n)
+
+	intern := internTable{idx: make(map[string]int32, 64)}
+	var dOff, fOff int32
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		a.classIdx[i] = intern.id(t.Class)
+		a.labelIdx[i] = intern.id(t.Label)
+		a.priority[i] = int32(t.Priority)
+		if r := t.Ready; r == int(int32(r)) {
+			a.ready[i] = int32(r)
+		} else {
+			a.ready[i] = -1 // out of int32 range: treat as unknown
+		}
+		a.numThr[i] = int32(t.NumThreads)
+		a.where[i] = uint8(t.Where)
+		a.duration[i] = t.Duration
+		a.depOff[i] = dOff
+		for _, dep := range t.Deps {
+			kb, ok := kindToByte(dep.Kind)
+			if !ok {
+				return nil, fmt.Errorf("replay: task %d has unknown dependence kind %q", i, dep.Kind)
+			}
+			a.depPred[dOff] = int32(dep.Pred)
+			a.depKind[dOff] = kb
+			dOff++
+		}
+		a.fpOff[i] = fOff
+		for _, f := range t.Footprint {
+			if f.Handle < 0 || f.Handle >= d.Handles {
+				return nil, fmt.Errorf("replay: task %d references handle %d outside [0,%d)", i, f.Handle, d.Handles)
+			}
+			a.fpHandle[fOff] = int32(f.Handle)
+			a.fpMode[fOff] = uint8(f.Mode)
+			fOff++
+		}
+	}
+	a.depOff[n] = dOff
+	a.fpOff[n] = fOff
+	a.labelStr = intern.id(d.Label) // the codec stores the DAG label by table index
+	a.strTab = intern.tab
+	a.deriveStatic()
+	return a, nil
+}
+
+// deriveStatic computes the redundant-but-hot views: the successor CSR
+// (filled in ascending task order, reproducing the engine's insertion
+// release order), the PDES static rank — the capture ready order when it
+// is a valid topological permutation, else task id — and the
+// has-durations flag. succOff/succList/rank/order must be pre-sized.
+func (a *Arena) deriveStatic() {
+	n := a.n
+	scratch := make([]int32, n)
+	for i := 0; i < n; i++ {
+		scratch[i] = 0
+	}
+	for _, p := range a.depPred {
+		scratch[p]++
+	}
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		a.succOff[i] = off
+		off += scratch[i]
+		scratch[i] = a.succOff[i]
+	}
+	a.succOff[n] = off
+	for i := 0; i < n; i++ {
+		for j := a.depOff[i]; j < a.depOff[i+1]; j++ {
+			p := a.depPred[j]
+			a.succList[scratch[p]] = int32(i)
+			scratch[p]++
+		}
+	}
+
+	// Rank: ready order when it is a duplicate-free in-range topological
+	// permutation (scratch doubles as the duplicate check), else id.
+	usable := true
+	for i := 0; i < n; i++ {
+		scratch[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := a.ready[i]
+		if r < 0 || int(r) >= n || scratch[r] >= 0 {
+			usable = false
+			break
+		}
+		scratch[r] = int32(i)
+	}
+	if usable {
+		copy(a.rank, a.ready)
+	check:
+		for i := 0; i < n; i++ {
+			ri := a.rank[i]
+			for _, p := range a.depPred[a.depOff[i]:a.depOff[i+1]] {
+				if a.rank[p] >= ri {
+					usable = false
+					break check
+				}
+			}
+		}
+	}
+	if !usable {
+		for i := 0; i < n; i++ {
+			a.rank[i] = int32(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a.order[a.rank[i]] = int32(i)
+	}
+
+	a.hasDur = true
+	for _, dur := range a.duration {
+		if dur < 0 {
+			a.hasDur = false
+			break
+		}
+	}
+}
+
+// firstMissingDuration returns the lowest task id without a captured
+// duration (callers check hasDur first).
+func (a *Arena) firstMissingDuration() int {
+	for i, dur := range a.duration {
+		if dur < 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// DAG reconstructs the structured form of the arena — the inverse of
+// BuildArena, used by inspection tooling and the codec round-trip tests.
+// The returned DAG has the arena pre-seeded as its compiled form, so
+// replaying it costs no recompilation.
+func (a *Arena) DAG() *DAG {
+	d := &DAG{
+		Label:   a.label,
+		Workers: a.workers,
+		Handles: a.handles,
+		Tasks:   make([]Task, a.n),
+	}
+	for i := 0; i < a.n; i++ {
+		t := &d.Tasks[i]
+		t.ID = i
+		t.Class = a.strTab[a.classIdx[i]]
+		t.Label = a.strTab[a.labelIdx[i]]
+		t.Priority = int(a.priority[i])
+		t.Where = sched.Where(a.where[i])
+		t.NumThreads = int(a.numThr[i])
+		t.Ready = int(a.ready[i])
+		t.Duration = a.duration[i]
+		if lo, hi := a.depOff[i], a.depOff[i+1]; lo < hi {
+			t.Deps = make([]sched.Dep, hi-lo)
+			for j := lo; j < hi; j++ {
+				t.Deps[j-lo] = sched.Dep{Pred: int(a.depPred[j]), Kind: kindFromByte(a.depKind[j])}
+			}
+		}
+		if lo, hi := a.fpOff[i], a.fpOff[i+1]; lo < hi {
+			t.Footprint = make([]Footprint, hi-lo)
+			for j := lo; j < hi; j++ {
+				t.Footprint[j-lo] = Footprint{Handle: int(a.fpHandle[j]), Mode: hazard.Access(a.fpMode[j])}
+			}
+		}
+	}
+	d.arena.Store(a)
+	return d
+}
+
+// Arena returns the DAG compiled to struct-of-arrays form, building it on
+// first use and memoizing the result: every replay of a shared DAG walks
+// the same arena. Do not mutate a DAG after calling this (directly or via
+// Run) — the compiled form would not see the change. Build errors are not
+// memoized; an invalid DAG re-reports its error on every call.
+func (d *DAG) Arena() (*Arena, error) {
+	if a := d.arena.Load(); a != nil {
+		return a, nil
+	}
+	d.arenaMu.Lock()
+	defer d.arenaMu.Unlock()
+	if a := d.arena.Load(); a != nil {
+		return a, nil
+	}
+	a, err := BuildArena(d)
+	if err != nil {
+		return nil, err
+	}
+	d.arena.Store(a)
+	return a, nil
+}
+
+// arenaWorkers resolves the virtual core count of one replay.
+func arenaWorkers(a *Arena, opt *Options) int {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = a.workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// arenaLabel resolves the trace label of one replay without allocating.
+func arenaLabel(a *Arena, opt *Options) string {
+	if opt.Label != "" {
+		return opt.Label
+	}
+	return a.replayLabel
+}
+
+// RunArena re-simulates a compiled DAG: the serial greedy list scheduler
+// below, or the PDES executor (pdes.go) when Options.Parallelism >= 1.
+// Semantics and trace bits are identical to Run on the source DAG.
+func RunArena(a *Arena, opt Options) (*trace.Trace, error) {
+	if a == nil || a.n == 0 {
+		return nil, fmt.Errorf("replay: empty DAG")
+	}
+	if opt.Parallelism >= 1 {
+		return runPDES(a, &opt)
+	}
+	return runArenaSerial(a, &opt)
+}
+
+// serialRun is the per-run state of the serial executor, kept in a struct
+// so the scheduling steps are methods instead of closures (closures would
+// capture-escape and allocate; the alloc-ceiling test pins the loop at
+// the returned trace only).
+type serialRun struct {
+	a        *Arena
+	opt      *Options
+	sc       *serialScratch
+	clock    float64
+	startSeq uint64
+	pushSeq  int32
+}
+
+// source returns worker w's sampling stream, lazily (re)seeded with the
+// same derivation as core's rngPool.
+//
+//simlint:hotpath
+func (r *serialRun) source(w int32) *rng.Source {
+	sc := r.sc
+	if !sc.seeded[w] {
+		seed := r.opt.Seed ^ (seedMix * (uint64(w) + 1))
+		if sc.sources[w] == nil {
+			//simlint:allow hotalloc — one Source per worker per pooled scratch, created on first use and reseeded ever after
+			sc.sources[w] = rng.New(seed)
+		} else {
+			sc.sources[w].Seed(seed)
+		}
+		sc.seeded[w] = true
+	}
+	return sc.sources[w]
+}
+
+// pushReady queues a newly-ready task with the PriorityPolicy ordering
+// key (priority desc, readiness seq asc).
+//
+//simlint:hotpath
+func (r *serialRun) pushReady(id int32) {
+	prio := r.a.priority[id]
+	if r.opt.IgnorePriorities {
+		prio = 0
+	}
+	//simlint:allow hotalloc — the ready heap is pooled and retains capacity; steady-state pushes never grow it
+	r.sc.ready.Push(readyItem{id: id, prio: prio, seq: r.pushSeq})
+	r.pushSeq++
+}
+
+// mkEntry starts ready task it on worker w at the current clock, sampling
+// its duration from the worker's stream (or replaying the captured one).
+//
+//simlint:hotpath
+func (r *serialRun) mkEntry(it readyItem, w int32) runEntry {
+	a := r.a
+	var dur float64
+	if r.opt.Model != nil {
+		dur = r.opt.Model.Duration(a.strTab[a.classIdx[it.id]], sched.KindCPU, r.source(w))
+		if dur < 0 {
+			dur = 0
+		}
+	} else {
+		dur = a.duration[it.id]
+	}
+	e := runEntry{end: r.clock + dur, seq: r.startSeq, start: r.clock, id: it.id, worker: w}
+	r.startSeq++
+	return e
+}
+
+// runArenaSerial is the greedy virtual-time list scheduler of replay.Run,
+// iterating arena columns: wait counts come from the dependence CSR
+// offsets, releases walk the precomputed successor CSR, and every field
+// read is a flat column load. See Run for the scheduling contract. The
+// inner-loop helpers (pushReady, mkEntry, source) carry the hotpath
+// annotation; this driver also owns the per-run allocations the
+// alloc-ceiling test admits (the returned trace) and the cold error
+// paths.
+func runArenaSerial(a *Arena, opt *Options) (*trace.Trace, error) {
+	if opt.Model == nil && !a.hasDur {
+		id := a.firstMissingDuration()
+		return nil, fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given",
+			id, a.strTab[a.labelIdx[id]])
+	}
+	n := a.n
+	workers := arenaWorkers(a, opt)
+	label := arenaLabel(a, opt)
+
+	sc := serialPool.Get().(*serialScratch)
+	defer func() {
+		sc.ready.Clear()
+		sc.running.Clear()
+		sc.free.Clear()
+		serialPool.Put(sc)
+	}()
+
+	sc.waits = growInt32(sc.waits, n)
+	for i := 0; i < n; i++ {
+		sc.waits[i] = a.depOff[i+1] - a.depOff[i]
+	}
+
+	// Per-worker sampling streams: Source objects are retained across
+	// runs and reseeded lazily, preserving both the stream derivation and
+	// the lazy-creation behavior of core's rngPool.
+	if len(sc.sources) < workers {
+		grown := make([]*rng.Source, workers)
+		copy(grown, sc.sources)
+		sc.sources = grown
+	}
+	if cap(sc.seeded) < workers {
+		sc.seeded = make([]bool, workers)
+	}
+	sc.seeded = sc.seeded[:workers]
+	for w := range sc.seeded {
+		sc.seeded[w] = false
+	}
+
+	r := serialRun{a: a, opt: opt, sc: sc}
+
+	ready, running, free := sc.ready, sc.running, sc.free
+	for w := 0; w < workers; w++ {
+		free.Push(int32(w))
+	}
+
+	tr := trace.New(label, workers)
+	tr.Reserve(n)
+
+	for id := 0; id < n; id++ {
+		if sc.waits[id] == 0 {
+			r.pushReady(int32(id))
+		}
+	}
+	for !ready.Empty() && !free.Empty() {
+		w, _ := free.Pop()
+		it, _ := ready.Pop()
+		running.Push(r.mkEntry(it, w))
+	}
+
+	for done := 0; done < n; done++ {
+		e, ok := running.Peek()
+		if !ok {
+			return nil, fmt.Errorf("replay: deadlock after %d of %d tasks (cycle in captured DAG?)", done, n)
+		}
+		if e.end > r.clock {
+			r.clock = e.end
+		}
+		tr.Append(trace.Event{
+			Worker: int(e.worker),
+			Class:  a.strTab[a.classIdx[e.id]],
+			Label:  a.strTab[a.labelIdx[e.id]],
+			TaskID: int(e.id),
+			Start:  e.start,
+			End:    e.end,
+		})
+		for _, s := range a.succList[a.succOff[e.id]:a.succOff[e.id+1]] {
+			sc.waits[s]--
+			if sc.waits[s] == 0 {
+				r.pushReady(s)
+			}
+		}
+		// Chain handoff: the completing task's worker takes the best ready
+		// task in place, one sift instead of two.
+		if it, ok := ready.Pop(); ok {
+			running.ReplaceTop(r.mkEntry(it, e.worker))
+		} else {
+			running.Pop()
+			free.Push(e.worker)
+		}
+		for !ready.Empty() && !free.Empty() {
+			w, _ := free.Pop()
+			it, _ := ready.Pop()
+			running.Push(r.mkEntry(it, w))
+		}
+	}
+	return tr, nil
+}

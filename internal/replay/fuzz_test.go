@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"testing"
+
+	"supersim/internal/core"
+)
+
+// fuzzInputCap bounds fuzz inputs so a single case stays cheap; real
+// frames at this size hold thousands of tasks, plenty to explore the
+// validators.
+const fuzzInputCap = 1 << 20
+
+// FuzzDecode pins the codec's hostile-input contract: an arbitrary byte
+// slice either decodes to a replayable arena or returns an error — it
+// never panics, never allocates beyond the frame's own declared layout
+// (every count is validated against the payload length before any sized
+// allocation), and anything that does decode must replay and survive a
+// re-encode round trip with an identical fingerprint. The seed corpus in
+// testdata/fuzz/FuzzDecode plus the seeds below run on every plain
+// `go test`, so `make check` exercises this without -fuzz.
+func FuzzDecode(f *testing.F) {
+	d := syntheticDAG(48, 3, 4, 9)
+	a, err := BuildArena(d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := a.Encode()
+	f.Add(append([]byte(nil), enc...))
+	f.Add(append([]byte(nil), enc[:len(enc)/2]...))
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("SDAG"))
+	f.Add([]byte{})
+
+	var model core.DurationModel = core.FixedModel(1e-3)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > fuzzInputCap {
+			t.Skip("oversized input")
+		}
+		got, err := Decode(b)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both an arena and an error")
+			}
+			return
+		}
+		// A frame that validates must replay: the columns were checked
+		// against the executors' full input contract.
+		tr, err := RunArena(got, Options{Workers: 2, Model: model, Seed: 3})
+		if err != nil {
+			t.Fatalf("decoded arena does not replay: %v", err)
+		}
+		if len(tr.Events) != got.NumTasks() {
+			t.Fatalf("replay of decoded arena ran %d events, want %d", len(tr.Events), got.NumTasks())
+		}
+		// And it must survive a re-encode round trip bit for bit.
+		again, err := Decode(got.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded arena does not decode: %v", err)
+		}
+		tr2, err := RunArena(again, Options{Workers: 2, Model: model, Seed: 3})
+		if err != nil {
+			t.Fatalf("re-decoded arena does not replay: %v", err)
+		}
+		if tr.Fingerprint() != tr2.Fingerprint() {
+			t.Fatalf("re-encode round trip changed the fingerprint: %#x != %#x", tr2.Fingerprint(), tr.Fingerprint())
+		}
+	})
+}

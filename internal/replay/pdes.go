@@ -72,27 +72,29 @@ type mergeHead struct {
 	hi  int32 // end of this lane's region
 }
 
-// pdesPlan is the pooled flat struct-of-arrays state of one PDES replay:
-// the static schedule (ranks, lanes, CSR edges) plus the execution
-// scratch (wait counts, end times, per-lane clocks/cursors, event slots).
-// All slices are reused across runs; nothing here survives into the
+// pdesPlan is the pooled per-run state of one PDES replay: the
+// worker-count-dependent lane layout plus the execution scratch (wait
+// counts, end times, per-lane clocks/cursors, event slots). The static
+// schedule itself — rank/order permutation and both CSR edge views — is
+// precomputed once in the immutable arena (arena.go) and aliased here,
+// so building a plan is O(n) lane bucketing, not O(n+E) CSR assembly.
+// Owned slices are reused across runs; nothing here survives into the
 // returned trace except copied events.
 type pdesPlan struct {
 	n       int
 	workers int
 
-	rank  []int32 // task -> schedule rank
-	order []int32 // rank -> task (inverse permutation)
+	rank  []int32 // alias of Arena.rank: task -> schedule rank
+	order []int32 // alias of Arena.order: rank -> task
 	lane  []int32 // task -> worker lane (rank mod workers)
 
 	laneOff   []int32 // lane -> start of its region in laneTasks/events; len workers+1
 	laneTasks []int32 // tasks grouped by lane, rank-ascending within a lane
 
-	predOff  []int32 // CSR predecessors
-	predList []int32
-	succOff  []int32 // CSR successors
-	succList []int32
-	scratch  []int32 // CSR fill cursors / permutation check
+	predOff  []int32 // alias of Arena.depOff (CSR predecessors)
+	predList []int32 // alias of Arena.depPred
+	succOff  []int32 // alias of Arena.succOff (CSR successors)
+	succList []int32 // alias of Arena.succList
 
 	remWait    []int32   // unnotified predecessor count; owner-LP writes only
 	endTime    []float64 // completion time; written by owner before publication
@@ -116,19 +118,19 @@ var pdesPool = sync.Pool{New: func() any {
 	return pl
 }}
 
-// runPDES executes the deterministic PDES schedule. Called from Run when
-// Options.Parallelism >= 1.
-func runPDES(d *DAG, opt *Options) (*trace.Trace, error) {
-	workers := replayWorkers(d, opt)
-	label := replayLabel(d, opt)
-	n := len(d.Tasks)
+// runPDES executes the deterministic PDES schedule. Called from RunArena
+// when Options.Parallelism >= 1.
+func runPDES(a *Arena, opt *Options) (*trace.Trace, error) {
+	workers := arenaWorkers(a, opt)
+	label := arenaLabel(a, opt)
+	n := a.n
 
 	pl := pdesPool.Get().(*pdesPlan)
 	defer func() {
 		pl.merge.Clear()
 		pdesPool.Put(pl)
 	}()
-	if err := pl.build(d, opt, workers); err != nil {
+	if err := pl.build(a, opt, workers); err != nil {
 		return nil, err
 	}
 
@@ -142,24 +144,37 @@ func runPDES(d *DAG, opt *Options) (*trace.Trace, error) {
 	if p <= 1 || n < pdesCrossover {
 		// Below the crossover (or at P=1) the fan-out cost exceeds the win;
 		// execute the identical schedule on the calling goroutine.
-		pl.runSerial(d, opt)
+		pl.runSerial(a, opt)
 	} else {
-		pl.runParallel(d, opt, p)
+		// The LP runners retain the options pointer, so give the parallel
+		// branch its own heap copy — the serial branches above then keep
+		// their Options on the caller's stack (the ≤2-alloc budget).
+		popt := *opt
+		pl.runParallel(a, &popt, p)
 	}
 	return pl.mergeTrace(label), nil
 }
 
-// build compiles the DAG into the static schedule and sizes the scratch.
-func (pl *pdesPlan) build(d *DAG, opt *Options, workers int) error {
-	n := len(d.Tasks)
+// build lays the arena's precomputed static schedule out over workers
+// lanes and sizes the per-run scratch. Task validation, both CSR views
+// and the rank permutation were all done once at arena build time; what
+// remains is the worker-count-dependent part.
+func (pl *pdesPlan) build(a *Arena, opt *Options, workers int) error {
+	if opt.Model == nil && !a.hasDur {
+		id := a.firstMissingDuration()
+		return fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given",
+			id, a.strTab[a.labelIdx[id]])
+	}
+	n := a.n
 	pl.n, pl.workers = n, workers
-	pl.rank = growInt32(pl.rank, n)
-	pl.order = growInt32(pl.order, n)
+	pl.rank = a.rank
+	pl.order = a.order
+	pl.predOff, pl.predList = a.depOff, a.depPred
+	pl.succOff, pl.succList = a.succOff, a.succList
 	pl.lane = growInt32(pl.lane, n)
 	pl.laneOff = growInt32(pl.laneOff, workers+1)
 	pl.laneTasks = growInt32(pl.laneTasks, n)
 	pl.remWait = growInt32(pl.remWait, n)
-	pl.scratch = growInt32(pl.scratch, n)
 	pl.laneCursor = growInt32(pl.laneCursor, workers)
 	pl.laneClock = growFloat64(pl.laneClock, workers)
 	pl.endTime = growFloat64(pl.endTime, n)
@@ -168,97 +183,8 @@ func (pl *pdesPlan) build(d *DAG, opt *Options, workers int) error {
 	} else {
 		pl.events = pl.events[:n]
 	}
-
-	edges := 0
-	for i := range d.Tasks {
-		t := &d.Tasks[i]
-		if err := checkTask(i, t); err != nil {
-			return err
-		}
-		if opt.Model == nil && t.Duration < 0 {
-			return fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given", t.ID, t.Label)
-		}
-		for _, dep := range t.Deps {
-			if dep.Pred < 0 || dep.Pred >= i {
-				return fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
-			}
-		}
-		pl.remWait[i] = int32(len(t.Deps))
-		edges += len(t.Deps)
-	}
-
-	// Predecessor CSR straight off the captured deps.
-	pl.predOff = growInt32(pl.predOff, n+1)
-	pl.predList = growInt32(pl.predList, edges)
-	off := int32(0)
-	for i := range d.Tasks {
-		pl.predOff[i] = off
-		for _, dep := range d.Tasks[i].Deps {
-			pl.predList[off] = int32(dep.Pred)
-			off++
-		}
-	}
-	pl.predOff[n] = off
-
-	// Successor CSR: count, prefix-sum, fill in ascending task order.
-	pl.succOff = growInt32(pl.succOff, n+1)
-	pl.succList = growInt32(pl.succList, edges)
 	for i := 0; i < n; i++ {
-		pl.scratch[i] = 0
-	}
-	for i := 0; i < int(off); i++ {
-		pl.scratch[pl.predList[i]]++
-	}
-	o := int32(0)
-	for i := 0; i < n; i++ {
-		pl.succOff[i] = o
-		o += pl.scratch[i]
-		pl.scratch[i] = pl.succOff[i]
-	}
-	pl.succOff[n] = o
-	for i := range d.Tasks {
-		for _, dep := range d.Tasks[i].Deps {
-			pl.succList[pl.scratch[dep.Pred]] = int32(i)
-			pl.scratch[dep.Pred]++
-		}
-	}
-
-	// Rank: the capture run's ready order when it is a valid topological
-	// permutation (scratch doubles as the duplicate check), else task id.
-	usable := true
-	for i := 0; i < n; i++ {
-		pl.scratch[i] = -1
-	}
-	for i := range d.Tasks {
-		r := d.Tasks[i].Ready
-		if r < 0 || r >= n || pl.scratch[r] >= 0 {
-			usable = false
-			break
-		}
-		pl.scratch[r] = int32(i)
-	}
-	if usable {
-		for i := range d.Tasks {
-			pl.rank[i] = int32(d.Tasks[i].Ready)
-		}
-	check:
-		for i := 0; i < n; i++ {
-			ri := pl.rank[i]
-			for _, p := range pl.predList[pl.predOff[i]:pl.predOff[i+1]] {
-				if pl.rank[p] >= ri {
-					usable = false
-					break check
-				}
-			}
-		}
-	}
-	if !usable {
-		for i := 0; i < n; i++ {
-			pl.rank[i] = int32(i)
-		}
-	}
-	for i := 0; i < n; i++ {
-		pl.order[pl.rank[i]] = int32(i)
+		pl.remWait[i] = a.depOff[i+1] - a.depOff[i]
 	}
 
 	// Lane assignment and counting sort of tasks into lane regions
@@ -315,7 +241,7 @@ func (pl *pdesPlan) build(d *DAG, opt *Options, workers int) error {
 // guarantees exclusivity.
 //
 //simlint:hotpath
-func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
+func (pl *pdesPlan) execTask(a *Arena, opt *Options, t int32) {
 	w := pl.lane[t]
 	start := pl.laneClock[w]
 	for _, p := range pl.predList[pl.predOff[t]:pl.predOff[t+1]] {
@@ -323,24 +249,23 @@ func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
 			start = e
 		}
 	}
-	tk := &d.Tasks[t]
 	var dur float64
 	if opt.Model != nil {
-		dur = opt.Model.Duration(tk.Class, sched.KindCPU, pl.sources[w])
+		dur = opt.Model.Duration(a.strTab[a.classIdx[t]], sched.KindCPU, pl.sources[w])
 		if dur < 0 {
 			dur = 0
 		}
 	} else {
-		dur = tk.Duration
+		dur = a.duration[t]
 	}
 	end := start + dur
 	pl.endTime[t] = end
 	pl.laneClock[w] = end
 	pl.events[pl.laneCursor[w]] = trace.Event{
 		Worker: int(w),
-		Class:  tk.Class,
-		Label:  tk.Label,
-		TaskID: tk.ID,
+		Class:  a.strTab[a.classIdx[t]],
+		Label:  a.strTab[a.labelIdx[t]],
+		TaskID: int(t),
 		Start:  start,
 		End:    end,
 	}
@@ -354,9 +279,9 @@ func (pl *pdesPlan) execTask(d *DAG, opt *Options, t int32) {
 // must reproduce bit for bit.
 //
 //simlint:hotpath
-func (pl *pdesPlan) runSerial(d *DAG, opt *Options) {
+func (pl *pdesPlan) runSerial(a *Arena, opt *Options) {
 	for r := 0; r < pl.n; r++ {
-		pl.execTask(d, opt, pl.order[r])
+		pl.execTask(a, opt, pl.order[r])
 	}
 }
 
@@ -383,7 +308,7 @@ var lpMsgPool = sync.Pool{New: func() any {
 type lpRunner struct {
 	id        int32
 	plan      *pdesPlan
-	d         *DAG
+	a         *Arena
 	opt       *Options
 	part      []int32 // lane -> LP id
 	lanes     []int32
@@ -442,7 +367,7 @@ func (lp *lpRunner) advanceLane(w int32) int {
 		if pl.remWait[t] != 0 {
 			break
 		}
-		pl.execTask(lp.d, lp.opt, t)
+		pl.execTask(lp.a, lp.opt, t)
 		done++
 		for _, s := range pl.succList[pl.succOff[t]:pl.succOff[t+1]] {
 			owner := lp.part[pl.lane[s]]
@@ -518,7 +443,7 @@ func (lp *lpRunner) process(m *lpMsg) {
 
 // runParallel partitions the lanes over p logical processes and runs the
 // channel protocol to completion.
-func (pl *pdesPlan) runParallel(d *DAG, opt *Options, p int) {
+func (pl *pdesPlan) runParallel(a *Arena, opt *Options, p int) {
 	w := pl.workers
 	// Inter-lane dependence-edge weights feed the edge-cut partitioner.
 	weight := make([]int32, w*w)
@@ -542,7 +467,7 @@ func (pl *pdesPlan) runParallel(d *DAG, opt *Options, p int) {
 		lps[i] = lpRunner{
 			id:      int32(i),
 			plan:    pl,
-			d:       d,
+			a:       a,
 			opt:     opt,
 			part:    part,
 			inbox:   inboxes[i],

@@ -22,6 +22,7 @@ package replay
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"supersim/internal/core"
 	"supersim/internal/hazard"
@@ -70,7 +71,9 @@ type Task struct {
 // reads it, so one DAG may be replayed from any number of goroutines
 // concurrently — the sweep driver shards replicas over a shared DAG, and
 // the simulation service's capture cache serves one DAG to every job that
-// hits its key. Do not mutate a DAG once it is shared.
+// hits its key. Do not mutate a DAG once it is shared, and in particular
+// not after its first Run or Arena call: replays execute the memoized
+// struct-of-arrays compilation (arena.go), which snapshots the tasks.
 type DAG struct {
 	// Label names the graph (trace labels derive from it).
 	Label string
@@ -80,6 +83,9 @@ type DAG struct {
 	Handles int
 	// Tasks holds the nodes in serial insertion order.
 	Tasks []Task
+
+	arenaMu sync.Mutex // serializes the first compilation
+	arena   atomic.Pointer[Arena]
 }
 
 // NumEdges returns the total resolved dependence edge count.
@@ -192,20 +198,18 @@ type runEntry struct {
 }
 
 // serialScratch is the reusable per-run state of the serial executor:
-// flat struct-of-arrays buffers (CSR successor lists, wait counts) and
-// the three scheduling heaps, pooled so steady-state replay allocates
-// only the returned trace (the alloc-ceiling test pins this). The
-// per-worker rng Sources are also retained and reseeded per run.
+// the wait-count column and the three scheduling heaps, pooled so
+// steady-state replay allocates only the returned trace (the
+// alloc-ceiling test pins this at ≤ 2 allocs). Successor lists live in
+// the immutable arena now; only genuinely per-run state remains here.
+// The per-worker rng Sources are retained and reseeded per run.
 type serialScratch struct {
-	waits    []int32
-	succOff  []int32 // CSR offsets, len n+1
-	succList []int32 // CSR successor ids, len = edges
-	cursor   []int32 // CSR fill cursors
-	seeded   []bool  // per-worker: source reseeded this run
-	sources  []*rng.Source
-	ready    *pq.Heap[readyItem]
-	running  *pq.Heap[runEntry]
-	free     *pq.Heap[int32]
+	waits   []int32
+	seeded  []bool // per-worker: source reseeded this run
+	sources []*rng.Source
+	ready   *pq.Heap[readyItem]
+	running *pq.Heap[runEntry]
+	free    *pq.Heap[int32]
 }
 
 var serialPool = sync.Pool{New: func() any {
@@ -243,26 +247,6 @@ func growFloat64(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
-// replayLabel resolves the trace label of one replay.
-func replayLabel(d *DAG, opt *Options) string {
-	if opt.Label != "" {
-		return opt.Label
-	}
-	return d.Label + "-replay"
-}
-
-// replayWorkers resolves the virtual core count of one replay.
-func replayWorkers(d *DAG, opt *Options) int {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = d.Workers
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
-
 // checkTask rejects tasks the replay executors cannot represent.
 func checkTask(i int, t *Task) error {
 	if t.NumThreads > 1 {
@@ -297,194 +281,17 @@ func checkTask(i int, t *Task) error {
 // PDES schedule over that many logical processes — see pdes.go and
 // DESIGN.md §12. Results are bit-identical across all parallelism values
 // but are a different (static-lane) schedule than the greedy default.
+//
+// Run compiles the DAG to its struct-of-arrays arena on first use
+// (memoized — see DAG.Arena) and executes that: the hot loops live in
+// arena.go (serial) and pdes.go (parallel).
 func Run(d *DAG, opt Options) (*trace.Trace, error) {
-	n := len(d.Tasks)
-	if n == 0 {
+	if len(d.Tasks) == 0 {
 		return nil, fmt.Errorf("replay: empty DAG")
 	}
-	if opt.Parallelism >= 1 {
-		return runPDES(d, &opt)
+	a, err := d.Arena()
+	if err != nil {
+		return nil, err
 	}
-	workers := replayWorkers(d, &opt)
-	label := replayLabel(d, &opt)
-
-	sc := serialPool.Get().(*serialScratch)
-	defer func() {
-		sc.ready.Clear()
-		sc.running.Clear()
-		sc.free.Clear()
-		serialPool.Put(sc)
-	}()
-
-	// CSR successor lists and wait counts, rebuilt into reused flat
-	// buffers: one counting pass, a prefix sum, one fill pass. Filling in
-	// ascending task order reproduces the engine's succs-append
-	// (insertion) release order.
-	sc.waits = growInt32(sc.waits, n)
-	sc.succOff = growInt32(sc.succOff, n+1)
-	sc.cursor = growInt32(sc.cursor, n)
-	edges := 0
-	for i := range d.Tasks {
-		t := &d.Tasks[i]
-		if err := checkTask(i, t); err != nil {
-			return nil, err
-		}
-		sc.waits[i] = int32(len(t.Deps))
-		sc.cursor[i] = 0
-		edges += len(t.Deps)
-	}
-	for i := range d.Tasks {
-		for _, dep := range d.Tasks[i].Deps {
-			if dep.Pred < 0 || dep.Pred >= i {
-				return nil, fmt.Errorf("replay: task %d has invalid predecessor %d", i, dep.Pred)
-			}
-			sc.cursor[dep.Pred]++
-		}
-	}
-	off := int32(0)
-	for i := 0; i < n; i++ {
-		sc.succOff[i] = off
-		off += sc.cursor[i]
-		sc.cursor[i] = 0
-	}
-	sc.succOff[n] = off
-	sc.succList = growInt32(sc.succList, edges)
-	for i := range d.Tasks {
-		for _, dep := range d.Tasks[i].Deps {
-			p := dep.Pred
-			sc.succList[sc.succOff[p]+sc.cursor[p]] = int32(i)
-			sc.cursor[p]++
-		}
-	}
-
-	// Per-worker sampling streams: Source objects are retained across
-	// runs and reseeded lazily, preserving both the stream derivation and
-	// the lazy-creation behavior of core's rngPool.
-	if len(sc.sources) < workers {
-		grown := make([]*rng.Source, workers)
-		copy(grown, sc.sources)
-		sc.sources = grown
-	}
-	if cap(sc.seeded) < workers {
-		sc.seeded = make([]bool, workers)
-	}
-	sc.seeded = sc.seeded[:workers]
-	for w := range sc.seeded {
-		sc.seeded[w] = false
-	}
-	src := func(w int) *rng.Source {
-		if !sc.seeded[w] {
-			if sc.sources[w] == nil {
-				sc.sources[w] = rng.New(opt.Seed ^ (seedMix * (uint64(w) + 1)))
-			} else {
-				sc.sources[w].Seed(opt.Seed ^ (seedMix * (uint64(w) + 1)))
-			}
-			sc.seeded[w] = true
-		}
-		return sc.sources[w]
-	}
-
-	ready := sc.ready
-	var pushSeq int32
-	pushReady := func(id int32) {
-		prio := int32(d.Tasks[id].Priority)
-		if opt.IgnorePriorities {
-			prio = 0
-		}
-		ready.Push(readyItem{id: id, prio: prio, seq: pushSeq})
-		pushSeq++
-	}
-
-	running := sc.running
-	var startSeq uint64
-
-	free := sc.free
-	for w := 0; w < workers; w++ {
-		free.Push(int32(w))
-	}
-
-	var clock float64
-	mkEntry := func(it readyItem, w int32) (runEntry, error) {
-		t := &d.Tasks[it.id]
-		var dur float64
-		if opt.Model != nil {
-			dur = opt.Model.Duration(t.Class, sched.KindCPU, src(int(w)))
-			if dur < 0 {
-				dur = 0
-			}
-		} else {
-			if t.Duration < 0 {
-				return runEntry{}, fmt.Errorf("replay: task %d (%s) has no captured duration and no model was given", t.ID, t.Label)
-			}
-			dur = t.Duration
-		}
-		e := runEntry{end: clock + dur, seq: startSeq, start: clock, id: it.id, worker: w}
-		startSeq++
-		return e, nil
-	}
-
-	tr := trace.New(label, workers)
-	tr.Reserve(n)
-
-	for id := 0; id < n; id++ {
-		if sc.waits[id] == 0 {
-			pushReady(int32(id))
-		}
-	}
-	for !ready.Empty() && !free.Empty() {
-		w, _ := free.Pop()
-		it, _ := ready.Pop()
-		e, err := mkEntry(it, w)
-		if err != nil {
-			return nil, err
-		}
-		running.Push(e)
-	}
-
-	for done := 0; done < n; done++ {
-		e, ok := running.Peek()
-		if !ok {
-			return nil, fmt.Errorf("replay: deadlock after %d of %d tasks (cycle in captured DAG?)", done, n)
-		}
-		if e.end > clock {
-			clock = e.end
-		}
-		t := &d.Tasks[e.id]
-		tr.Append(trace.Event{
-			Worker: int(e.worker),
-			Class:  t.Class,
-			Label:  t.Label,
-			TaskID: t.ID,
-			Start:  e.start,
-			End:    e.end,
-		})
-		for _, s := range sc.succList[sc.succOff[e.id]:sc.succOff[e.id+1]] {
-			sc.waits[s]--
-			if sc.waits[s] == 0 {
-				pushReady(s)
-			}
-		}
-		// Chain handoff: the completing task's worker takes the best ready
-		// task in place, one sift instead of two.
-		if it, ok := ready.Pop(); ok {
-			ne, err := mkEntry(it, e.worker)
-			if err != nil {
-				return nil, err
-			}
-			running.ReplaceTop(ne)
-		} else {
-			running.Pop()
-			free.Push(e.worker)
-		}
-		for !ready.Empty() && !free.Empty() {
-			w, _ := free.Pop()
-			it, _ := ready.Pop()
-			ne, err := mkEntry(it, w)
-			if err != nil {
-				return nil, err
-			}
-			running.Push(ne)
-		}
-	}
-	return tr, nil
+	return RunArena(a, opt)
 }

@@ -325,11 +325,14 @@ func TestReplayWorkerScaling(t *testing.T) {
 }
 
 func TestRunRejectsGangAndMissingDurations(t *testing.T) {
+	// Each rejection gets a fresh capture: a DAG's arena is memoized on
+	// first Run, so mutating a DAG that already ran is out of contract.
 	dag, _ := captureRun(t, core.FixedModel(1e-3), 5)
 	dag.Tasks[0].Duration = -1
 	if _, err := Run(dag, Options{Workers: 2}); err == nil {
 		t.Error("Run accepted a captured-duration replay with a missing duration")
 	}
+	dag, _ = captureRun(t, core.FixedModel(1e-3), 5)
 	dag.Tasks[0].NumThreads = 3
 	if _, err := Run(dag, Options{Workers: 2, Model: core.FixedModel(1)}); err == nil {
 		t.Error("Run accepted a gang task")

@@ -32,8 +32,13 @@ type cacheEntry struct {
 // captureCache is the daemon's DAG cache: repeated jobs with the same key
 // skip the scheduler entirely and replay the cached capture (the PR 4 fast
 // path). Concurrent requests for an uncached key are deduplicated: exactly
-// one goroutine runs the capture, the rest wait for its result.
+// one goroutine runs the capture, the rest wait for its result. With a
+// data dir attached (disk != nil) the cache is two-level: a memory miss
+// consults the tenant's persisted .dag frames before capturing, and every
+// successful capture writes through, so the working set survives restarts.
 type captureCache struct {
+	disk *dagDisk // persistent level; nil = memory-only
+
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry // guarded-by: mu
 	tick    uint64                   // guarded-by: mu — LRU clock
@@ -43,34 +48,56 @@ type captureCache struct {
 	evictions uint64 // guarded-by: mu
 }
 
-func newCaptureCache(capacity int) *captureCache {
+func newCaptureCache(capacity int, disk *dagDisk) *captureCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &captureCache{entries: make(map[cacheKey]*cacheEntry), cap: capacity}
+	return &captureCache{entries: make(map[cacheKey]*cacheEntry), cap: capacity, disk: disk}
 }
 
-// get returns the DAG for key, capturing it via capture() if absent.
-// hit reports whether the caller was served without running a capture
-// (including waiting on another goroutine's in-flight capture). A failed
+// Cache dispositions, recorded per job and aggregated in /metrics.
+const (
+	cacheHit    = "hit"    // served from memory (or a concurrent in-flight capture)
+	cacheDisk   = "disk"   // served from a persisted .dag frame, no capture run
+	cacheMiss   = "miss"   // capture executed
+	cacheBypass = "bypass" // job ineligible for the capture cache
+)
+
+// get returns the DAG for key, capturing it via capture() if absent from
+// both levels. The disposition reports how the caller was served:
+// cacheHit (memory, including waiting on another goroutine's in-flight
+// capture), cacheDisk (loaded from the persisted frame), or cacheMiss
+// (capture ran). Disk loads happen inside the singleflight slot, so
+// concurrent requests never read or decode the same frame twice. A failed
 // capture is not cached: its waiters receive the error, then the entry is
 // removed so a later job can retry.
-func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (dag *replay.DAG, hit bool, err error) {
+func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (dag *replay.DAG, disposition string, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.tick++
 		e.use = c.tick
 		c.mu.Unlock()
 		<-e.done
-		return e.dag, true, e.err
+		return e.dag, cacheHit, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.tick++
 	e.use = c.tick
 	c.entries[key] = e
-	c.captures++
 	c.mu.Unlock()
 
+	if dag, ok := c.disk.load(key); ok {
+		e.dag = dag
+		close(e.done)
+		c.mu.Lock()
+		c.evict()
+		c.mu.Unlock()
+		return e.dag, cacheDisk, nil
+	}
+
+	c.mu.Lock()
+	c.captures++
+	c.mu.Unlock()
 	e.dag, e.err = capture()
 	close(e.done)
 	c.mu.Lock()
@@ -82,7 +109,12 @@ func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (d
 		c.evict()
 	}
 	c.mu.Unlock()
-	return e.dag, false, e.err
+	if e.err == nil {
+		// Write-through after publication: persistence is off the waiters'
+		// critical path, and a write failure costs durability, not the job.
+		c.disk.save(key, e.dag)
+	}
+	return e.dag, cacheMiss, e.err
 }
 
 // evict removes least-recently-used completed entries until the cache fits

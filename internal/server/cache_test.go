@@ -18,19 +18,19 @@ func key(nt int) cacheKey {
 // requests for one uncached key run exactly one capture, and everyone gets
 // the same DAG.
 func TestCaptureCacheSingleflight(t *testing.T) {
-	c := newCaptureCache(4)
+	c := newCaptureCache(4, nil)
 	want := &replay.DAG{}
 	var captures atomic.Int64
 
 	const n = 8
 	dags := make([]*replay.DAG, n)
-	hits := make([]bool, n)
+	disps := make([]string, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			dag, hit, err := c.get(key(4), func() (*replay.DAG, error) {
+			dag, disp, err := c.get(key(4), func() (*replay.DAG, error) {
 				captures.Add(1)
 				time.Sleep(5 * time.Millisecond) // hold the flight open so waiters pile up
 				return want, nil
@@ -38,7 +38,7 @@ func TestCaptureCacheSingleflight(t *testing.T) {
 			if err != nil {
 				t.Errorf("get %d: %v", i, err)
 			}
-			dags[i], hits[i] = dag, hit
+			dags[i], disps[i] = dag, disp
 		}(i)
 	}
 	wg.Wait()
@@ -51,8 +51,10 @@ func TestCaptureCacheSingleflight(t *testing.T) {
 		if dags[i] != want {
 			t.Fatalf("goroutine %d got a different DAG", i)
 		}
-		if !hits[i] {
+		if disps[i] == cacheMiss {
 			misses++
+		} else if disps[i] != cacheHit {
+			t.Fatalf("goroutine %d reported disposition %q", i, disps[i])
 		}
 	}
 	if misses != 1 {
@@ -66,7 +68,7 @@ func TestCaptureCacheSingleflight(t *testing.T) {
 // TestCaptureCacheErrorNotCached checks that a failed capture is surfaced
 // to its requester but not remembered: the next request retries.
 func TestCaptureCacheErrorNotCached(t *testing.T) {
-	c := newCaptureCache(4)
+	c := newCaptureCache(4, nil)
 	boom := errors.New("boom")
 	var calls int
 
@@ -75,9 +77,9 @@ func TestCaptureCacheErrorNotCached(t *testing.T) {
 		t.Fatalf("first get: err=%v, want %v", err, boom)
 	}
 	want := &replay.DAG{}
-	dag, hit, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return want, nil })
-	if err != nil || dag != want || hit {
-		t.Fatalf("retry after failure: dag=%p hit=%v err=%v, want fresh capture", dag, hit, err)
+	dag, disp, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return want, nil })
+	if err != nil || dag != want || disp != cacheMiss {
+		t.Fatalf("retry after failure: dag=%p disp=%q err=%v, want fresh capture", dag, disp, err)
 	}
 	if calls != 2 {
 		t.Fatalf("capture ran %d times, want 2 (failure must not be cached)", calls)
@@ -87,7 +89,7 @@ func TestCaptureCacheErrorNotCached(t *testing.T) {
 // TestCaptureCacheEviction checks LRU eviction: the least-recently-used
 // completed entry leaves first, and an evicted key is re-captured.
 func TestCaptureCacheEviction(t *testing.T) {
-	c := newCaptureCache(2)
+	c := newCaptureCache(2, nil)
 	cap1 := func() (*replay.DAG, error) { return &replay.DAG{}, nil }
 
 	c.get(key(1), cap1)
@@ -98,10 +100,10 @@ func TestCaptureCacheEviction(t *testing.T) {
 	if entries, caps, evs := c.stats(); entries != 2 || caps != 3 || evs != 1 {
 		t.Fatalf("stats after overflow: entries=%d captures=%d evictions=%d, want 2/3/1", entries, caps, evs)
 	}
-	if _, hit, _ := c.get(key(1), cap1); !hit {
+	if _, disp, _ := c.get(key(1), cap1); disp != cacheHit {
 		t.Fatal("key(1) was evicted; want the recently-used entry kept")
 	}
-	if _, hit, _ := c.get(key(2), cap1); hit {
+	if _, disp, _ := c.get(key(2), cap1); disp == cacheHit {
 		t.Fatal("key(2) still cached; want the LRU entry evicted")
 	}
 }

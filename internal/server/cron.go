@@ -39,16 +39,20 @@ type CronView struct {
 	CronSpec
 	Fired   uint64 `json:"fired"`
 	Skipped uint64 `json:"skipped"` // firings refused by admission (rate/queue)
+	// Drifts counts firings whose result diverged from the template's
+	// pinned baseline (always 0 without a -data-dir).
+	Drifts uint64 `json:"drifts"`
 }
 
-// cronEntry is one armed template. next/fired/skipped are touched only
-// with the owning cronRunner's mu held (a cross-struct lock, outside the
-// guarded analyzer's scope).
+// cronEntry is one armed template. next/fired/skipped/drifts are touched
+// only with the owning cronRunner's mu held (a cross-struct lock, outside
+// the guarded analyzer's scope).
 type cronEntry struct {
 	spec    CronSpec
 	next    time.Time
 	fired   uint64
 	skipped uint64
+	drifts  uint64
 }
 
 // cronRunner drives the recurring templates from a single goroutine: it
@@ -104,7 +108,17 @@ func (c *cronRunner) get(id string) (CronView, bool) {
 	if !ok {
 		return CronView{}, false
 	}
-	return CronView{CronSpec: e.spec, Fired: e.fired, Skipped: e.skipped}, true
+	return CronView{CronSpec: e.spec, Fired: e.fired, Skipped: e.skipped, Drifts: e.drifts}, true
+}
+
+// noteDrift records one baseline divergence against the owning template.
+// Unknown IDs (template removed while its firing ran) are dropped.
+func (c *cronRunner) noteDrift(id string) {
+	c.mu.Lock()
+	if e, ok := c.entries[id]; ok {
+		e.drifts++
+	}
+	c.mu.Unlock()
 }
 
 // list returns every armed template, ID-ordered.
@@ -113,7 +127,7 @@ func (c *cronRunner) list() []CronView {
 	defer c.mu.Unlock()
 	out := make([]CronView, 0, len(c.entries))
 	for _, e := range c.entries {
-		out = append(out, CronView{CronSpec: e.spec, Fired: e.fired, Skipped: e.skipped})
+		out = append(out, CronView{CronSpec: e.spec, Fired: e.fired, Skipped: e.skipped, Drifts: e.drifts})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"supersim/internal/journal"
+	"supersim/internal/replay"
+)
+
+// dagDisk is a tenant's persistent capture store: every successful capture
+// is encoded to a .dag frame (internal/replay codec) and published under
+// <data-dir>/dags/<tenant>/ beside the journal, and a restarted daemon
+// serves repeat jobs from those frames without re-running the scheduler.
+// The in-memory captureCache owns admission and singleflight; dagDisk is
+// purely the level below it — a miss consults disk before capturing, a
+// capture writes through. All methods are nil-receiver safe, so the
+// memory-only server (no -data-dir) costs nothing.
+//
+// Frames are written with journal.WriteFileAtomic: a crash mid-write
+// leaves either no file or a complete one, and the codec's CRC framing
+// rejects anything torn that slips through, downgrading corruption to a
+// re-capture rather than an error.
+type dagDisk struct {
+	dir string
+
+	hits   atomic.Uint64 // loads served from disk
+	writes atomic.Uint64 // frames published
+	drops  atomic.Uint64 // unreadable/corrupt frames discarded
+}
+
+// newDagDisk opens (creating if needed) a tenant's capture directory.
+// Returns nil — disabling persistence — when dir is empty or cannot be
+// created; the cache degrades to memory-only rather than failing jobs.
+func newDagDisk(dir string) *dagDisk {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &dagDisk{dir: dir}
+}
+
+// pathSafe maps an identifier into the filename-safe alphabet.
+func pathSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// path derives the frame filename for one cache key. Every key field
+// participates, so two keys never share a file.
+func (d *dagDisk) path(key cacheKey) string {
+	name := pathSafe(key.algorithm) + "-" + pathSafe(key.scheduler) + "-" + pathSafe(key.policy) +
+		"-nt" + strconv.Itoa(key.nt) + "-nb" + strconv.Itoa(key.nb) + "-w" + strconv.Itoa(key.window) + ".dag"
+	return filepath.Join(d.dir, name)
+}
+
+// load returns the captured DAG persisted for key, if a valid frame
+// exists. The frame bytes are adopted zero-copy (replay.Load) and the
+// returned DAG carries its compiled arena, so serving from disk skips
+// both the scheduler and the arena build. Corrupt or unreadable frames
+// are deleted and reported as a miss: the caller re-captures and
+// overwrites them.
+func (d *dagDisk) load(key cacheKey) (*replay.DAG, bool) {
+	if d == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	arena, err := replay.Load(raw)
+	if err != nil {
+		d.drops.Add(1)
+		os.Remove(d.path(key))
+		return nil, false
+	}
+	d.hits.Add(1)
+	return arena.DAG(), true
+}
+
+// save publishes a captured DAG's frame for key. Best-effort: an
+// encoding or write failure costs persistence, not the job — the
+// in-memory cache still holds the capture.
+func (d *dagDisk) save(key cacheKey, dag *replay.DAG) {
+	if d == nil {
+		return
+	}
+	arena, err := dag.Arena()
+	if err != nil {
+		return
+	}
+	if err := journal.WriteFileAtomic(d.path(key), arena.Encode(), 0o644); err != nil {
+		return
+	}
+	d.writes.Add(1)
+}
+
+// stats reports the persistence counters for /metrics.
+func (d *dagDisk) stats() (hits, writes, drops uint64) {
+	if d == nil {
+		return 0, 0, 0
+	}
+	return d.hits.Load(), d.writes.Load(), d.drops.Load()
+}

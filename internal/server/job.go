@@ -285,6 +285,9 @@ type JobResult struct {
 	Faults *fault.Stats `json:"faults,omitempty"`
 	// Sweep holds the per-matrix-size curve of sweep jobs.
 	Sweep []bench.SweepPoint `json:"sweep,omitempty"`
+	// Regression compares a cron firing against its template's pinned
+	// baseline (nil for API submissions or without a -data-dir).
+	Regression *RegressionReport `json:"regression,omitempty"`
 }
 
 // Job is one submitted simulation job and its lifecycle record.
@@ -301,7 +304,7 @@ type Job struct {
 	err       string     // guarded-by: mu
 	retryable bool       // guarded-by: mu
 	attempts  int        // guarded-by: mu — execution attempts (retries included)
-	cache     string     // guarded-by: mu — "hit", "miss", "bypass" or ""
+	cache     string     // guarded-by: mu — "hit", "disk", "miss", "bypass" or ""
 	queueWait float64    // guarded-by: mu — seconds
 	runTime   float64    // guarded-by: mu — seconds
 	result    *JobResult // guarded-by: mu

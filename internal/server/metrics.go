@@ -24,6 +24,7 @@ type metrics struct {
 	running     atomic.Int64  // gauge: jobs currently executing
 
 	cacheHits   atomic.Uint64
+	cacheDisk   atomic.Uint64 // jobs served from a persisted .dag frame
 	cacheMisses atomic.Uint64
 	cacheBypass atomic.Uint64 // jobs ineligible for the capture cache
 
@@ -155,14 +156,22 @@ type JobCounts struct {
 	Retries     uint64 `json:"retries"`
 }
 
-// CacheStats is the capture-cache section of a metrics snapshot.
+// CacheStats is the capture-cache section of a metrics snapshot. The Disk*
+// fields cover the persistent level under -data-dir: DiskHits counts jobs
+// served from a .dag frame without re-capturing (memory misses resolved on
+// disk), DiskWrites counts frames published, DiskDrops counts corrupt or
+// unreadable frames discarded (each downgraded to a re-capture). All zero
+// on a memory-only server.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Bypass    uint64 `json:"bypass"`
-	Captures  uint64 `json:"captures"`
-	Entries   int    `json:"entries"`
-	Evictions uint64 `json:"evictions"`
+	Hits       uint64 `json:"hits"`
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	Misses     uint64 `json:"misses"`
+	Bypass     uint64 `json:"bypass"`
+	Captures   uint64 `json:"captures"`
+	Entries    int    `json:"entries"`
+	Evictions  uint64 `json:"evictions"`
+	DiskWrites uint64 `json:"disk_writes,omitempty"`
+	DiskDrops  uint64 `json:"disk_drops,omitempty"`
 }
 
 // TenantSnapshot is one tenant's section of a metrics snapshot: lifecycle
@@ -201,6 +210,18 @@ type StoreStats struct {
 	Restored  int `json:"restored,omitempty"`
 }
 
+// RegressionStats is the nightly-regression section of a metrics
+// snapshot: cron-firing results diffed against their templates' pinned
+// baselines (all zero without a -data-dir).
+type RegressionStats struct {
+	// Baselines counts baseline records established (first firings).
+	Baselines uint64 `json:"baselines"`
+	// Checks counts later firings compared against a baseline.
+	Checks uint64 `json:"checks"`
+	// Drifts counts comparisons whose fingerprint diverged.
+	Drifts uint64 `json:"drifts"`
+}
+
 // MetricsSnapshot is the full /metrics document.
 type MetricsSnapshot struct {
 	UptimeMS   float64          `json:"uptime_ms"`
@@ -209,6 +230,7 @@ type MetricsSnapshot struct {
 	Store      StoreStats       `json:"store"`
 	Tenants    []TenantSnapshot `json:"tenants,omitempty"`
 	Cache      CacheStats       `json:"cache"`
+	Regression RegressionStats  `json:"regression"`
 	QueueWait  LatencyStats     `json:"queue_wait"`
 	Run        LatencyStats     `json:"run"`
 	Contention perf.Snapshot    `json:"contention"`

@@ -19,18 +19,18 @@ import (
 
 // execute runs one job under ctx and returns its result, the retained
 // trace (nil when the spec disables retention), and the cache disposition
-// ("hit", "miss" or "bypass").
+// ("hit", "disk", "miss" or "bypass").
 func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, *trace.Trace, string, error) {
 	spec := &job.Spec
 	switch {
 	case spec.Kind == "sweep":
 		res, err := s.runSweep(ctx, spec)
-		return res, nil, "bypass", err
+		return res, nil, cacheBypass, err
 	case spec.cacheable():
 		return s.runCached(ctx, job)
 	default:
 		res, tr, err := s.runDirect(ctx, job)
-		return res, tr, "bypass", err
+		return res, tr, cacheBypass, err
 	}
 }
 
@@ -122,13 +122,9 @@ func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Tr
 	// Each tenant replays out of its own cache partition: one tenant's
 	// working set cannot evict another's, and partition budgets are
 	// independent LRU knobs (TenantConfig.CacheCapacity).
-	dag, hit, err := job.tenant.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
+	dag, disposition, err := job.tenant.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
 		return bench.CaptureSpec(bspec)
 	})
-	disposition := "miss"
-	if hit {
-		disposition = "hit"
-	}
 	if err != nil {
 		return nil, nil, disposition, fmt.Errorf("capture: %w", err)
 	}

@@ -19,7 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,7 +132,8 @@ type Server struct {
 	tenants      []*tenant
 	tenantsByKey map[string]*tenant
 	anonTenant   *tenant // tenant with no key; nil when every tenant requires one
-	store        *store  // nil without DataDir
+	store        *store         // nil without DataDir
+	baselines    *baselineStore // nil without DataDir — cron regression baselines
 	cron         *cronRunner
 	metrics      metrics
 	counters     *perf.Counters // shared across jobs; exposed by /metrics
@@ -185,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = s.routes()
 
 	if cfg.DataDir != "" {
+		s.baselines = newBaselineStore(filepath.Join(cfg.DataDir, "baselines"))
 		if err := s.recover(); err != nil {
 			s.cron.shutdown()
 			return nil, err
@@ -483,9 +487,11 @@ func (s *Server) runJob(job *Job) {
 	run := time.Since(pickup).Seconds()
 	s.metrics.runTime.observe(run)
 	switch disposition {
-	case "hit":
+	case cacheHit:
 		s.metrics.cacheHits.Add(1)
-	case "miss":
+	case cacheDisk:
+		s.metrics.cacheDisk.Add(1)
+	case cacheMiss:
 		s.metrics.cacheMisses.Add(1)
 	default:
 		s.metrics.cacheBypass.Add(1)
@@ -507,6 +513,20 @@ func (s *Server) runJob(job *Job) {
 		job.tenant.m.dead.Add(1)
 		s.finishJob(job)
 		return
+	}
+
+	if err == nil && result != nil {
+		// Cron firings are the nightly-regression probes: diff the result
+		// against the template's pinned baseline before publication so the
+		// report travels with the job result.
+		if cronID, ok := strings.CutPrefix(job.source, "cron:"); ok {
+			if rep := s.baselines.check(cronID, job.ID, result); rep != nil {
+				result.Regression = rep
+				if !rep.Match {
+					s.cron.noteDrift(cronID)
+				}
+			}
+		}
 	}
 
 	job.mu.Lock()
@@ -795,12 +815,19 @@ func (s *Server) Metrics() MetricsSnapshot {
 	lo, hi := s.metrics.queueWait.rangeMS()
 	for _, t := range s.tenants {
 		entries, captures, evictions := t.cache.stats()
+		dh, dw, dd := t.cache.disk.stats()
 		// Hit/miss attribution is global (a hit is a property of a job, not
-		// a partition); tenants report their partition's occupancy.
-		tc := CacheStats{Captures: captures, Entries: entries, Evictions: evictions}
+		// a partition); tenants report their partition's occupancy and its
+		// persistent level's traffic.
+		tc := CacheStats{
+			Captures: captures, Entries: entries, Evictions: evictions,
+			DiskHits: dh, DiskWrites: dw, DiskDrops: dd,
+		}
 		cache.Captures += captures
 		cache.Entries += entries
 		cache.Evictions += evictions
+		cache.DiskWrites += dw
+		cache.DiskDrops += dd
 		snap.Tenants = append(snap.Tenants, TenantSnapshot{
 			Name:        t.cfg.Name,
 			Weight:      t.cfg.Weight,
@@ -817,7 +844,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 			Cache:       tc,
 		})
 	}
+	est, checks, drifts := s.baselines.stats()
+	snap.Regression = RegressionStats{Baselines: est, Checks: checks, Drifts: drifts}
 	cache.Hits = s.metrics.cacheHits.Load()
+	// The global DiskHits counter reports jobs served from disk, matching
+	// the Hits/Misses job attribution (the per-tenant figure counts raw
+	// frame loads, which recovery warming can also drive).
+	cache.DiskHits = s.metrics.cacheDisk.Load()
 	cache.Misses = s.metrics.cacheMisses.Load()
 	cache.Bypass = s.metrics.cacheBypass.Load()
 	snap.Cache = cache

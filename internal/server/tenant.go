@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -145,9 +146,16 @@ func buildTenants(cfg *Config) ([]*tenant, error) {
 		if maxQueue < 1 {
 			maxQueue = 1
 		}
+		// With a data dir, each tenant's capture cache gets a persistent
+		// level under <data-dir>/dags/<tenant>/ so its working set survives
+		// restarts. newDagDisk returns nil (memory-only) without one.
+		var disk *dagDisk
+		if cfg.DataDir != "" {
+			disk = newDagDisk(filepath.Join(cfg.DataDir, "dags", pathSafe(tc.Name)))
+		}
 		out[i] = &tenant{
 			cfg:      tc,
-			cache:    newCaptureCache(tc.CacheCapacity),
+			cache:    newCaptureCache(tc.CacheCapacity, disk),
 			maxQueue: maxQueue,
 			quantum:  tc.Weight,
 		}

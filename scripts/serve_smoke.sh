@@ -163,6 +163,24 @@ chaos_stage() {
     metrics=$(curl -fsS "$base/metrics")
     printf '%s' "$metrics" | grep -q '"durable":true' || { echo "metrics missing durable store: $metrics"; exit 1; }
 
+    # Persistent capture cache: kill the daemon again and require a fresh
+    # process on the same data dir to serve a repeat of a previously-
+    # captured job from its .dag frame — zero capture runs, identical
+    # fingerprint.
+    kill -KILL "$pid"
+    wait "$pid" 2>/dev/null || true
+    pid=""
+    boot -pool 2 -data-dir "$datadir"
+    d1=$(submit '{"algorithm": "cholesky", "nt": 5, "nb": 8, "workers": 4, "seed": 42}')
+    wait_done "$d1"
+    dcache=$(field "$d1" cache)
+    [ "$dcache" = "disk" ] || { echo "repeat job served with cache='$dcache', want disk"; exit 1; }
+    dfp=$(field "$d1" fingerprint)
+    [ "$dfp" = "$fp1" ] || { echo "disk-served job fingerprint $dfp, want $fp1"; exit 1; }
+    metrics=$(curl -fsS "$base/metrics")
+    printf '%s' "$metrics" | grep -q '"captures":0' || { echo "restarted daemon re-captured: $metrics"; exit 1; }
+    echo "disk capture cache passed"
+
     kill -TERM "$pid"
     wait "$pid" 2>/dev/null && rc=0 || rc=$?
     pid=""
