@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-pdes lint lint-fix-check bench serve-smoke chaos check
+.PHONY: build test race race-pdes lint lint-fix-check bench serve-smoke chaos cluster-smoke check
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server ./internal/journal
+	$(GO) test -race -short ./internal/core ./internal/sched/... ./internal/fault ./internal/trace ./internal/pq ./internal/replay ./internal/bench ./internal/server ./internal/journal ./internal/cluster
 
 # The PDES executor's LP/channel protocol, hammered repeatedly without
 # -short so the full stress matrix runs under the race detector.
@@ -41,4 +41,7 @@ serve-smoke:
 chaos:
 	sh scripts/serve_smoke.sh chaos
 
-check: lint lint-fix-check build test race race-pdes serve-smoke chaos
+cluster-smoke:
+	sh scripts/serve_smoke.sh cluster
+
+check: lint lint-fix-check build test race race-pdes serve-smoke chaos cluster-smoke

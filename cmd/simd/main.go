@@ -32,6 +32,12 @@
 // are re-queued into the journal (or rejected as retryable without one),
 // then the HTTP listener closes. A SIGKILL converges to the same state on
 // the next boot via journal recovery.
+//
+// With -coordinator (plus -cluster-key), simd additionally joins a
+// simcoord cluster: it registers itself, heartbeats on a jittered
+// interval, and serves captured DAG frames to authenticated peers over
+// GET /internal/frames so repeat jobs rerouted by the coordinator skip
+// re-capture.
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"supersim/internal/cluster"
 	"supersim/internal/server"
 )
 
@@ -63,7 +70,15 @@ func main() {
 	retryBase := flag.Duration("retry-base", 250*time.Millisecond, "first retry backoff (doubles per attempt, jittered)")
 	compactEvery := flag.Int("compact-every", 256, "journal finish records between compactions")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs at shutdown")
+	coordinator := flag.String("coordinator", "", "simcoord base URL; empty = standalone (no cluster)")
+	clusterKey := flag.String("cluster-key", "", "shared cluster secret (required with -coordinator; enables the peer frame endpoint)")
+	workerName := flag.String("worker-name", "", "stable worker identity on the ring (default: hostname)")
+	advertiseURL := flag.String("advertise-url", "", "URL peers and the coordinator reach this worker at (default: http://<bound addr>)")
 	flag.Parse()
+
+	if *coordinator != "" && *clusterKey == "" {
+		log.Fatal("simd: -coordinator requires -cluster-key")
+	}
 
 	cfg := server.Config{
 		Pool:          *pool,
@@ -75,6 +90,7 @@ func main() {
 		RetryMax:      *retryMax,
 		RetryBase:     *retryBase,
 		CompactEvery:  *compactEvery,
+		ClusterKey:    *clusterKey,
 	}
 	if *tenantsFile != "" {
 		tenants, err := server.LoadTenants(*tenantsFile)
@@ -105,6 +121,35 @@ func main() {
 	}
 	log.Printf("simd: serving on %s (pool=%d queue=%d deadline=%v durable=%v)", bound, *pool, *queueDepth, *deadline, *dataDir != "")
 
+	agentCtx, agentStop := context.WithCancel(context.Background())
+	defer agentStop()
+	if *coordinator != "" {
+		name := *workerName
+		if name == "" {
+			if host, err := os.Hostname(); err == nil && host != "" {
+				name = host
+			} else {
+				name = bound
+			}
+		}
+		selfURL := *advertiseURL
+		if selfURL == "" {
+			selfURL = "http://" + bound
+		}
+		agent := &cluster.Agent{
+			Coordinator: *coordinator,
+			Key:         *clusterKey,
+			Name:        name,
+			URL:         selfURL,
+		}
+		log.Printf("simd: joining cluster at %s as %q (%s)", *coordinator, name, selfURL)
+		go func() {
+			if err := agent.Run(agentCtx); err != nil && agentCtx.Err() == nil {
+				log.Printf("simd: cluster agent: %v", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -117,6 +162,7 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		log.Printf("simd: %v: draining (in-flight jobs complete, queued jobs are re-queued)", sig)
+		agentStop() // stop heartbeating so the coordinator fails over promptly
 	case err := <-errCh:
 		log.Fatalf("simd: serve: %v", err)
 	}

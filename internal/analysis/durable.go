@@ -10,7 +10,7 @@ import (
 
 // DefaultDurableScope are the package prefixes the durable analyzer
 // audits: the service layer, where the durability contract lives.
-var DefaultDurableScope = []string{"supersim/internal/server"}
+var DefaultDurableScope = []string{"supersim/internal/server", "supersim/internal/cluster"}
 
 // NewDurable returns the durable analyzer, enforcing the journal
 // write-ahead contract on the server's accept path (DESIGN.md §10):

@@ -29,7 +29,9 @@ var DefaultVirtualTimePackages = []string{
 var WallClockPackages = []string{
 	"supersim/internal/server",
 	"supersim/internal/journal",
+	"supersim/internal/cluster",
 	"supersim/cmd/simd",
+	"supersim/cmd/simcoord",
 }
 
 // VClockBoundaryPackages are the audited wall-clock boundaries: the

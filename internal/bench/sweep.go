@@ -102,6 +102,32 @@ type SweepOptions struct {
 	// — schedule than the greedy one, so 0 and >= 1 sweeps are not
 	// comparable to each other).
 	Parallelism int
+	// RepOffset and RepStride slice the replica set for multi-node
+	// fan-out: with RepStride = W > 1, this run replays only the replicas
+	// rep in [0, Reps) with rep % W == RepOffset, leaving the other
+	// entries of each point's Makespans zero. Because every replica's seed
+	// is ReplicaSeed(Seed, NT, rep) — a pure function of its logical
+	// coordinates, never of which node runs it — W sliced runs merged
+	// entry-wise reproduce the unsliced run bit for bit (the cluster
+	// coordinator's merge relies on this; TestSweepReplicaSliceMerge pins
+	// it). RepStride <= 1 runs everything.
+	RepOffset, RepStride int
+}
+
+// ownedReps lists the replica indices this run executes under its slice.
+func (o SweepOptions) ownedReps(reps int) []int {
+	if o.RepStride <= 1 {
+		out := make([]int, reps)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for rep := o.RepOffset; rep < reps; rep += o.RepStride {
+		out = append(out, rep)
+	}
+	return out
 }
 
 // SweepPoint is one matrix size of a replay sweep. It carries only
@@ -160,6 +186,13 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 	if reps <= 0 {
 		reps = perfReps
 	}
+	if opt.RepStride > 1 && (opt.RepOffset < 0 || opt.RepOffset >= opt.RepStride) {
+		return nil, SweepWall{}, fmt.Errorf("bench: replica slice offset %d outside stride %d", opt.RepOffset, opt.RepStride)
+	}
+	owned := opt.ownedReps(reps)
+	if len(owned) == 0 {
+		return nil, SweepWall{}, fmt.Errorf("bench: empty replica slice (offset %d, stride %d, reps %d)", opt.RepOffset, opt.RepStride, reps)
+	}
 	sweeps := workload.PerfSweep(nb, maxNT)
 	np := len(sweeps)
 	if np == 0 {
@@ -194,7 +227,7 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 	wall.Capture = time.Since(t0)
 
 	fifo := ReplayIgnoresPriorities(Spec{Scheduler: scheduler})
-	jobs := np * reps
+	jobs := np * len(owned)
 	shards := opt.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -216,7 +249,7 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 				if j >= jobs {
 					return
 				}
-				p, rep := j/reps, j%reps
+				p, rep := j/len(owned), owned[j%len(owned)]
 				j0 := time.Now()
 				tr, err := replay.Run(dags[p], replay.Options{
 					Workers:          workers,
@@ -245,15 +278,18 @@ func SweepParallel(scheduler, algorithm string, nb, maxNT, workers int, opt Swee
 	for i := range points {
 		p := &points[i]
 		wall.ReplayPerPoint[i] = time.Duration(replayNs[i].Load())
-		min, sum := p.Makespans[0], 0.0
-		for _, m := range p.Makespans {
+		// Aggregates cover only the replicas this slice ran; a coordinator
+		// merging W slices recomputes them over the full vector.
+		min, sum := p.Makespans[owned[0]], 0.0
+		for _, rep := range owned {
+			m := p.Makespans[rep]
 			if m < min {
 				min = m
 			}
 			sum += m
 		}
 		p.MinMakespan = min
-		p.MeanMakespan = sum / float64(len(p.Makespans))
+		p.MeanMakespan = sum / float64(len(owned))
 		if min > 0 {
 			p.GFlops = kernels.AlgorithmFlops(algorithm, p.N) / min / 1e9
 		}

@@ -96,3 +96,69 @@ func TestReplicaSeedIndependentOfOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepReplicaSliceMerge is the cluster fan-out guarantee: W sliced
+// runs (rep % W == offset) merged entry-wise reproduce the unsliced sweep
+// bit for bit, because replica seeds are logical-coordinate functions and
+// never depend on which node (or slice) runs them.
+func TestSweepReplicaSliceMerge(t *testing.T) {
+	const reps, maxNT = 5, 5
+	full, _, err := SweepParallel("quark", "cholesky", 8, maxNT, 4, SweepOptions{
+		Reps: reps, Shards: 2, Model: replayJitter{}, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{2, 3} {
+		merged := make([][]float64, len(full))
+		for i, p := range full {
+			merged[i] = make([]float64, len(p.Makespans))
+		}
+		for off := 0; off < stride; off++ {
+			part, _, err := SweepParallel("quark", "cholesky", 8, maxNT, 4, SweepOptions{
+				Reps: reps, Shards: 2, Model: replayJitter{}, Seed: 31,
+				RepOffset: off, RepStride: stride,
+			})
+			if err != nil {
+				t.Fatalf("slice %d/%d: %v", off, stride, err)
+			}
+			for i, p := range part {
+				if p.NT != full[i].NT || p.NumTasks != full[i].NumTasks {
+					t.Fatalf("slice %d/%d point %d: structure diverged", off, stride, i)
+				}
+				for rep := off; rep < reps; rep += stride {
+					if p.Makespans[rep] == 0 {
+						t.Fatalf("slice %d/%d point %d: owned replica %d not run", off, stride, i, rep)
+					}
+					merged[i][rep] = p.Makespans[rep]
+				}
+				// Unowned entries must stay untouched.
+				for rep := 0; rep < reps; rep++ {
+					if (rep-off)%stride != 0 && p.Makespans[rep] != 0 {
+						t.Fatalf("slice %d/%d point %d: replica %d run outside the slice", off, stride, i, rep)
+					}
+				}
+			}
+		}
+		for i := range full {
+			for rep := 0; rep < reps; rep++ {
+				if merged[i][rep] != full[i].Makespans[rep] {
+					t.Fatalf("stride %d point %d replica %d: merged %g != full %g",
+						stride, i, rep, merged[i][rep], full[i].Makespans[rep])
+				}
+			}
+		}
+	}
+
+	// Degenerate slices are rejected, not silently empty.
+	if _, _, err := SweepParallel("quark", "cholesky", 8, maxNT, 4, SweepOptions{
+		Reps: 2, Model: replayJitter{}, RepOffset: 3, RepStride: 2,
+	}); err == nil {
+		t.Fatal("offset >= stride accepted")
+	}
+	if _, _, err := SweepParallel("quark", "cholesky", 8, maxNT, 4, SweepOptions{
+		Reps: 2, Model: replayJitter{}, RepOffset: 2, RepStride: 8,
+	}); err == nil {
+		t.Fatal("empty slice (offset beyond reps) accepted")
+	}
+}

@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"supersim/internal/server"
+)
+
+const testKey = "test-cluster-key"
+
+// testWorker is one in-process simd instance behind an httptest listener.
+type testWorker struct {
+	srv  *server.Server
+	http *httptest.Server
+}
+
+func newTestWorker(t *testing.T, dataDir string) *testWorker {
+	t.Helper()
+	srv, err := server.New(server.Config{Pool: 2, ClusterKey: testKey, DataDir: dataDir})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	w := &testWorker{srv: srv, http: hs}
+	t.Cleanup(func() { w.stop() })
+	return w
+}
+
+func (w *testWorker) stop() {
+	if w.http != nil {
+		w.http.Close()
+		w.http = nil
+	}
+	if w.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = w.srv.Shutdown(ctx)
+		cancel()
+		w.srv = nil
+	}
+}
+
+// newTestCoordinator builds a coordinator with test-speed timing and
+// registers the given workers under w1, w2, ... Names sort in index
+// order, keeping placement deterministic.
+func newTestCoordinator(t *testing.T, dataDir string, workers ...*testWorker) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(Config{
+		Key:               testKey,
+		DataDir:           dataDir,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		PollInterval:      20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	hs := httptest.NewServer(c.Handler())
+	t.Cleanup(func() { hs.Close(); c.Shutdown() })
+	for i, w := range workers {
+		c.register(fmt.Sprintf("w%d", i+1), w.http.URL)
+	}
+	return c, hs
+}
+
+// keepAlive heartbeats the named workers every 50ms until the returned
+// stop function runs (or the test ends).
+func keepAlive(t *testing.T, c *Coordinator, names ...string) (stop func(name string)) {
+	t.Helper()
+	var mu sync.Mutex
+	alive := map[string]bool{}
+	for _, n := range names {
+		alive[n] = true
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() {
+		select {
+		case <-done:
+		default:
+			close(done)
+		}
+	})
+	go func() {
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				mu.Lock()
+				for _, n := range names {
+					if alive[n] {
+						c.heartbeat(n)
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+	return func(name string) {
+		mu.Lock()
+		alive[name] = false
+		mu.Unlock()
+	}
+}
+
+func submitDispatch(t *testing.T, baseURL string, spec server.JobSpec) DispatchView {
+	t.Helper()
+	raw, _ := json.Marshal(spec)
+	resp, err := http.Post(baseURL+"/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var view DispatchView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", resp.StatusCode, view)
+	}
+	return view
+}
+
+func getDispatch(t *testing.T, baseURL, id string) DispatchView {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/jobs/" + id)
+	if err != nil {
+		t.Fatalf("get dispatch: %v", err)
+	}
+	defer resp.Body.Close()
+	var view DispatchView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decoding dispatch: %v", err)
+	}
+	return view
+}
+
+func waitDispatch(t *testing.T, baseURL, id string, timeout time.Duration) DispatchView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		view := getDispatch(t, baseURL, id)
+		switch view.Status {
+		case StatusDone:
+			return view
+		case StatusFailed:
+			t.Fatalf("dispatch %s failed: %s", id, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatch %s still %s after %v: %+v", id, view.Status, timeout, view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func clusterMetrics(t *testing.T, baseURL string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	return m
+}
+
+// TestClusterSweepFanoutBitIdentical is the tentpole invariant: a sweep
+// fanned across 3 workers as replica slices merges to the bit-identical
+// curve and fingerprint of a single-node run.
+func TestClusterSweepFanoutBitIdentical(t *testing.T) {
+	spec := server.JobSpec{
+		Kind: "sweep", Algorithm: "cholesky", Scheduler: "quark",
+		NB: 8, MaxNT: 5, Reps: 6, Workers: 4, Seed: 42,
+	}
+
+	// Ground truth: the same spec on one standalone node.
+	ref := runSingleNode(t, spec)
+	if ref.Fingerprint == "" {
+		t.Fatal("reference sweep produced no fingerprint")
+	}
+
+	w1, w2, w3 := newTestWorker(t, ""), newTestWorker(t, ""), newTestWorker(t, "")
+	c, hs := newTestCoordinator(t, "", w1, w2, w3)
+	keepAlive(t, c, "w1", "w2", "w3")
+
+	view := submitDispatch(t, hs.URL, spec)
+	if len(view.Parts) != 3 {
+		t.Fatalf("sweep sliced into %d parts, want 3", len(view.Parts))
+	}
+	final := waitDispatch(t, hs.URL, view.ID, 60*time.Second)
+
+	workersSeen := map[string]bool{}
+	for _, p := range final.Parts {
+		workersSeen[p.Worker] = true
+	}
+	if len(workersSeen) != 3 {
+		t.Fatalf("parts ran on %d distinct workers, want 3: %+v", len(workersSeen), final.Parts)
+	}
+	if final.Result == nil {
+		t.Fatal("no merged result")
+	}
+	if final.Result.Fingerprint != ref.Fingerprint {
+		t.Fatalf("fanned-out fingerprint %s != single-node %s", final.Result.Fingerprint, ref.Fingerprint)
+	}
+	if len(final.Result.Sweep) != len(ref.Sweep) {
+		t.Fatalf("curve length %d != %d", len(final.Result.Sweep), len(ref.Sweep))
+	}
+	for i := range ref.Sweep {
+		for r, m := range ref.Sweep[i].Makespans {
+			if final.Result.Sweep[i].Makespans[r] != m {
+				t.Fatalf("nt=%d rep %d: merged %v != reference %v", ref.Sweep[i].NT, r, final.Result.Sweep[i].Makespans[r], m)
+			}
+		}
+		if final.Result.Sweep[i].MinMakespan != ref.Sweep[i].MinMakespan ||
+			final.Result.Sweep[i].MeanMakespan != ref.Sweep[i].MeanMakespan {
+			t.Fatalf("nt=%d aggregates diverge", ref.Sweep[i].NT)
+		}
+	}
+}
+
+// runSingleNode runs spec to completion on a fresh standalone server.
+func runSingleNode(t *testing.T, spec server.JobSpec) *server.JobResult {
+	t.Helper()
+	srv, err := server.New(server.Config{Pool: 2})
+	if err != nil {
+		t.Fatalf("reference server: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}()
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		switch job.Status() {
+		case server.StatusDone:
+			v, _ := srv.Job(job.ID)
+			return v.View().Result
+		case server.StatusFailed, server.StatusDead:
+			t.Fatalf("reference job %s", job.Status())
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reference job still %s", job.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterCacheRouting pins consistent-hash routing: repeats of a
+// cacheable spec land on the same worker and only the first captures.
+func TestClusterCacheRouting(t *testing.T) {
+	w1, w2 := newTestWorker(t, ""), newTestWorker(t, "")
+	c, hs := newTestCoordinator(t, "", w1, w2)
+	keepAlive(t, c, "w1", "w2")
+
+	spec := server.JobSpec{Algorithm: "cholesky", NT: 4, NB: 8, Reps: 2, Seed: 7}
+	first := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+	second := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+
+	if first.Parts[0].Worker != second.Parts[0].Worker {
+		t.Fatalf("repeat routed to %s, first to %s", second.Parts[0].Worker, first.Parts[0].Worker)
+	}
+	if first.Result.Fingerprint != second.Result.Fingerprint {
+		t.Fatalf("repeat fingerprint %s != %s", second.Result.Fingerprint, first.Result.Fingerprint)
+	}
+	m := clusterMetrics(t, hs.URL)
+	if m.Cache.Captures != 1 {
+		t.Fatalf("cluster-wide captures = %d after a repeat, want 1", m.Cache.Captures)
+	}
+	if m.Cache.Hits < 1 {
+		t.Fatalf("cluster-wide hits = %d, want >= 1", m.Cache.Hits)
+	}
+}
+
+// findNTOwnedBy searches for a tile count whose route key lands on the
+// wanted owner under the given ring membership — mirroring the ring the
+// coordinator builds for the same worker names.
+func findNTOwnedBy(t *testing.T, members []string, want string, spec server.JobSpec) server.JobSpec {
+	t.Helper()
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	for nt := 2; nt <= 40; nt++ {
+		s := spec
+		s.NT = nt
+		if err := s.Validate(); err != nil {
+			t.Fatalf("validate nt=%d: %v", nt, err)
+		}
+		if owner, _ := r.Owner(s.RouteKey()); owner == want {
+			return s
+		}
+	}
+	t.Fatalf("no nt in [2,40] owned by %s on ring %v", want, members)
+	return spec
+}
+
+// TestClusterPeerFrameFetch pins frame shipping: when a ring change moves
+// a key to a worker that never captured it, the new owner fetches the
+// .dag frame from the previous owner instead of re-capturing.
+func TestClusterPeerFrameFetch(t *testing.T) {
+	w1 := newTestWorker(t, "")
+	c, hs := newTestCoordinator(t, "", w1)
+	keepAlive(t, c, "w1", "w2")
+
+	// A spec that w2 will own once it joins the ring.
+	spec := findNTOwnedBy(t, []string{"w1", "w2"}, "w2",
+		server.JobSpec{Algorithm: "cholesky", NB: 8, Reps: 1, Seed: 11})
+
+	// Captured on w1 while it is the only worker.
+	first := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+	if got := first.Parts[0].Worker; got != "w1" {
+		t.Fatalf("first run on %s, want w1", got)
+	}
+
+	// w2 joins; the key's owner moves; the repeat must be served from a
+	// peer-fetched frame, not a new capture.
+	w2 := newTestWorker(t, "")
+	c.register("w2", w2.http.URL)
+
+	second := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+	if got := second.Parts[0].Worker; got != "w2" {
+		t.Fatalf("repeat routed to %s, want w2 after ring change", got)
+	}
+	if second.Result.Fingerprint != first.Result.Fingerprint {
+		t.Fatalf("peer-served fingerprint %s != original %s", second.Result.Fingerprint, first.Result.Fingerprint)
+	}
+	m := clusterMetrics(t, hs.URL)
+	if m.Cache.Captures != 1 {
+		t.Fatalf("cluster-wide captures = %d after frame fetch, want 1", m.Cache.Captures)
+	}
+	if m.Cache.PeerHits != 1 {
+		t.Fatalf("peer hits = %d, want 1", m.Cache.PeerHits)
+	}
+	if m.Cache.FramesServed != 1 {
+		t.Fatalf("frames served = %d, want 1", m.Cache.FramesServed)
+	}
+}
+
+// TestClusterWorkerRestartServesDiskFrame pins the durable half of the
+// routing story: a restarted worker serves a repeat of its routed key
+// from the persisted .dag frame — zero captures in the new process.
+func TestClusterWorkerRestartServesDiskFrame(t *testing.T) {
+	dir := t.TempDir()
+	w1 := newTestWorker(t, dir)
+	c, hs := newTestCoordinator(t, "", w1)
+	keepAlive(t, c, "w1")
+
+	spec := server.JobSpec{Algorithm: "qr", NT: 4, NB: 8, Reps: 1, Seed: 3}
+	first := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+
+	// Restart: new process, same data dir, same worker name.
+	w1.stop()
+	w1b := newTestWorker(t, dir)
+	c.register("w1", w1b.http.URL)
+
+	second := waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+	if second.Result.Fingerprint != first.Result.Fingerprint {
+		t.Fatalf("post-restart fingerprint %s != original %s", second.Result.Fingerprint, first.Result.Fingerprint)
+	}
+	m := clusterMetrics(t, hs.URL)
+	if m.Cache.Captures != 0 {
+		t.Fatalf("captures = %d in the restarted process, want 0 (disk frame)", m.Cache.Captures)
+	}
+	if m.Cache.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", m.Cache.DiskHits)
+	}
+}
+
+// fakeWorker is a scripted worker: it accepts any job and serves a
+// controllable job view — the instrument for failover and dedupe tests.
+type fakeWorker struct {
+	http *httptest.Server
+
+	mu   sync.Mutex
+	view server.JobView // guarded-by: mu
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{}
+	f.view = server.JobView{ID: "fake-1", Status: server.StatusRunning}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		v := f.view
+		f.mu.Unlock()
+		v.Status = server.StatusQueued
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		v := f.view
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, server.MetricsSnapshot{})
+	})
+	f.http = httptest.NewServer(mux)
+	t.Cleanup(f.http.Close)
+	return f
+}
+
+func (f *fakeWorker) complete(res *server.JobResult) {
+	f.mu.Lock()
+	f.view.Status = server.StatusDone
+	f.view.Result = res
+	f.mu.Unlock()
+}
+
+// TestClusterFailoverRedispatchDedupe pins the failover story end to end:
+// a worker that stops heartbeating is declared dead, its accepted job is
+// re-dispatched onto the ring and completes with the identical
+// fingerprint; when the "dead" worker later reports its own completion,
+// the duplicate is recognized by fingerprint and dropped, not
+// double-counted.
+func TestClusterFailoverRedispatchDedupe(t *testing.T) {
+	w1 := newTestWorker(t, "")
+	fake := newFakeWorker(t)
+
+	c, hs := newTestCoordinator(t, "", w1)
+	c.register("w2", fake.http.URL)
+	stop := keepAlive(t, c, "w1", "w2")
+
+	// Route the job to the fake (w2) so its death exercises failover.
+	spec := findNTOwnedBy(t, []string{"w1", "w2"}, "w2",
+		server.JobSpec{Algorithm: "cholesky", NB: 8, Reps: 1, Seed: 23})
+	view := submitDispatch(t, hs.URL, spec)
+
+	// Wait until the fake has accepted the part.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v := getDispatch(t, hs.URL, view.ID)
+		if len(v.Parts) == 1 && v.Parts[0].Worker == "w2" && v.Parts[0].JobID != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("part never accepted by w2: %+v", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Silence w2: heartbeats stop, the server stays up (partition, not
+	// crash). The coordinator must declare it dead and re-dispatch to w1.
+	stop("w2")
+	final := waitDispatch(t, hs.URL, view.ID, 30*time.Second)
+	if got := final.Parts[0].Worker; got != "w1" {
+		t.Fatalf("failover re-dispatched to %s, want w1", got)
+	}
+	if final.Parts[0].Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (failover)", final.Parts[0].Attempts)
+	}
+	if c.failovers.Load() == 0 {
+		t.Fatal("failover counter never incremented")
+	}
+	ref := runSingleNode(t, spec)
+	if final.Result.Fingerprint != ref.Fingerprint {
+		t.Fatalf("re-dispatched fingerprint %s != single-node %s", final.Result.Fingerprint, ref.Fingerprint)
+	}
+
+	// The partitioned worker finally "completes" its copy with the same
+	// deterministic result. The tracker must observe it and dedupe by
+	// fingerprint.
+	fake.complete(final.Result)
+	deadline = time.Now().Add(10 * time.Second)
+	for c.deduped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("duplicate completion never deduped (mismatches=%d)", c.mismatches.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.mismatches.Load() != 0 {
+		t.Fatalf("fingerprint mismatches = %d, want 0", c.mismatches.Load())
+	}
+}
+
+// TestClusterMetricsAggregation checks the /metrics merge: job counts and
+// latency observations from several workers sum into one document.
+func TestClusterMetricsAggregation(t *testing.T) {
+	w1, w2 := newTestWorker(t, ""), newTestWorker(t, "")
+	c, hs := newTestCoordinator(t, "", w1, w2)
+	keepAlive(t, c, "w1", "w2")
+
+	// Two distinct cacheable jobs — likely split across workers, but the
+	// aggregation must hold either way.
+	for _, nt := range []int{3, 5} {
+		spec := server.JobSpec{Algorithm: "cholesky", NT: nt, NB: 8, Reps: 1, Seed: 9}
+		waitDispatch(t, hs.URL, submitDispatch(t, hs.URL, spec).ID, 30*time.Second)
+	}
+	m := clusterMetrics(t, hs.URL)
+	if m.Jobs.Done != 2 {
+		t.Fatalf("aggregated done = %d, want 2", m.Jobs.Done)
+	}
+	if m.Cache.Captures != 2 {
+		t.Fatalf("aggregated captures = %d, want 2", m.Cache.Captures)
+	}
+	if m.Run.Count != 2 {
+		t.Fatalf("aggregated run count = %d, want 2", m.Run.Count)
+	}
+	if m.Run.MeanMS <= 0 || m.Run.P95MS < m.Run.P50MS {
+		t.Fatalf("merged run latency implausible: %+v", m.Run)
+	}
+	if m.Live != 2 {
+		t.Fatalf("live = %d, want 2", m.Live)
+	}
+}
+
+// TestCoordinatorJournalRecovery checks that a restarted coordinator
+// re-dispatches acknowledged-but-unfinished work from its journal.
+func TestCoordinatorJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{Key: testKey, DataDir: dir, PollInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	// Accept a dispatch with no workers attached: journaled, never sent.
+	id, err := c1.submit(server.JobSpec{Algorithm: "cholesky", NT: 4, NB: 8}, [2]string{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	c1.Shutdown()
+
+	w1 := newTestWorker(t, "")
+	c2, hs := newTestCoordinator(t, dir, w1)
+	keepAlive(t, c2, "w1")
+	final := waitDispatch(t, hs.URL, id, 30*time.Second)
+	if !final.Recovered {
+		t.Fatal("recovered dispatch not flagged")
+	}
+	if final.Result == nil || final.Result.Fingerprint == "" {
+		t.Fatal("recovered dispatch produced no result")
+	}
+}

@@ -1,0 +1,607 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supersim/internal/journal"
+	"supersim/internal/server"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Key is the cluster's shared secret (required). Workers must be
+	// started with the same key (-cluster-key): it authenticates
+	// register/heartbeat traffic, the coordinator's job submissions to
+	// workers, and the peer frame endpoint.
+	Key string
+	// DataDir, when set, journals accepted dispatches under
+	// <DataDir>/cluster/ so a restarted coordinator re-dispatches
+	// acknowledged-but-unfinished work (specs only — results and client
+	// credentials are not journaled; recovered dispatches resubmit under
+	// the workers' anonymous tenant).
+	DataDir string
+	// HeartbeatInterval is the base heartbeat cadence advertised to
+	// workers (they jitter it ×[0.5,1.5); default 2s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// declared dead, removed from the ring, and its unfinished dispatches
+	// re-routed (default 4× HeartbeatInterval).
+	HeartbeatTimeout time.Duration
+	// PollInterval is the tracker cadence: dispatch sends, job polls and
+	// death detection all run on this clock (default 250ms).
+	PollInterval time.Duration
+	// Client is the HTTP client for worker traffic (default: 30s timeout).
+	Client *http.Client
+}
+
+func (c *Config) fill() error {
+	if c.Key == "" {
+		return fmt.Errorf("cluster: coordinator requires a shared key")
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 250 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// worker is one registered simd instance. All fields after name/url are
+// guarded by the owning Coordinator's mu (cross-struct lock).
+type worker struct {
+	name string
+	url  string
+
+	lastBeat time.Time // guarded by Coordinator.mu
+	live     bool      // guarded by Coordinator.mu
+}
+
+// Part statuses.
+const (
+	partPending = "pending" // not yet accepted by a worker
+	partSent    = "sent"    // accepted (worker returned 202); being polled
+	partDone    = "done"
+	partFailed  = "failed"
+)
+
+// attempt is one (worker, worker-job) incarnation of a part. Failover
+// creates a new attempt; prior attempts keep being polled so a
+// falsely-declared-dead worker's completion is recognized and deduplicated
+// by fingerprint instead of double-counted.
+type attempt struct {
+	Worker string `json:"worker"`
+	JobID  string `json:"job_id,omitempty"`
+	view   *server.JobView // guarded by Coordinator.mu — last poll
+	// settled marks the attempt resolved (terminal status seen, job gone,
+	// or abandoned on a dead worker): the tracker stops polling it. An
+	// unsettled attempt keeps being polled even after its dispatch
+	// finishes, so a duplicate completion is observed and deduplicated
+	// instead of silently ignored.
+	settled bool // guarded by Coordinator.mu
+}
+
+// part is one worker-sized slice of a dispatch: the whole job, or one
+// replica slice (RepOffset/RepStride) of a fanned-out sweep. All fields
+// are guarded by the owning Coordinator's mu.
+type part struct {
+	repOffset, repStride int
+	attempts             []*attempt // guarded by Coordinator.mu — last is current
+	status               string     // guarded by Coordinator.mu
+	result               *server.JobResult
+}
+
+func (p *part) current() *attempt { return p.attempts[len(p.attempts)-1] }
+
+// Dispatch statuses (client-visible).
+const (
+	StatusQueued  = "queued" // accepted; at least one part not yet on a worker
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// dispatch is one client job accepted by the coordinator. All mutable
+// fields are guarded by the owning Coordinator's mu.
+type dispatch struct {
+	id       string
+	spec     server.JobSpec
+	routeKey string    // "" for non-cacheable specs
+	auth     [2]string // forwarded X-API-Key / Authorization values
+
+	parts     []*part // guarded by Coordinator.mu
+	status    string  // guarded by Coordinator.mu
+	result    *server.JobResult
+	errMsg    string // guarded by Coordinator.mu
+	recovered bool   // re-dispatched by journal recovery
+}
+
+// Coordinator is the simcluster control plane: it registers workers,
+// routes jobs onto the consistent-hash ring by capture key, fans sweeps
+// out as replica slices, ships frame-location hints, polls parts to
+// completion, merges results, and fails work over off dead workers.
+type Coordinator struct {
+	cfg Config
+	jl  *journal.Journal // nil without DataDir
+	mux *http.ServeMux
+
+	mu          sync.Mutex
+	workers     map[string]*worker   // guarded-by: mu
+	ring        *Ring                // guarded-by: mu
+	dispatches  map[string]*dispatch // guarded-by: mu
+	order       []string             // guarded-by: mu — accept order
+	routeOrigin map[string]string    // guarded-by: mu — route key → worker last known to hold its frame
+	nextID      uint64               // guarded-by: mu
+
+	dispatched atomic.Uint64 // parts sent to workers
+	failovers  atomic.Uint64 // parts re-routed off a dead worker
+	deduped    atomic.Uint64 // duplicate completions dropped by fingerprint
+	mismatches atomic.Uint64 // duplicate completions whose fingerprints diverged
+
+	start time.Time
+	kick  chan struct{} // nudges the tracker out of its poll sleep
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New constructs a Coordinator, recovers the dispatch journal when
+// Config.DataDir is set, and starts the tracker loop.
+func New(cfg Config) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		workers:     make(map[string]*worker),
+		ring:        NewRing(0),
+		dispatches:  make(map[string]*dispatch),
+		routeOrigin: make(map[string]string),
+		start:       time.Now(),
+		kick:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := c.openJournal(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
+	c.mux = c.routes()
+	c.wg.Add(1)
+	go c.track()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Shutdown stops the tracker and closes the journal. In-flight worker
+// jobs keep running on their workers; a restarted coordinator re-adopts
+// journaled unfinished dispatches by re-dispatching them.
+func (c *Coordinator) Shutdown() {
+	close(c.quit)
+	c.wg.Wait()
+	if c.jl != nil {
+		c.jl.Close()
+	}
+}
+
+// register adds (or revives) a worker. Same-name re-registration updates
+// the URL — the restart case.
+func (c *Coordinator) register(name, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil {
+		w = &worker{name: name}
+		c.workers[name] = w
+	}
+	w.url = url
+	w.lastBeat = time.Now()
+	w.live = true
+	c.ring.Add(name)
+	c.kickTracker()
+}
+
+// heartbeat records a worker's liveness proof; false means the worker is
+// unknown (a restarted coordinator) and must re-register.
+func (c *Coordinator) heartbeat(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil {
+		return false
+	}
+	w.lastBeat = time.Now()
+	if !w.live {
+		// Rejoin after a missed-heartbeat death: back onto the ring.
+		w.live = true
+		c.ring.Add(name)
+		c.kickTracker()
+	}
+	return true
+}
+
+func (c *Coordinator) kickTracker() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// liveWorkersLocked returns the live workers sorted by name.
+// Caller holds c.mu. The sort keeps every placement decision derived from
+// this list deterministic (and detmap-clean) regardless of map iteration
+// order.
+func (c *Coordinator) liveWorkersLocked() []*worker {
+	out := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.live {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// submit admits one client job: it validates the spec, slices it into
+// parts, journals the acceptance (AppendSync — the 202 must not outrun
+// the fsync), and leaves the parts for the tracker to place. Returns the
+// dispatch ID.
+func (c *Coordinator) submit(spec server.JobSpec, auth [2]string) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	if spec.RepStride > 1 {
+		return "", fmt.Errorf("cluster: rep_stride is coordinator-internal; submit an unsliced sweep")
+	}
+	c.mu.Lock()
+	c.nextID++
+	d := &dispatch{
+		id:     fmt.Sprintf("d-%06d", c.nextID),
+		spec:   spec,
+		auth:   auth,
+		status: StatusQueued,
+	}
+	if spec.Cacheable() {
+		d.routeKey = spec.RouteKey()
+	}
+	d.parts = c.sliceLocked(d)
+	c.dispatches[d.id] = d
+	c.order = append(c.order, d.id)
+	c.mu.Unlock()
+
+	if err := c.journalDispatch(d); err != nil {
+		c.mu.Lock()
+		delete(c.dispatches, d.id)
+		c.order = c.order[:len(c.order)-1]
+		c.mu.Unlock()
+		return "", fmt.Errorf("cluster: journaling dispatch: %w", err)
+	}
+	c.kickTracker()
+	return d.id, nil
+}
+
+// sliceLocked splits a dispatch into parts. A sweep with more than one
+// replica fans out across the live workers as replica slices (stride =
+// part count); everything else is a single part. Caller holds c.mu.
+func (c *Coordinator) sliceLocked(d *dispatch) []*part {
+	fan := 1
+	if d.spec.Kind == "sweep" && d.spec.Reps > 1 {
+		if live := len(c.liveWorkersLocked()); live > 1 {
+			fan = live
+			if fan > d.spec.Reps {
+				fan = d.spec.Reps
+			}
+		}
+	}
+	parts := make([]*part, fan)
+	for i := range parts {
+		parts[i] = &part{
+			repOffset: i, repStride: fan,
+			status:   partPending,
+			attempts: []*attempt{{}}, // current() must always resolve
+		}
+		if fan == 1 {
+			parts[i].repStride = 0 // unsliced
+		}
+	}
+	return parts
+}
+
+// placeLocked picks the worker for one part of a dispatch, or "" when no
+// live worker exists. Cacheable jobs go to the ring owner of their route
+// key, so repeats land where the frame already lives; fanned-out sweep
+// slices round-robin across the live workers (slice i on worker i mod
+// live — maximal spread); other non-cacheable jobs hash their dispatch
+// identity onto the ring, spreading load without disturbing cache
+// routing. Caller holds c.mu.
+func (c *Coordinator) placeLocked(d *dispatch, idx int) string {
+	if d.routeKey != "" {
+		owner, ok := c.ring.Owner(d.routeKey)
+		if !ok {
+			return ""
+		}
+		return owner
+	}
+	if len(d.parts) > 1 {
+		live := c.liveWorkersLocked()
+		if len(live) == 0 {
+			return ""
+		}
+		return live[idx%len(live)].name
+	}
+	owner, ok := c.ring.Owner(fmt.Sprintf("%s/%d", d.id, idx))
+	if !ok {
+		return ""
+	}
+	return owner
+}
+
+// frameHintLocked returns the URL of the worker last known to hold the
+// dispatch's frame, when that is a different live worker than the
+// assignee — the coordinator's routing hint that turns a ring change into
+// a peer frame fetch instead of a re-capture. Caller holds c.mu.
+func (c *Coordinator) frameHintLocked(d *dispatch, assignee string) string {
+	if d.routeKey == "" {
+		return ""
+	}
+	origin := c.routeOrigin[d.routeKey]
+	if origin == "" || origin == assignee {
+		return ""
+	}
+	w := c.workers[origin]
+	if w == nil || !w.live {
+		return ""
+	}
+	return w.url
+}
+
+// Snapshot types for the HTTP API.
+
+// PartView is one part of a dispatch as served by the API.
+type PartView struct {
+	Worker    string `json:"worker,omitempty"`
+	JobID     string `json:"job_id,omitempty"`
+	Status    string `json:"status"`
+	RepOffset int    `json:"rep_offset,omitempty"`
+	RepStride int    `json:"rep_stride,omitempty"`
+	Attempts  int    `json:"attempts"`
+}
+
+// DispatchView is the JSON representation of one coordinator job.
+type DispatchView struct {
+	ID        string            `json:"id"`
+	Status    string            `json:"status"`
+	Kind      string            `json:"kind"`
+	Algorithm string            `json:"algorithm"`
+	RouteKey  string            `json:"route_key,omitempty"`
+	Recovered bool              `json:"recovered,omitempty"`
+	Parts     []PartView        `json:"parts"`
+	Error     string            `json:"error,omitempty"`
+	Result    *server.JobResult `json:"result,omitempty"`
+}
+
+// dispatchView renders one dispatch for the API. Caller holds c.mu.
+func (c *Coordinator) dispatchView(d *dispatch) DispatchView {
+	v := DispatchView{
+		ID:        d.id,
+		Status:    d.status,
+		Kind:      d.spec.Kind,
+		Algorithm: d.spec.Algorithm,
+		RouteKey:  d.routeKey,
+		Recovered: d.recovered,
+		Error:     d.errMsg,
+		Result:    d.result,
+	}
+	for _, p := range d.parts {
+		cur := p.current()
+		v.Parts = append(v.Parts, PartView{
+			Worker:    cur.Worker,
+			JobID:     cur.JobID,
+			Status:    p.status,
+			RepOffset: p.repOffset,
+			RepStride: p.repStride,
+			Attempts:  len(p.attempts),
+		})
+	}
+	return v
+}
+
+// WorkerStatus is one worker's row in /healthz and /metrics.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	Live bool   `json:"live"`
+	// SilentMS is how long ago the last heartbeat (or registration)
+	// arrived.
+	SilentMS int64 `json:"silent_ms"`
+}
+
+// workerStatuses snapshots the worker table sorted by name.
+func (c *Coordinator) workerStatuses() []WorkerStatus {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerStatus{
+			Name: w.name, URL: w.url, Live: w.live,
+			SilentMS: now.Sub(w.lastBeat).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- journal ---
+
+// dispatchRecord is the journaled form of an accepted dispatch. Client
+// credentials are deliberately absent: a recovered dispatch resubmits
+// under the workers' anonymous tenant rather than persisting secrets.
+type dispatchRecord struct {
+	ID   string         `json:"id"`
+	Spec server.JobSpec `json:"spec"`
+}
+
+// finishRecord marks a dispatch settled; Fingerprint records the merged
+// result's identity so operators can audit exactly-once across restarts.
+type finishRecord struct {
+	ID          string `json:"id"`
+	Status      string `json:"status"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// openJournal replays the dispatch journal into the coordinator's
+// tables: finished dispatches are restored fingerprint-only, unfinished
+// ones become pending parts the tracker re-dispatches once workers
+// register.
+//
+//simlint:allow guarded — construction precedes publication: called from New before the tracker starts or the handler is served
+func (c *Coordinator) openJournal(dataDir string) error {
+	jl, rec, err := journal.Open(dataDir + "/cluster")
+	if err != nil {
+		return err
+	}
+	c.jl = jl
+	finished := make(map[string]finishRecord)
+	var ids []string
+	specs := make(map[string]server.JobSpec)
+	for _, r := range rec.Records {
+		switch r.Type {
+		case "dispatch":
+			var dr dispatchRecord
+			if json.Unmarshal(r.Data, &dr) == nil {
+				if _, seen := specs[dr.ID]; !seen {
+					ids = append(ids, dr.ID)
+				}
+				specs[dr.ID] = dr.Spec
+			}
+		case "finish":
+			var fr finishRecord
+			if json.Unmarshal(r.Data, &fr) == nil {
+				finished[fr.ID] = fr
+			}
+		}
+	}
+	for _, id := range ids {
+		spec := specs[id]
+		d := &dispatch{id: id, spec: spec, recovered: true}
+		if spec.Cacheable() {
+			d.routeKey = spec.RouteKey()
+		}
+		if fr, ok := finished[id]; ok {
+			// Settled before the restart: restore the verdict (results are
+			// not journaled; the fingerprint is the audit trail).
+			d.status = fr.Status
+			d.parts = []*part{{status: partDone, attempts: []*attempt{{}}}}
+			if fr.Fingerprint != "" {
+				d.result = &server.JobResult{Fingerprint: fr.Fingerprint}
+			}
+		} else {
+			// Acknowledged but unfinished: rebuild parts and let the tracker
+			// re-dispatch once workers register. Sweeps re-slice on the
+			// post-restart ring; the replica-seed invariant keeps the merged
+			// result identical to any earlier slicing.
+			d.status = StatusQueued
+			d.parts = []*part{{status: partPending}}
+		}
+		for _, p := range d.parts {
+			if len(p.attempts) == 0 {
+				p.attempts = []*attempt{{}}
+			}
+		}
+		c.dispatches[id] = d
+		c.order = append(c.order, id)
+		// Keep dispatch IDs monotone across restarts.
+		var n uint64
+		if _, err := fmt.Sscanf(id, "d-%d", &n); err == nil && n > c.nextID {
+			c.nextID = n
+		}
+	}
+	return nil
+}
+
+// journalDispatch persists an acceptance. Synchronous by contract: the
+// caller only acks the client after this returns (the durable analyzer's
+// happens-before edge).
+func (c *Coordinator) journalDispatch(d *dispatch) error {
+	if c.jl == nil {
+		return nil
+	}
+	_, err := c.jl.AppendSync("dispatch", dispatchRecord{ID: d.id, Spec: d.spec})
+	return err
+}
+
+// journalFinish records a settled dispatch (async: losing a finish record
+// merely re-dispatches idempotent work after a crash).
+func (c *Coordinator) journalFinish(d *dispatch) {
+	if c.jl == nil {
+		return
+	}
+	fp := ""
+	if d.result != nil {
+		fp = d.result.Fingerprint
+	}
+	_, _ = c.jl.Append("finish", finishRecord{ID: d.id, Status: d.status, Fingerprint: fp})
+}
+
+// --- HTTP plumbing shared with the tracker ---
+
+// workerRequest issues one authenticated request to a worker, decoding a
+// JSON response body into out (when non-nil). Returns the status code.
+func (c *Coordinator) workerRequest(method, url string, body any, auth [2]string, hdr map[string]string, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("X-Cluster-Key", c.cfg.Key)
+	if auth[0] != "" {
+		req.Header.Set("X-API-Key", auth[0])
+	}
+	if auth[1] != "" {
+		req.Header.Set("Authorization", auth[1])
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

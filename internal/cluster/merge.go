@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+
+	"supersim/internal/bench"
+	"supersim/internal/kernels"
+	"supersim/internal/server"
+)
+
+// mergeParts assembles a dispatch's final result from its completed
+// parts. A single part passes through verbatim; a fanned-out sweep is
+// merged entry-wise: part (offset, stride) owns exactly the replicas
+// rep % stride == offset of every point, and because replica seeds are
+// pure functions of (base seed, NT, rep) — never of placement — the
+// merged vector is bit-identical to a single-node run of the same spec.
+// Aggregates and the curve fingerprint are recomputed over the full
+// vector with the worker's own code (server.SweepFingerprint), so a
+// fanned-out dispatch's fingerprint is directly comparable to a
+// single-node job's.
+func mergeParts(spec *server.JobSpec, parts []*part) (*server.JobResult, error) {
+	if len(parts) == 1 {
+		if parts[0].result == nil {
+			return nil, fmt.Errorf("cluster: part completed without a result")
+		}
+		return parts[0].result, nil
+	}
+
+	var points []bench.SweepPoint
+	for _, p := range parts {
+		if p.result == nil || len(p.result.Sweep) == 0 {
+			return nil, fmt.Errorf("cluster: sweep part completed without a curve")
+		}
+		if points == nil {
+			// Deep-copy the first part's curve as the merge scaffold.
+			points = make([]bench.SweepPoint, len(p.result.Sweep))
+			copy(points, p.result.Sweep)
+			for i := range points {
+				points[i].Makespans = make([]float64, len(p.result.Sweep[i].Makespans))
+			}
+		}
+		if len(p.result.Sweep) != len(points) {
+			return nil, fmt.Errorf("cluster: sweep parts disagree on point count (%d vs %d)",
+				len(p.result.Sweep), len(points))
+		}
+		for i := range points {
+			src := p.result.Sweep[i].Makespans
+			if len(src) != len(points[i].Makespans) {
+				return nil, fmt.Errorf("cluster: sweep parts disagree on replica count at nt=%d", points[i].NT)
+			}
+			for rep := p.repOffset; rep < len(src); rep += p.repStride {
+				points[i].Makespans[rep] = src[rep]
+			}
+		}
+	}
+
+	res := &server.JobResult{Sweep: points}
+	for i := range points {
+		p := &points[i]
+		min, sum := p.Makespans[0], 0.0
+		for _, m := range p.Makespans {
+			if m < min {
+				min = m
+			}
+			sum += m
+		}
+		p.MinMakespan = min
+		p.MeanMakespan = sum / float64(len(p.Makespans))
+		if min > 0 {
+			p.GFlops = kernels.AlgorithmFlops(spec.Algorithm, p.N) / min / 1e9
+		}
+	}
+	if n := len(points); n > 0 {
+		last := points[n-1]
+		res.NumTasks = last.NumTasks
+		res.Makespan = last.Makespans[0]
+		res.MinMakespan = last.MinMakespan
+		res.MeanMakespan = last.MeanMakespan
+		res.GFlops = last.GFlops
+	}
+	res.Fingerprint = server.SweepFingerprint(points)
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys builds a deterministic key population shaped like real routing
+// keys (algorithm|scheduler|policy|nt|nb|window).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	algs := []string{"cholesky", "qr", "lu"}
+	scheds := []string{"quark", "starpu", "ompss"}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s|%s||%d|%d|0", algs[i%len(algs)], scheds[(i/3)%len(scheds)], 2+i%60, 8+8*(i%4))
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = o
+	}
+	return out
+}
+
+// TestRingMinimalRemapping is the consistent-hashing property test: when a
+// node joins an N-node ring, only the keys the new node takes over may
+// move (expected |K|/(N+1)); when it leaves again, exactly the keys it
+// owned move and everything else stays put.
+func TestRingMinimalRemapping(t *testing.T) {
+	const nKeys = 4000
+	keys := ringKeys(nKeys)
+	for _, nNodes := range []int{2, 3, 5, 8} {
+		r := NewRing(0)
+		for i := 0; i < nNodes; i++ {
+			r.Add(fmt.Sprintf("worker-%d", i))
+		}
+		before := owners(r, keys)
+
+		// Join: moved keys must all move TO the joiner, and their count
+		// must stay near |K|/(N+1). The 2x factor absorbs vnode placement
+		// variance (128 vnodes keeps the spread tight, not exact).
+		r.Add("joiner")
+		after := owners(r, keys)
+		moved := 0
+		for k, o := range after {
+			if o != before[k] {
+				moved++
+				if o != "joiner" {
+					t.Fatalf("n=%d: key %q moved %s -> %s, not to the joiner", nNodes, k, before[k], o)
+				}
+			}
+		}
+		expected := nKeys / (nNodes + 1)
+		if moved > 2*expected {
+			t.Fatalf("n=%d: join remapped %d keys, want <= %d (2x expected %d)", nNodes, moved, 2*expected, expected)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: join remapped nothing; ring is not spreading", nNodes)
+		}
+
+		// Leave: the ring must return exactly to the pre-join assignment —
+		// remove(add(ring)) is the identity on ownership.
+		r.Remove("joiner")
+		restored := owners(r, keys)
+		for k, o := range restored {
+			if o != before[k] {
+				t.Fatalf("n=%d: key %q owned by %s after leave, originally %s", nNodes, k, o, before[k])
+			}
+		}
+	}
+}
+
+// TestRingSpread sanity-checks that no node owns a grossly outsized share
+// of the key population.
+func TestRingSpread(t *testing.T) {
+	const nKeys, nNodes = 6000, 4
+	r := NewRing(0)
+	for i := 0; i < nNodes; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	for _, k := range ringKeys(nKeys) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	if len(counts) != nNodes {
+		t.Fatalf("only %d of %d nodes own keys: %v", len(counts), nNodes, counts)
+	}
+	fair := nKeys / nNodes
+	for n, c := range counts {
+		if c < fair/3 || c > 3*fair {
+			t.Fatalf("node %s owns %d keys, fair share %d; spread too skewed: %v", n, c, fair, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("a")
+	r.Add("a") // idempotent
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d after duplicate add, want 1", got)
+	}
+	if o, ok := r.Owner("k"); !ok || o != "a" {
+		t.Fatalf("single-node ring routed to %q/%v, want a", o, ok)
+	}
+	r.Remove("missing") // no-op
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removing its only node: len=%d points=%d", r.Len(), len(r.points))
+	}
+	if !NewRing(0).Has("x") == false {
+		t.Fatal("Has on empty ring")
+	}
+}

@@ -59,19 +59,23 @@ func newCaptureCache(capacity int, disk *dagDisk) *captureCache {
 const (
 	cacheHit    = "hit"    // served from memory (or a concurrent in-flight capture)
 	cacheDisk   = "disk"   // served from a persisted .dag frame, no capture run
+	cachePeer   = "peer"   // served from a frame fetched off a cluster peer, no capture run
 	cacheMiss   = "miss"   // capture executed
 	cacheBypass = "bypass" // job ineligible for the capture cache
 )
 
 // get returns the DAG for key, capturing it via capture() if absent from
-// both levels. The disposition reports how the caller was served:
+// every level. The disposition reports how the caller was served:
 // cacheHit (memory, including waiting on another goroutine's in-flight
-// capture), cacheDisk (loaded from the persisted frame), or cacheMiss
-// (capture ran). Disk loads happen inside the singleflight slot, so
-// concurrent requests never read or decode the same frame twice. A failed
-// capture is not cached: its waiters receive the error, then the entry is
-// removed so a later job can retry.
-func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (dag *replay.DAG, disposition string, err error) {
+// capture), cacheDisk (loaded from the persisted frame), cachePeer (frame
+// fetched from the cluster peer named by fetch — nil when no hint exists),
+// or cacheMiss (capture ran). Disk probes and peer fetches happen inside
+// the singleflight slot, so concurrent requests never read, decode or
+// fetch the same frame twice, and a fetched frame is written through to
+// the local disk level so the next restart serves it without the peer. A
+// failed capture is not cached: its waiters receive the error, then the
+// entry is removed so a later job can retry.
+func (c *captureCache) get(key cacheKey, fetch func() (*replay.DAG, []byte, bool), capture func() (*replay.DAG, error)) (dag *replay.DAG, disposition string, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.tick++
@@ -93,6 +97,20 @@ func (c *captureCache) get(key cacheKey, capture func() (*replay.DAG, error)) (d
 		c.evict()
 		c.mu.Unlock()
 		return e.dag, cacheDisk, nil
+	}
+
+	if fetch != nil {
+		if dag, raw, ok := fetch(); ok {
+			e.dag = dag
+			close(e.done)
+			c.mu.Lock()
+			c.evict()
+			c.mu.Unlock()
+			// Write-through after publication, same as a capture: the next
+			// restart serves this frame from disk without the peer.
+			c.disk.saveRaw(key, raw)
+			return e.dag, cachePeer, nil
+		}
 	}
 
 	c.mu.Lock()
@@ -142,6 +160,31 @@ func (c *captureCache) evict() {
 		delete(c.entries, victim)
 		c.evictions++
 	}
+}
+
+// frame returns the encoded .dag frame for key if it is present in memory
+// or on disk, for serving to a cluster peer. A completed memory entry is
+// re-encoded from its arena; otherwise the persisted frame is read raw. An
+// in-flight entry is skipped rather than waited on — the peer treats a
+// miss as "re-capture yourself", and blocking a frame request on someone
+// else's capture would couple two nodes' latencies for no benefit.
+func (c *captureCache) frame(key cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		select {
+		case <-e.done:
+		default:
+			ok = false // in-flight
+		}
+	}
+	c.mu.Unlock()
+	if ok && e.err == nil && e.dag != nil {
+		if arena, err := e.dag.Arena(); err == nil {
+			return arena.Encode(), true
+		}
+	}
+	return c.disk.frame(key)
 }
 
 // stats reports the cache's internal counters (entry count, captures,

@@ -30,7 +30,7 @@ func TestCaptureCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			dag, disp, err := c.get(key(4), func() (*replay.DAG, error) {
+			dag, disp, err := c.get(key(4), nil, func() (*replay.DAG, error) {
 				captures.Add(1)
 				time.Sleep(5 * time.Millisecond) // hold the flight open so waiters pile up
 				return want, nil
@@ -72,12 +72,12 @@ func TestCaptureCacheErrorNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	var calls int
 
-	_, _, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return nil, boom })
+	_, _, err := c.get(key(4), nil, func() (*replay.DAG, error) { calls++; return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("first get: err=%v, want %v", err, boom)
 	}
 	want := &replay.DAG{}
-	dag, disp, err := c.get(key(4), func() (*replay.DAG, error) { calls++; return want, nil })
+	dag, disp, err := c.get(key(4), nil, func() (*replay.DAG, error) { calls++; return want, nil })
 	if err != nil || dag != want || disp != cacheMiss {
 		t.Fatalf("retry after failure: dag=%p disp=%q err=%v, want fresh capture", dag, disp, err)
 	}
@@ -92,18 +92,18 @@ func TestCaptureCacheEviction(t *testing.T) {
 	c := newCaptureCache(2, nil)
 	cap1 := func() (*replay.DAG, error) { return &replay.DAG{}, nil }
 
-	c.get(key(1), cap1)
-	c.get(key(2), cap1)
-	c.get(key(1), cap1) // refresh key(1): key(2) is now LRU
-	c.get(key(3), cap1) // overflow: evicts key(2)
+	c.get(key(1), nil, cap1)
+	c.get(key(2), nil, cap1)
+	c.get(key(1), nil, cap1) // refresh key(1): key(2) is now LRU
+	c.get(key(3), nil, cap1) // overflow: evicts key(2)
 
 	if entries, caps, evs := c.stats(); entries != 2 || caps != 3 || evs != 1 {
 		t.Fatalf("stats after overflow: entries=%d captures=%d evictions=%d, want 2/3/1", entries, caps, evs)
 	}
-	if _, disp, _ := c.get(key(1), cap1); disp != cacheHit {
+	if _, disp, _ := c.get(key(1), nil, cap1); disp != cacheHit {
 		t.Fatal("key(1) was evicted; want the recently-used entry kept")
 	}
-	if _, disp, _ := c.get(key(2), cap1); disp == cacheHit {
+	if _, disp, _ := c.get(key(2), nil, cap1); disp == cacheHit {
 		t.Fatal("key(2) still cached; want the LRU entry evicted")
 	}
 }

@@ -105,6 +105,35 @@ func (d *dagDisk) save(key cacheKey, dag *replay.DAG) {
 	d.writes.Add(1)
 }
 
+// saveRaw publishes an already-encoded frame for key, write-through for
+// frames fetched off a cluster peer. The bytes were validated by
+// replay.Load on receipt, so they are persisted as-is. Best-effort, like
+// save.
+func (d *dagDisk) saveRaw(key cacheKey, raw []byte) {
+	if d == nil || len(raw) == 0 {
+		return
+	}
+	if err := journal.WriteFileAtomic(d.path(key), raw, 0o644); err != nil {
+		return
+	}
+	d.writes.Add(1)
+}
+
+// frame returns the raw encoded frame persisted for key, for serving to a
+// cluster peer. Unlike load it does not decode or validate: the receiving
+// peer's replay.Load is the integrity check, and a torn frame simply
+// degrades to a re-capture on its side.
+func (d *dagDisk) frame(key cacheKey) ([]byte, bool) {
+	if d == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	return raw, true
+}
+
 // stats reports the persistence counters for /metrics.
 func (d *dagDisk) stats() (hits, writes, drops uint64) {
 	if d == nil {

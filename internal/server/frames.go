@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"crypto/subtle"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"supersim/internal/replay"
+)
+
+// Frame shipping (simcluster, DESIGN.md §15): when a consistent-hash ring
+// change moves a capture key to a new owner, the coordinator tells the new
+// owner where the frame already lives (X-Frame-Source on the submit), and
+// the new owner pulls the encoded .dag frame over GET /internal/frames
+// instead of re-running the scheduler. Both sides of the exchange are
+// gated by the cluster's shared secret (Config.ClusterKey): the endpoint
+// rejects unauthenticated reads, and a submit's X-Frame-Source hint is
+// ignored unless the submit itself proved knowledge of the key — otherwise
+// any client could steer the server into fetching attacker-chosen URLs.
+
+// maxFrameBytes bounds a fetched frame body. The largest sweep DAGs (nt=40,
+// ~22k tasks) encode to a few MB; 256 MB is far above any real frame while
+// still bounding a misbehaving peer.
+const maxFrameBytes = 256 << 20
+
+// frameClient is the HTTP client for peer frame fetches. The timeout is
+// generous — frames are a few MB on a local network — but finite, so a
+// wedged peer degrades the job to a re-capture instead of hanging it.
+var frameClient = &http.Client{Timeout: 30 * time.Second}
+
+// clusterAuthed reports whether the request proved knowledge of the
+// cluster secret. Always false when clustering is disabled (no key).
+func (s *Server) clusterAuthed(r *http.Request) bool {
+	if s.cfg.ClusterKey == "" {
+		return false
+	}
+	got := r.Header.Get("X-Cluster-Key")
+	return subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.ClusterKey)) == 1
+}
+
+// frameSourceFor extracts a submit's peer-frame hint. The hint is honored
+// only on cluster-authenticated requests (see the SSRF note above) and
+// only for http/https URLs.
+func (s *Server) frameSourceFor(r *http.Request) string {
+	src := r.Header.Get("X-Frame-Source")
+	if src == "" || !s.clusterAuthed(r) {
+		return ""
+	}
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		return ""
+	}
+	return src
+}
+
+// frameQuery encodes a cache key (plus owning tenant) as the
+// /internal/frames query string. Query parameters rather than a
+// path-encoded key: the key's fields (policy in particular) can be empty
+// or contain separator characters, and url.Values round-trips them
+// losslessly.
+func frameQuery(tenant string, key cacheKey) url.Values {
+	q := url.Values{}
+	q.Set("tenant", tenant)
+	q.Set("algorithm", key.algorithm)
+	q.Set("scheduler", key.scheduler)
+	q.Set("policy", key.policy)
+	q.Set("nt", strconv.Itoa(key.nt))
+	q.Set("nb", strconv.Itoa(key.nb))
+	q.Set("window", strconv.Itoa(key.window))
+	return q
+}
+
+// handleFrame serves GET /internal/frames: the encoded .dag frame for one
+// capture key, from memory or disk, to an authenticated cluster peer. 404
+// both when clustering is disabled and when the frame is absent — a miss
+// is not an error, it just means the peer re-captures locally.
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ClusterKey == "" {
+		writeError(w, http.StatusNotFound, false, "clustering disabled")
+		return
+	}
+	if !s.clusterAuthed(r) {
+		writeError(w, http.StatusUnauthorized, false, "bad or missing X-Cluster-Key")
+		return
+	}
+	q := r.URL.Query()
+	t := s.tenantNamed(q.Get("tenant"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, false, "no such tenant %q", q.Get("tenant"))
+		return
+	}
+	atoi := func(name string) int { n, _ := strconv.Atoi(q.Get(name)); return n }
+	key := cacheKey{
+		algorithm: q.Get("algorithm"),
+		scheduler: q.Get("scheduler"),
+		policy:    q.Get("policy"),
+		nt:        atoi("nt"),
+		nb:        atoi("nb"),
+		window:    atoi("window"),
+	}
+	raw, ok := t.cache.frame(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, false, "no frame for key")
+		return
+	}
+	s.metrics.framesServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	_, _ = w.Write(raw)
+}
+
+// fetchPeerFrame pulls the frame for key from the peer at base (the
+// owning worker's URL, as hinted by the coordinator). Strictly
+// best-effort: any failure — network, status, size, codec — returns ok
+// false and the caller re-captures. A fetched frame is validated by
+// replay.Load (CRC framing) before adoption, and the raw bytes are
+// returned alongside the DAG so the cache can write them through to disk
+// unchanged.
+func (s *Server) fetchPeerFrame(ctx context.Context, base string, key cacheKey, tenant string) (*replay.DAG, []byte, bool) {
+	u := strings.TrimSuffix(base, "/") + "/internal/frames?" + frameQuery(tenant, key).Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, nil, false
+	}
+	req.Header.Set("X-Cluster-Key", s.cfg.ClusterKey)
+	resp, err := frameClient.Do(req)
+	if err != nil {
+		return nil, nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil || len(raw) == 0 || len(raw) > maxFrameBytes {
+		return nil, nil, false
+	}
+	arena, err := replay.Load(raw)
+	if err != nil {
+		return nil, nil, false
+	}
+	return arena.DAG(), raw, true
+}

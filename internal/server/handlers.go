@@ -26,6 +26,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /crons", s.handleCronList)
 	mux.HandleFunc("GET /crons/{id}", s.handleCronGet)
 	mux.HandleFunc("DELETE /crons/{id}", s.handleCronDelete)
+	mux.HandleFunc("GET /internal/frames", s.handleFrame)
 	return mux
 }
 
@@ -77,7 +78,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, false, "decoding job spec: %v", err)
 		return
 	}
-	job, err := s.submitAs(t, spec, "")
+	job, err := s.submitAs(t, spec, "", s.frameSourceFor(r))
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantShare):
 		s.retryAfter(w, 1)

@@ -60,6 +60,16 @@ type JobSpec struct {
 	// MaxNT across Shards replay goroutines (0 = GOMAXPROCS).
 	MaxNT  int `json:"max_nt,omitempty"`
 	Shards int `json:"shards,omitempty"`
+	// RepOffset and RepStride slice a sweep's replicas for cluster
+	// fan-out: with RepStride = W > 1 this job replays only the replicas
+	// rep % W == RepOffset of each point, leaving the rest of Makespans
+	// zero. Replica seeds are logical-coordinate functions
+	// (bench.ReplicaSeed), so W sliced jobs merged entry-wise reproduce
+	// the unsliced sweep bit for bit — the coordinator's merge invariant.
+	// Sliced results carry aggregates over their own replicas only; the
+	// coordinator recomputes them (and the fingerprint) after merging.
+	RepOffset int `json:"rep_offset,omitempty"`
+	RepStride int `json:"rep_stride,omitempty"`
 	// Parallelism selects the replay executor on the cached and sweep
 	// paths (replay.Options.Parallelism): 0 (default) replays with the
 	// serial greedy executor; >= 1 uses the PDES executor, whose results
@@ -184,7 +194,41 @@ func (s *JobSpec) validate() error {
 	if s.GangPanels > s.Workers {
 		return fmt.Errorf("gang_panels %d exceeds workers %d", s.GangPanels, s.Workers)
 	}
+	if s.RepStride < 0 || s.RepOffset < 0 {
+		return fmt.Errorf("rep_stride/rep_offset must be >= 0 (got %d/%d)", s.RepStride, s.RepOffset)
+	}
+	if s.RepStride > 1 {
+		if s.Kind != "sweep" {
+			return fmt.Errorf("rep_stride is only meaningful for sweep jobs")
+		}
+		if s.RepOffset >= s.RepStride {
+			return fmt.Errorf("rep_offset %d outside rep_stride %d", s.RepOffset, s.RepStride)
+		}
+		if s.RepOffset >= s.Reps {
+			return fmt.Errorf("rep_offset %d beyond reps %d (empty replica slice)", s.RepOffset, s.Reps)
+		}
+	}
 	return nil
+}
+
+// Validate normalizes the spec in place (filling defaults) and reports the
+// first problem. Exported for the cluster coordinator, which must
+// normalize a spec before deriving its routing key.
+func (s *JobSpec) Validate() error { return s.validate() }
+
+// Cacheable reports whether the job may be served through the capture
+// cache — the specs the cluster routes by consistent hashing on RouteKey
+// so repeats land where the DAG frame already lives.
+func (s *JobSpec) Cacheable() bool { return s.cacheable() }
+
+// RouteKey is the canonical string form of the spec's capture-cache key:
+// every field of the cache identity and nothing else, so two specs share a
+// RouteKey exactly when one captured DAG serves both. The cluster hashes
+// it onto the worker ring; call only after Validate (defaults must be
+// filled for keys to line up).
+func (s *JobSpec) RouteKey() string {
+	k := s.cacheKey()
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%d", k.algorithm, k.scheduler, k.policy, k.nt, k.nb, k.window)
 }
 
 // waitPolicy maps the spec's wait string to a core.WaitPolicy.
@@ -298,6 +342,13 @@ type Job struct {
 	tenant    *tenant // owning tenant; immutable after Submit
 	source    string  // "" for API submissions, "cron:<id>" for cron firings
 	recovered bool    // re-queued by crash recovery at startup
+	// frameSource is the base URL of a peer worker believed to hold this
+	// job's captured .dag frame (set from X-Frame-Source by the cluster
+	// coordinator after a ring change); immutable after Submit. On a full
+	// local cache miss the capture path fetches the frame from there
+	// before falling back to a capture run. Not journaled: a recovered
+	// job degrades to re-capturing, never to depending on a stale peer.
+	frameSource string
 
 	mu        sync.Mutex
 	status    string     // guarded-by: mu
@@ -344,6 +395,11 @@ type JobView struct {
 	HasTrace    bool       `json:"has_trace,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
 }
+
+// View snapshots the job as its API representation — the same document
+// GET /jobs/{id} serves. Exported for programmatic embedders (tests, the
+// cluster coordinator's reference runs).
+func (j *Job) View() JobView { return j.view() }
 
 // view snapshots the job for serving.
 func (j *Job) view() JobView {

@@ -25,8 +25,11 @@ type metrics struct {
 
 	cacheHits   atomic.Uint64
 	cacheDisk   atomic.Uint64 // jobs served from a persisted .dag frame
+	cachePeer   atomic.Uint64 // jobs served from a frame fetched off a cluster peer
 	cacheMisses atomic.Uint64
 	cacheBypass atomic.Uint64 // jobs ineligible for the capture cache
+
+	framesServed atomic.Uint64 // .dag frames served to cluster peers
 
 	queueWait sampleRing // seconds from submit to worker pickup
 	runTime   sampleRing // seconds from pickup to completion
@@ -165,6 +168,7 @@ type JobCounts struct {
 type CacheStats struct {
 	Hits       uint64 `json:"hits"`
 	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	PeerHits   uint64 `json:"peer_hits,omitempty"` // jobs served from a frame fetched off a cluster peer
 	Misses     uint64 `json:"misses"`
 	Bypass     uint64 `json:"bypass"`
 	Captures   uint64 `json:"captures"`
@@ -172,6 +176,9 @@ type CacheStats struct {
 	Evictions  uint64 `json:"evictions"`
 	DiskWrites uint64 `json:"disk_writes,omitempty"`
 	DiskDrops  uint64 `json:"disk_drops,omitempty"`
+	// FramesServed counts .dag frames this node served to cluster peers
+	// over GET /internal/frames.
+	FramesServed uint64 `json:"frames_served,omitempty"`
 }
 
 // TenantSnapshot is one tenant's section of a metrics snapshot: lifecycle

@@ -48,6 +48,8 @@ func (s *Server) runSweep(ctx context.Context, spec *JobSpec) (*JobResult, error
 		Model:       buildModel(spec.Model),
 		Seed:        spec.Seed,
 		Parallelism: spec.Parallelism,
+		RepOffset:   spec.RepOffset,
+		RepStride:   spec.RepStride,
 	})
 	if err != nil {
 		return nil, err
@@ -112,6 +114,13 @@ func sweepFingerprint(points []bench.SweepPoint) string {
 	return fmt.Sprintf("%016x", h)
 }
 
+// SweepFingerprint digests a sweep curve exactly as the worker does for
+// its own sweep results. The cluster coordinator calls it after merging
+// replica-sliced parts entry-wise, so a fanned-out sweep's fingerprint is
+// comparable (and, by the replica-seed invariant, equal) to a single
+// node's.
+func SweepFingerprint(points []bench.SweepPoint) string { return sweepFingerprint(points) }
+
 // runCached serves a simulate job through the capture cache: the DAG is
 // captured at most once per key (singleflight — concurrent identical jobs
 // share one capture), then every repetition is a pure replay. This is the
@@ -119,10 +128,20 @@ func sweepFingerprint(points []bench.SweepPoint) string {
 func (s *Server) runCached(ctx context.Context, job *Job) (*JobResult, *trace.Trace, string, error) {
 	spec := &job.Spec
 	bspec := spec.benchSpec()
+	// A cluster coordinator that routed this job off the key's previous
+	// owner names that owner in X-Frame-Source; the fetch hook pulls the
+	// already-captured frame from it before falling back to capturing.
+	var fetch func() (*replay.DAG, []byte, bool)
+	if job.frameSource != "" {
+		src, key := job.frameSource, spec.cacheKey()
+		fetch = func() (*replay.DAG, []byte, bool) {
+			return s.fetchPeerFrame(ctx, src, key, job.tenant.cfg.Name)
+		}
+	}
 	// Each tenant replays out of its own cache partition: one tenant's
 	// working set cannot evict another's, and partition budgets are
 	// independent LRU knobs (TenantConfig.CacheCapacity).
-	dag, disposition, err := job.tenant.cache.get(spec.cacheKey(), func() (*replay.DAG, error) {
+	dag, disposition, err := job.tenant.cache.get(spec.cacheKey(), fetch, func() (*replay.DAG, error) {
 		return bench.CaptureSpec(bspec)
 	})
 	if err != nil {

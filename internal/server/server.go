@@ -72,6 +72,14 @@ type Config struct {
 	RetryBase time.Duration
 	// RetryCap bounds the backoff delay (default 10s).
 	RetryCap time.Duration
+
+	// ClusterKey is the shared secret of the simcluster control plane.
+	// When set, the worker serves its captured .dag frames to peers on
+	// GET /internal/frames (requests must present the key in
+	// X-Cluster-Key) and honors the coordinator's X-Frame-Source routing
+	// hints on submissions carrying the key. Empty disables both — the
+	// frame endpoint 404s and hints are ignored.
+	ClusterKey string
 }
 
 func (c *Config) fill() {
@@ -311,7 +319,7 @@ func (s *Server) defaultTenant() *tenant {
 // control rejects it, ErrDraining during shutdown, or a spec validation
 // error; otherwise the queued job.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
-	return s.submitAs(s.defaultTenant(), spec, "")
+	return s.submitAs(s.defaultTenant(), spec, "", "")
 }
 
 // SubmitAs is Submit under a named tenant.
@@ -320,13 +328,15 @@ func (s *Server) SubmitAs(tenantName string, spec JobSpec) (*Job, error) {
 	if t == nil {
 		return nil, ErrUnknownTenant
 	}
-	return s.submitAs(t, spec, "")
+	return s.submitAs(t, spec, "", "")
 }
 
 // submitAs runs the full admission path for one tenant: spec validation,
 // token bucket, queue-share and global-depth checks, then the fsynced
 // accept record — the job is acknowledged only once it is on disk.
-func (s *Server) submitAs(t *tenant, spec JobSpec, source string) (*Job, error) {
+// frameSource, when non-empty, is a trusted peer URL that may hold the
+// job's captured frame (cluster routing hint).
+func (s *Server) submitAs(t *tenant, spec JobSpec, source, frameSource string) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("server: invalid job spec: %w", err)
 	}
@@ -340,12 +350,13 @@ func (s *Server) submitAs(t *tenant, spec JobSpec, source string) (*Job, error) 
 		return nil, ErrRateLimited
 	}
 	job := &Job{
-		ID:        fmt.Sprintf("j-%06d", s.nextID.Add(1)),
-		Spec:      spec,
-		tenant:    t,
-		source:    source,
-		status:    StatusQueued,
-		submitted: time.Now(), //simlint:allow vclock — queue-wait latency metric
+		ID:          fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		Spec:        spec,
+		tenant:      t,
+		source:      source,
+		frameSource: frameSource,
+		status:      StatusQueued,
+		submitted:   time.Now(), //simlint:allow vclock — queue-wait latency metric
 	}
 	s.remember(job)
 	if err := s.queue.push(t, job); err != nil {
@@ -491,6 +502,8 @@ func (s *Server) runJob(job *Job) {
 		s.metrics.cacheHits.Add(1)
 	case cacheDisk:
 		s.metrics.cacheDisk.Add(1)
+	case cachePeer:
+		s.metrics.cachePeer.Add(1)
 	case cacheMiss:
 		s.metrics.cacheMisses.Add(1)
 	default:
@@ -851,8 +864,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	// the Hits/Misses job attribution (the per-tenant figure counts raw
 	// frame loads, which recovery warming can also drive).
 	cache.DiskHits = s.metrics.cacheDisk.Load()
+	cache.PeerHits = s.metrics.cachePeer.Load()
 	cache.Misses = s.metrics.cacheMisses.Load()
 	cache.Bypass = s.metrics.cacheBypass.Load()
+	cache.FramesServed = s.metrics.framesServed.Load()
 	snap.Cache = cache
 	return snap
 }

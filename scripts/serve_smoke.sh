@@ -1,21 +1,28 @@
 #!/usr/bin/env sh
 # Smoke and chaos tests for the simulation daemon.
 #
-# Usage: serve_smoke.sh [smoke|chaos|all]   (default: smoke)
+# Usage: serve_smoke.sh [smoke|chaos|cluster|all]   (default: smoke)
 #
-#   smoke — boot simd on an ephemeral port, submit a small Cholesky job
-#           over HTTP, poll it to completion, check the observability
-#           endpoints, then drain with SIGTERM and require a clean exit.
-#   chaos — restart-recovery: boot simd with a journaled data dir, submit
-#           jobs (one pinned behind a deliberately slow occupant so it is
-#           still queued), SIGKILL the daemon mid-load, restart it on the
-#           same data dir, and require every acknowledged job to finish
-#           exactly once with a fingerprint identical to the pre-kill
-#           reference.
+#   smoke   — boot simd on an ephemeral port, submit a small Cholesky job
+#             over HTTP, poll it to completion, check the observability
+#             endpoints, then drain with SIGTERM and require a clean exit.
+#   chaos   — restart-recovery: boot simd with a journaled data dir, submit
+#             jobs (one pinned behind a deliberately slow occupant so it is
+#             still queued), SIGKILL the daemon mid-load, restart it on the
+#             same data dir, and require every acknowledged job to finish
+#             exactly once with a fingerprint identical to the pre-kill
+#             reference.
+#   cluster — scale-out: boot simcoord plus two simd workers, fan a sweep
+#             across both and require the merged fingerprint to be
+#             bit-identical to a single-node run; restart the workers and
+#             require a repeat job to be served from the owning worker's
+#             disk frame with zero captures cluster-wide; SIGKILL a worker
+#             mid-sweep and require the re-dispatched result to carry the
+#             identical fingerprint.
 #
-# CI runs smoke in the serve-smoke job and chaos in the chaos job;
-# locally: make serve-smoke. Needs only curl + sed (no jq), so it runs on
-# a bare runner.
+# CI runs smoke in the serve-smoke job, chaos in the chaos job and cluster
+# in the cluster job; locally: make serve-smoke / make cluster-smoke.
+# Needs only curl + sed (no jq), so it runs on a bare runner.
 set -eu
 
 stage="${1:-smoke}"
@@ -23,9 +30,11 @@ stage="${1:-smoke}"
 workdir=$(mktemp -d)
 bin="$workdir/simd"
 pid=""
+extra_pids=""
 
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for p in $extra_pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -188,9 +197,158 @@ chaos_stage() {
     echo "chaos recovery passed"
 }
 
+# --- cluster helpers -------------------------------------------------
+
+ckey="smoke-cluster-key"
+
+# wait_pid_file <file> <log> — wait for an address file to appear.
+wait_addr() {
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "no address file $1"; cat "$2"; exit 1
+}
+
+# cboot — start simcoord on an ephemeral port; sets $cpid and $coord.
+cboot() {
+    rm -f "$workdir/coord.addr"
+    "$workdir/simcoord" -addr 127.0.0.1:0 -addr-file "$workdir/coord.addr" \
+        -cluster-key "$ckey" -heartbeat 250ms -heartbeat-timeout 1200ms -poll 100ms \
+        >"$workdir/coord.log" 2>&1 &
+    cpid=$!
+    extra_pids="$extra_pids $cpid"
+    wait_addr "$workdir/coord.addr" "$workdir/coord.log"
+    coord="http://$(cat "$workdir/coord.addr")"
+}
+
+# wboot <n> — start cluster worker w<n> with a persistent data dir;
+# prints its PID.
+wboot() {
+    rm -f "$workdir/w$1.addr"
+    "$bin" -addr 127.0.0.1:0 -addr-file "$workdir/w$1.addr" -pool 2 \
+        -data-dir "$workdir/w$1.data" -coordinator "$coord" \
+        -cluster-key "$ckey" -worker-name "w$1" \
+        >>"$workdir/w$1.log" 2>&1 &
+    wpid=$!
+    extra_pids="$extra_pids $wpid"
+    wait_addr "$workdir/w$1.addr" "$workdir/w$1.log"
+    printf '%s' "$wpid"
+}
+
+# wait_live <n> — poll the coordinator until n workers are live.
+wait_live() {
+    for _ in $(seq 1 100); do
+        curl -fsS "$coord/healthz" | grep -q "\"live\":$1" && return 0
+        sleep 0.1
+    done
+    echo "cluster never reached $1 live workers: $(curl -fsS "$coord/healthz")"
+    exit 1
+}
+
+# csubmit <json> — submit a job to the coordinator, print the dispatch id.
+csubmit() {
+    out=$(curl -fsS -X POST "$coord/jobs" -H 'Content-Type: application/json' -d "$1")
+    id=$(printf '%s' "$out" | sed -n 's/.*"id":"\(d-[0-9]*\)".*/\1/p')
+    [ -n "$id" ] || { echo "cluster submit returned no dispatch id: $out" >&2; exit 1; }
+    printf '%s' "$id"
+}
+
+# cwait_done <id> — poll a dispatch until done (fails on failed).
+cwait_done() {
+    st=""
+    for _ in $(seq 1 300); do
+        doc=$(curl -fsS "$coord/jobs/$1")
+        st=$(printf '%s' "$doc" | sed -n 's/^{"id":"[^"]*","status":"\([^"]*\)".*/\1/p')
+        [ "$st" = "done" ] && return 0
+        [ "$st" = "failed" ] && { echo "dispatch $1 failed: $doc"; exit 1; }
+        sleep 0.1
+    done
+    echo "dispatch $1 stuck at '$st': $(curl -fsS "$coord/jobs/$1")"
+    exit 1
+}
+
+# cfp <id> — print a finished dispatch's merged fingerprint.
+cfp() {
+    curl -fsS "$coord/jobs/$1" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p'
+}
+
+cluster_stage() {
+    go build -o "$workdir/simcoord" ./cmd/simcoord
+
+    sweep_a='{"kind":"sweep","algorithm":"cholesky","max_nt":6,"nb":8,"workers":4,"seed":9,"reps":4}'
+    sweep_b='{"kind":"sweep","algorithm":"qr","max_nt":6,"nb":8,"workers":4,"seed":31,"reps":4}'
+    simjob='{"algorithm":"qr","nt":5,"nb":8,"workers":2,"seed":17}'
+
+    # Reference fingerprints from a plain single-node run.
+    boot -pool 2
+    r1=$(submit "$sweep_a"); r2=$(submit "$sweep_b"); r3=$(submit "$simjob")
+    wait_done "$r1"; wait_done "$r2"; wait_done "$r3"
+    ref_a=$(field "$r1" fingerprint)
+    ref_b=$(field "$r2" fingerprint)
+    ref_j=$(field "$r3" fingerprint)
+    [ -n "$ref_a" ] && [ -n "$ref_b" ] && [ -n "$ref_j" ] || { echo "reference run missing fingerprints"; exit 1; }
+    kill -TERM "$pid"; wait "$pid" 2>/dev/null || true; pid=""
+    echo "single-node references: $ref_a $ref_b $ref_j"
+
+    cboot
+    echo "simcoord on $coord"
+    w1=$(wboot 1)
+    w2=$(wboot 2)
+    wait_live 2
+
+    # Fan-out: the sweep splits across both workers, and the merged
+    # statistics are bit-identical to the single-node run.
+    d1=$(csubmit "$sweep_a")
+    cwait_done "$d1"
+    doc=$(curl -fsS "$coord/jobs/$d1")
+    printf '%s' "$doc" | grep -q '"rep_stride":2' || { echo "sweep was not fanned out: $doc"; exit 1; }
+    fp=$(cfp "$d1")
+    [ "$fp" = "$ref_a" ] || { echo "fanned sweep fingerprint $fp, want $ref_a"; exit 1; }
+    echo "fan-out fingerprint identical"
+
+    # Cache routing: a cacheable job is captured once on its ring owner;
+    # after both workers restart, the repeat routed through the
+    # coordinator is served from the owner's disk frame — zero captures
+    # across the whole cluster.
+    d2=$(csubmit "$simjob")
+    cwait_done "$d2"
+    [ "$(cfp "$d2")" = "$ref_j" ] || { echo "cluster job fingerprint $(cfp "$d2"), want $ref_j"; exit 1; }
+    kill -TERM "$w1" "$w2"
+    while kill -0 "$w1" 2>/dev/null || kill -0 "$w2" 2>/dev/null; do sleep 0.1; done
+    w1=$(wboot 1)
+    w2=$(wboot 2)
+    wait_live 2
+    d3=$(csubmit "$simjob")
+    cwait_done "$d3"
+    [ "$(cfp "$d3")" = "$ref_j" ] || { echo "repeat job fingerprint $(cfp "$d3"), want $ref_j"; exit 1; }
+    metrics=$(curl -fsS "$coord/metrics")
+    printf '%s' "$metrics" | grep -q '"captures":0' || { echo "repeat job re-captured after restart: $metrics"; exit 1; }
+    printf '%s' "$metrics" | grep -q '"disk_hits":1' || { echo "repeat job missed the disk frame: $metrics"; exit 1; }
+    echo "restarted cluster served the repeat from the disk frame (captures 0)"
+
+    # Failover: kill a worker right after a fresh sweep is accepted; its
+    # slice is re-dispatched onto the survivor and the merged result is
+    # still bit-identical.
+    d4=$(csubmit "$sweep_b")
+    kill -KILL "$w2"
+    cwait_done "$d4"
+    fp=$(cfp "$d4")
+    [ "$fp" = "$ref_b" ] || { echo "failover sweep fingerprint $fp, want $ref_b"; exit 1; }
+    metrics=$(curl -fsS "$coord/metrics")
+    printf '%s' "$metrics" | grep -q '"failovers":[1-9]' || { echo "no failover recorded: $metrics"; exit 1; }
+    printf '%s' "$metrics" | grep -q '"mismatches":0' || { echo "fingerprint mismatch across attempts: $metrics"; exit 1; }
+    echo "failover re-dispatch fingerprint identical"
+
+    kill -TERM "$w1" 2>/dev/null || true
+    kill -TERM "$cpid" 2>/dev/null || true
+    echo "cluster smoke passed"
+}
+
 case "$stage" in
 smoke) smoke_stage ;;
 chaos) chaos_stage ;;
-all) smoke_stage; chaos_stage ;;
-*) echo "usage: $0 [smoke|chaos|all]"; exit 2 ;;
+cluster) cluster_stage ;;
+all) smoke_stage; chaos_stage; cluster_stage ;;
+*) echo "usage: $0 [smoke|chaos|cluster|all]"; exit 2 ;;
 esac
